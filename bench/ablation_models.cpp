@@ -1,0 +1,140 @@
+// Ablation (§4.3, "Model training"): LightGBM-style leaf-wise GBDT vs
+// classic level-wise GBDT vs a 4-hidden-layer MLP, trained on the same
+// label-generation data.
+//
+// Paper claim to verify: despite accuracy differences, the three models
+// produce remarkably similar *migration decisions*, because each pinpoints
+// the subtrees with notably higher benefit and the migration algorithm
+// filters the rest. We measure (1) validation accuracy, (2) top-K
+// candidate-ranking overlap between models, (3) end-to-end throughput when
+// each model drives OrigamiBalancer.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "bench_common.hpp"
+#include "origami/common/csv.hpp"
+#include "origami/ml/metrics.hpp"
+#include "origami/ml/mlp.hpp"
+
+using namespace origami;
+
+namespace {
+
+std::set<std::size_t> top_k(const std::vector<double>& pred, std::size_t k) {
+  std::vector<std::size_t> order(pred.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return pred[a] > pred[b]; });
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(k, order.size()))};
+}
+
+double overlap(const std::set<std::size_t>& a, const std::set<std::size_t>& b) {
+  std::size_t inter = 0;
+  for (std::size_t x : a) inter += b.count(x);
+  return static_cast<double>(inter) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation — LightGBM vs GBDT vs MLP (§4.3) ===\n\n");
+  const cluster::ReplayOptions opt = bench::paper_options();
+
+  core::LabelGenOptions lg;
+  lg.replay = opt;
+  lg.meta_opt.min_subtree_ops = 8;
+  lg.meta_opt.stop_threshold = sim::micros(500);
+  lg.min_feature_ops = 4;
+  auto labels = core::generate_labels(bench::standard_rw(99), lg);
+  const auto more = core::generate_labels(bench::standard_rw(55), lg);
+  labels.benefit_data.append(more.benefit_data);
+  auto [train, valid] = labels.benefit_data.split(0.8, 7);
+  std::printf("%zu train rows / %zu validation rows\n\n", train.size(),
+              valid.size());
+
+  ml::GbdtParams lgbm_params;  // leaf-wise, 400 rounds, 32 leaves
+  lgbm_params.early_stopping_rounds = 30;
+  auto lgbm = std::make_shared<ml::GbdtModel>(
+      ml::GbdtModel::train(train, lgbm_params, &valid));
+
+  ml::GbdtParams gbdt_params = lgbm_params;
+  gbdt_params.leaf_wise = false;
+  auto gbdt = std::make_shared<ml::GbdtModel>(
+      ml::GbdtModel::train(train, gbdt_params, &valid));
+
+  ml::MlpParams mlp_params;
+  mlp_params.epochs = 40;
+  const auto mlp = ml::MlpModel::train(train, mlp_params);
+
+  const auto p_lgbm = lgbm->predict_batch(valid);
+  const auto p_gbdt = gbdt->predict_batch(valid);
+  const auto p_mlp = mlp.predict_batch(valid);
+
+  std::printf("%-10s %10s %10s\n", "model", "rmse", "spearman");
+  auto acc = [&](const char* name, const std::vector<double>& p) {
+    std::printf("%-10s %10.4f %10.3f\n", name, ml::rmse(p, valid.labels()),
+                ml::spearman(p, valid.labels()));
+  };
+  acc("lightgbm", p_lgbm);
+  acc("gbdt", p_gbdt);
+  acc("mlp", p_mlp);
+
+  const std::size_t k = std::max<std::size_t>(5, valid.size() / 10);
+  const auto t_lgbm = top_k(p_lgbm, k);
+  const auto t_gbdt = top_k(p_gbdt, k);
+  const auto t_mlp = top_k(p_mlp, k);
+  std::printf("\ntop-%zu candidate overlap (decision agreement):\n", k);
+  std::printf("  lightgbm vs gbdt: %.0f%%\n", 100 * overlap(t_lgbm, t_gbdt));
+  std::printf("  lightgbm vs mlp : %.0f%%\n", 100 * overlap(t_lgbm, t_mlp));
+  std::printf("  gbdt     vs mlp : %.0f%%\n", 100 * overlap(t_gbdt, t_mlp));
+
+  // End-to-end: every model family drives OrigamiBalancer on an unseen run
+  // through the model-agnostic BenefitPredictor interface.
+  const wl::Trace eval = bench::standard_rw(1);
+  core::OrigamiBalancer::Params ob;
+  ob.min_subtree_ops = 8;
+  const cost::CostModel cm(opt.cost_params);
+  const auto mlp_shared = std::make_shared<ml::MlpModel>(mlp);
+
+  struct Served {
+    const char* name;
+    core::BenefitPredictor predictor;
+    const std::vector<double>* preds;
+  };
+  const Served served[] = {
+      {"lightgbm",
+       [lgbm](std::span<const float> x) { return lgbm->predict(x); },
+       &p_lgbm},
+      {"gbdt", [gbdt](std::span<const float> x) { return gbdt->predict(x); },
+       &p_gbdt},
+      {"mlp",
+       [mlp_shared](std::span<const float> x) { return mlp_shared->predict(x); },
+       &p_mlp},
+  };
+
+  common::CsvWriter csv(bench::csv_path("ablation_models", "results"));
+  csv.header({"model", "rmse", "spearman", "throughput_ops"});
+  std::printf("\nend-to-end throughput with each model serving online:\n");
+  for (const Served& sv : served) {
+    core::OrigamiBalancer balancer(sv.predictor, cm, ob,
+                                   core::RebalanceTrigger{0.05});
+    const auto r = cluster::replay_trace(eval, opt, balancer);
+    std::printf("  %-10s %10.0f ops/s (%lu migrations)\n", sv.name,
+                r.steady_throughput_ops,
+                static_cast<unsigned long>(r.migrations));
+    csv.field(sv.name)
+        .field(ml::rmse(*sv.preds, valid.labels()))
+        .field(ml::spearman(*sv.preds, valid.labels()))
+        .field(r.steady_throughput_ops);
+    csv.endrow();
+  }
+
+  std::printf("\npaper shape: accuracies differ slightly; decisions and "
+              "end-to-end results nearly\nidentical -> deploy the cheapest "
+              "model (LightGBM-style).\n");
+  return 0;
+}

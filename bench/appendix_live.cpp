@@ -1,0 +1,79 @@
+// Appendix bench (beyond the paper): run the whole Origami loop against
+// the *live* OrigamiFS service (real KV shards, real migrations, no cost
+// simulation): train a benefit model in the simulator, then let
+// LiveOrigamiBalancer drive the live Migrator while a Trace-RW replay
+// hammers the shards. Reported balance is measured from real per-shard
+// dirent operations.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "origami/common/csv.hpp"
+#include "origami/core/live_balancer.hpp"
+#include "origami/fs/live_replay.hpp"
+
+using namespace origami;
+
+namespace {
+
+fs::LiveReplayStats run_live(const wl::Trace& trace,
+                             core::LiveOrigamiBalancer* balancer) {
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 5;
+  fs::OrigamiFs fsys(fopt);
+  return fs::replay_on_live(
+      trace, fsys, /*epoch_ops=*/20'000,
+      balancer == nullptr
+          ? std::function<std::uint64_t(fs::OrigamiFs&)>{}
+          : [balancer](fs::OrigamiFs& f) -> std::uint64_t {
+              return balancer->rebalance_epoch(f).size();
+            });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Appendix — the live OrigamiFS service under Trace-RW ===\n\n");
+  const wl::Trace trace = bench::standard_rw(1, 200'000);
+
+  std::printf("training the benefit model in the simulator...\n");
+  const auto models =
+      bench::train_for(bench::standard_rw(99), bench::paper_options());
+
+  common::CsvWriter csv(bench::csv_path("appendix_live", "results"));
+  csv.header({"mode", "executed", "failed", "migrations", "imbalance"});
+
+  // Unbalanced: everything stays on shard 0.
+  const auto r_none = run_live(trace, nullptr);
+  // Balanced: the simulator-trained model drives the live Migrator.
+  core::LiveOrigamiBalancer::Params p;
+  p.min_subtree_ops = 32;
+  p.min_predicted_benefit = 0.0;
+  core::LiveOrigamiBalancer balancer(models.benefit, p);
+  const auto r_bal = run_live(trace, &balancer);
+
+  auto report = [&](const char* mode, const fs::LiveReplayStats& r) {
+    std::printf("%-12s executed %lu (failed %lu), migrations %lu, "
+                "shard-op imbalance %.2f\n  per-shard ops:",
+                mode, static_cast<unsigned long>(r.executed),
+                static_cast<unsigned long>(r.failed),
+                static_cast<unsigned long>(r.migrations), r.shard_imbalance);
+    for (auto ops : r.shard_ops) {
+      std::printf(" %lu", static_cast<unsigned long>(ops));
+    }
+    std::printf("\n");
+    csv.field(mode)
+        .field(r.executed)
+        .field(r.failed)
+        .field(r.migrations)
+        .field(r.shard_imbalance);
+    csv.endrow();
+  };
+  report("unbalanced", r_none);
+  report("origami", r_bal);
+
+  std::printf("\nexpected: the unbalanced run serves everything from shard 0 "
+              "(imbalance 1.0);\nthe simulator-trained model transfers to the "
+              "live service and spreads the\nreal dirent traffic.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "bench_common.hpp"
+
+namespace origami::bench {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kSingle:
+      return "single";
+    case Strategy::kCHash:
+      return "c-hash";
+    case Strategy::kFHash:
+      return "f-hash";
+    case Strategy::kMlTree:
+      return "ml-tree";
+    case Strategy::kOrigami:
+      return "origami";
+    case Strategy::kMetaOpt:
+      return "meta-opt";
+  }
+  return "?";
+}
+
+wl::Trace standard_rw(std::uint64_t seed, std::uint64_t ops) {
+  wl::TraceRwConfig cfg;
+  cfg.seed = seed;
+  cfg.ops = ops;
+  return wl::make_trace_rw(cfg);
+}
+
+wl::Trace standard_ro(std::uint64_t seed, std::uint64_t ops) {
+  wl::TraceRoConfig cfg;
+  cfg.seed = seed;
+  cfg.ops = ops;
+  return wl::make_trace_ro(cfg);
+}
+
+wl::Trace standard_wi(std::uint64_t seed, std::uint64_t ops) {
+  wl::TraceWiConfig cfg;
+  cfg.seed = seed;
+  cfg.ops = ops;
+  return wl::make_trace_wi(cfg);
+}
+
+cluster::ReplayOptions paper_options() {
+  cluster::ReplayOptions opt;
+  opt.mds_count = 5;
+  opt.clients = 50;
+  // The paper uses 10 s epochs on a testbed that runs for tens of minutes;
+  // the simulated runs replay a few hundred thousand ops, so epochs scale
+  // down proportionally (EXPERIMENTS.md, "time scaling").
+  opt.epoch_length = sim::millis(500);
+  opt.warmup_epochs = 4;
+  opt.lookahead_ops = 60'000;
+  return opt;
+}
+
+core::TrainedModels train_for(const wl::Trace& training_trace,
+                              const cluster::ReplayOptions& options,
+                              int gbdt_rounds) {
+  core::LabelGenOptions lg;
+  lg.replay = options;
+  lg.meta_opt.min_subtree_ops = 8;
+  lg.meta_opt.stop_threshold = sim::micros(500);
+  lg.meta_opt.cache_enabled = options.cache_enabled;
+  lg.meta_opt.cache_depth = options.cache_depth;
+  lg.min_feature_ops = 4;
+  ml::GbdtParams gbdt;
+  gbdt.rounds = gbdt_rounds;
+  gbdt.early_stopping_rounds = 30;
+  return core::train_from_trace(training_trace, lg, gbdt);
+}
+
+cluster::RunResult run_strategy(Strategy strategy, const wl::Trace& trace,
+                                const cluster::ReplayOptions& options,
+                                const core::TrainedModels* models,
+                                bool single_on_cluster) {
+  cluster::ReplayOptions opt = options;
+  const core::RebalanceTrigger trigger{0.05};
+  const cost::CostModel cost_model(opt.cost_params);
+
+  switch (strategy) {
+    case Strategy::kSingle: {
+      if (!single_on_cluster) opt.mds_count = 1;
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case Strategy::kCHash: {
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case Strategy::kFHash: {
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kFineHash);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case Strategy::kMlTree: {
+      core::MlTreeBalancer::Params p;
+      p.min_subtree_ops = 8;
+      core::MlTreeBalancer b(models != nullptr ? models->popularity : nullptr,
+                             p, trigger);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case Strategy::kOrigami: {
+      core::OrigamiBalancer::Params p;
+      p.cache_enabled = opt.cache_enabled;
+      p.cache_depth = opt.cache_depth;
+      core::OrigamiBalancer b(models != nullptr ? models->benefit : nullptr,
+                              cost_model, p, trigger);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case Strategy::kMetaOpt: {
+      core::MetaOptParams p;
+      p.min_subtree_ops = 8;
+      p.stop_threshold = sim::micros(500);
+      p.cache_enabled = opt.cache_enabled;
+      p.cache_depth = opt.cache_depth;
+      core::MetaOptOracleBalancer b(cost_model, p, trigger);
+      return cluster::replay_trace(trace, opt, b);
+    }
+  }
+  cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
+  return cluster::replay_trace(trace, opt, b);
+}
+
+cluster::RunResult run_latency_probe(const wl::Trace& trace,
+                                     const cluster::ReplayOptions& options,
+                                     const cluster::RunResult& converged) {
+  cluster::ReplayOptions opt = options;
+  opt.clients = 1;
+  opt.mds_count = converged.mds_count;
+  cluster::FixedPartitionBalancer balancer(converged);
+  return cluster::replay_trace(trace, opt, balancer);
+}
+
+std::string csv_path(const std::string& bench, const std::string& name) {
+  return bench + "_" + name + ".csv";
+}
+
+}  // namespace origami::bench

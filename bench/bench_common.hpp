@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared harness code for the figure/table reproduction benches. Each
+// bench binary regenerates one table or figure of the Origami paper
+// (see DESIGN.md's experiment index) and writes a CSV next to stdout.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/core/pipeline.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami::bench {
+
+/// The five §5.1 strategies.
+enum class Strategy { kSingle, kCHash, kFHash, kMlTree, kOrigami, kMetaOpt };
+
+const char* strategy_name(Strategy s);
+
+/// All strategies compared in the paper's evaluation (single runs on 1 MDS).
+inline constexpr Strategy kPaperStrategies[] = {
+    Strategy::kSingle, Strategy::kCHash, Strategy::kFHash, Strategy::kMlTree,
+    Strategy::kOrigami};
+
+/// Standard trace scales used across benches (≈ a few hundred thousand ops
+/// so every figure regenerates in seconds).
+wl::Trace standard_rw(std::uint64_t seed = 1, std::uint64_t ops = 300'000);
+wl::Trace standard_ro(std::uint64_t seed = 2, std::uint64_t ops = 300'000);
+wl::Trace standard_wi(std::uint64_t seed = 3, std::uint64_t ops = 300'000);
+
+/// The paper's cluster configuration: 5 MDSs saturated by 50 clients,
+/// epoch rebalancing, warm-up excluded from steady-state numbers.
+cluster::ReplayOptions paper_options();
+
+/// Label-gen + GBDT training against a training run of the given trace
+/// (always a different seed than the evaluation trace).
+core::TrainedModels train_for(const wl::Trace& training_trace,
+                              const cluster::ReplayOptions& options,
+                              int gbdt_rounds = 200);
+
+/// Runs one strategy; consumes `models` for ml-tree/origami (may be null
+/// for the others). `mds_count` overrides options.mds_count except for
+/// kSingle which always runs on 1 MDS unless `single_on_cluster`.
+cluster::RunResult run_strategy(Strategy strategy, const wl::Trace& trace,
+                                const cluster::ReplayOptions& options,
+                                const core::TrainedModels* models,
+                                bool single_on_cluster = false);
+
+/// Single-client latency probe against a *converged* partition (the
+/// paper's Fig. 5b methodology: re-run with one thread after rebalancing):
+/// replays the trace with 1 client over the ownership map a previous run
+/// ended with, no further migrations.
+cluster::RunResult run_latency_probe(const wl::Trace& trace,
+                                     const cluster::ReplayOptions& options,
+                                     const cluster::RunResult& converged);
+
+/// Convenience: directory-local CSV path ("<bench>_<name>.csv").
+std::string csv_path(const std::string& bench, const std::string& name);
+
+}  // namespace origami::bench

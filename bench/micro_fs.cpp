@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks of the live OrigamiFS service: path
+// resolution, creation, listing and subtree migration on real KV shards.
+
+#include <benchmark/benchmark.h>
+
+#include "origami/common/rng.hpp"
+#include "origami/fs/origami_fs.hpp"
+
+using namespace origami;
+
+namespace {
+
+fs::OrigamiFs populated_fs(int dirs, int files_per_dir) {
+  fs::OrigamiFs::Options opt;
+  opt.shards = 5;
+  fs::OrigamiFs fsys(opt);
+  for (int d = 0; d < dirs; ++d) {
+    const std::string dir = "/d" + std::to_string(d);
+    fsys.mkdir(dir);
+    for (int f = 0; f < files_per_dir; ++f) {
+      fsys.create(dir + "/f" + std::to_string(f));
+    }
+  }
+  return fsys;
+}
+
+void BM_FsStat(benchmark::State& state) {
+  auto fsys = populated_fs(100, 50);
+  common::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::string path = "/d" + std::to_string(rng.uniform(100)) + "/f" +
+                             std::to_string(rng.uniform(50));
+    benchmark::DoNotOptimize(fsys.stat(path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FsStat);
+
+void BM_FsCreateUnlink(benchmark::State& state) {
+  auto fsys = populated_fs(10, 10);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string path = "/d3/tmp" + std::to_string(i++);
+    benchmark::DoNotOptimize(fsys.create(path));
+    benchmark::DoNotOptimize(fsys.unlink(path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FsCreateUnlink);
+
+void BM_FsReaddir(benchmark::State& state) {
+  auto fsys = populated_fs(20, static_cast<int>(state.range(0)));
+  common::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    const std::string dir = "/d" + std::to_string(rng.uniform(20));
+    auto listing = fsys.readdir(dir);
+    benchmark::DoNotOptimize(listing.value().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FsReaddir)->Arg(16)->Arg(256);
+
+void BM_FsMigrateSubtree(benchmark::State& state) {
+  // Ping-pong a populated subtree between shards; cost is per-entry moves.
+  auto fsys = populated_fs(1, static_cast<int>(state.range(0)));
+  std::uint32_t target = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsys.migrate_subtree("/d0", target));
+    target = target == 1 ? 2 : 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FsMigrateSubtree)->Arg(100)->Arg(1000);
+
+void BM_FsCollectActivity(benchmark::State& state) {
+  auto fsys = populated_fs(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    auto activity = fsys.collect_activity(false);
+    benchmark::DoNotOptimize(activity.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FsCollectActivity)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

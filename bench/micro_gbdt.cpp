@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the from-scratch ML stack: GBDT
+// training/inference cost (the paper picked LightGBM for its "minimal
+// prediction overhead" — inference must be microseconds per subtree).
+
+#include <benchmark/benchmark.h>
+
+#include "origami/common/rng.hpp"
+#include "origami/ml/gbdt.hpp"
+#include "origami/ml/mlp.hpp"
+
+using namespace origami;
+
+namespace {
+
+ml::Dataset synthetic(std::size_t rows, std::uint64_t seed) {
+  ml::Dataset data;
+  common::Xoshiro256 rng(seed);
+  std::vector<float> row(7);  // Table-1 width
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (auto& x : row) x = static_cast<float>(rng.uniform_double());
+    data.add_row(row, 2.f * row[1] + row[4] - row[0] * row[6]);
+  }
+  return data;
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  const auto data = synthetic(static_cast<std::size_t>(state.range(0)), 1);
+  ml::GbdtParams params;
+  params.rounds = 50;
+  for (auto _ : state) {
+    auto model = ml::GbdtModel::train(data, params);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GbdtTrain)->Arg(1000)->Arg(10000);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  const auto data = synthetic(5000, 2);
+  ml::GbdtParams params;  // deployed config: 400 rounds, 32 leaves
+  const auto model = ml::GbdtModel::train(data, params);
+  common::Xoshiro256 rng(3);
+  std::vector<float> row(7);
+  for (auto _ : state) {
+    for (auto& x : row) x = static_cast<float>(rng.uniform_double());
+    benchmark::DoNotOptimize(model.predict(row));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_MlpPredict(benchmark::State& state) {
+  const auto data = synthetic(2000, 4);
+  ml::MlpParams params;
+  params.epochs = 5;
+  const auto model = ml::MlpModel::train(data, params);
+  common::Xoshiro256 rng(5);
+  std::vector<float> row(7);
+  for (auto _ : state) {
+    for (auto& x : row) x = static_cast<float>(rng.uniform_double());
+    benchmark::DoNotOptimize(model.predict(row));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MlpPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

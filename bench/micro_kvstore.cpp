@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the fragmented-LSM inode store —
+// the substrate every simulated MDS runs on when kv_backing is enabled.
+
+#include <benchmark/benchmark.h>
+
+#include "origami/common/rng.hpp"
+#include "origami/kv/db.hpp"
+#include "origami/mds/inode_store.hpp"
+
+using namespace origami;
+
+namespace {
+
+std::string key_of(std::uint64_t i) {
+  return mds::inode_key(static_cast<fsns::NodeId>(i >> 8),
+                        "entry" + std::to_string(i & 0xff));
+}
+
+void BM_KvPut(benchmark::State& state) {
+  kv::DbOptions opts;
+  opts.memtable_bytes = 1u << 20;
+  kv::Db db(opts);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.put(key_of(i++), "attr-payload-48-bytes"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGetHit(benchmark::State& state) {
+  kv::Db db;
+  const std::uint64_t n = 100'000;
+  for (std::uint64_t i = 0; i < n; ++i) db.put(key_of(i), "attr");
+  common::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.get(key_of(rng.uniform(n))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvGetHit);
+
+void BM_KvGetMissBloomFiltered(benchmark::State& state) {
+  kv::Db db;
+  for (std::uint64_t i = 0; i < 100'000; ++i) db.put(key_of(i), "attr");
+  db.flush();
+  common::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.get(key_of(200'000 + rng.uniform(100'000))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvGetMissBloomFiltered);
+
+void BM_KvReaddirScan(benchmark::State& state) {
+  mds::InodeStore store;
+  fsns::DirTree tree;
+  const fsns::NodeId dir = tree.add_dir(fsns::kRootNode, "busy");
+  for (int i = 0; i < 256; ++i) {
+    tree.add_file(dir, "f" + std::to_string(i));
+  }
+  tree.finalize();
+  for (fsns::NodeId id = 0; id < tree.size(); ++id) store.put(tree, id);
+  for (auto _ : state) {
+    int n = 0;
+    store.list_dir(dir, [&](std::string_view) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_KvReaddirScan);
+
+void BM_KvCompactionChurn(benchmark::State& state) {
+  // Overwrite-heavy load with a tiny memtable: measures flush+compaction.
+  kv::DbOptions opts;
+  opts.memtable_bytes = 16 << 10;
+  opts.runs_per_guard = 2;
+  kv::Db db(opts);
+  common::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.put(key_of(rng.uniform(4'000)), "fresh-value-payload"));
+  }
+  state.counters["compactions"] =
+      static_cast<double>(db.stats().guard_compactions);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvCompactionChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

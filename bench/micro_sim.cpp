@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the simulation engine: event-queue
+// throughput and full replay speed (how many simulated metadata ops the
+// DES processes per host second).
+
+#include <benchmark/benchmark.h>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/meta_opt.hpp"
+#include "origami/sim/event_queue.hpp"
+#include "origami/wl/generators.hpp"
+
+using namespace origami;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long sink = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      q.schedule_at(i * 7 % 5000, [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ReplayThroughput(benchmark::State& state) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = 50'000;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+  cluster::ReplayOptions opt;
+  opt.mds_count = 5;
+  opt.clients = 50;
+  opt.epoch_length = sim::millis(500);
+  for (auto _ : state) {
+    cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
+    const auto r = cluster::replay_trace(trace, opt, b);
+    benchmark::DoNotOptimize(r.completed_ops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.ops));
+}
+BENCHMARK(BM_ReplayThroughput);
+
+void BM_WindowEvaluation(benchmark::State& state) {
+  // The inner loop of Meta-OPT: analytic costing of an op window.
+  wl::TraceRwConfig cfg;
+  cfg.ops = 50'000;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+  mds::PartitionMap map(trace.tree, 5);
+  mds::partitioner::coarse_hash(map);
+  const cost::CostModel model;
+  for (auto _ : state) {
+    auto bins = core::evaluate_window(trace.ops, trace.tree, map, model,
+                                      true, 2);
+    benchmark::DoNotOptimize(bins.jct());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.ops));
+}
+BENCHMARK(BM_WindowEvaluation);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    wl::TraceRwConfig cfg;
+    cfg.ops = 50'000;
+    const wl::Trace trace = wl::make_trace_rw(cfg);
+    benchmark::DoNotOptimize(trace.ops.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          50'000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

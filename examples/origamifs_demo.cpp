@@ -1,0 +1,96 @@
+// origamifs_demo: drive the *live* OrigamiFS metadata service (not the
+// simulator): build a namespace over 3 shards, watch a hotspot pile up on
+// shard 0, then use the Migrator interface to move the hot subtree and
+// verify the namespace stays intact.
+
+#include <cstdio>
+#include <string>
+
+#include "origami/fs/origami_fs.hpp"
+
+using namespace origami;
+
+namespace {
+
+void print_stats(const fs::OrigamiFs& fsys, const char* label) {
+  std::printf("%s\n", label);
+  const auto stats = fsys.shard_stats();
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    std::printf("  shard %zu: %8lu entries, %8lu lookups, %8lu mutations\n", i,
+                static_cast<unsigned long>(stats[i].entries),
+                static_cast<unsigned long>(stats[i].lookups),
+                static_cast<unsigned long>(stats[i].mutations));
+  }
+}
+
+}  // namespace
+
+int main() {
+  fs::OrigamiFs::Options opt;
+  opt.shards = 3;
+  fs::OrigamiFs fsys(opt);
+
+  // --- build a namespace ---------------------------------------------------
+  std::printf("building /projects/{alpha,beta,gamma} with sources...\n");
+  for (const char* proj : {"alpha", "beta", "gamma"}) {
+    const std::string base = std::string("/projects/");
+    if (!fsys.stat("/projects").is_ok()) {
+      if (auto s = fsys.mkdir("/projects"); !s.is_ok()) {
+        std::printf("mkdir failed: %s\n", s.status().to_string().c_str());
+        return 1;
+      }
+    }
+    fsys.mkdir(base + proj);
+    fsys.mkdir(base + proj + "/src");
+    for (int f = 0; f < 200; ++f) {
+      fsys.create(base + proj + "/src/file" + std::to_string(f) + ".c");
+    }
+  }
+
+  // --- induce a hotspot: hammer /projects/alpha ----------------------------
+  std::printf("hammering /projects/alpha/src with stats and creates...\n");
+  for (int round = 0; round < 10; ++round) {
+    for (int f = 0; f < 200; ++f) {
+      fsys.stat("/projects/alpha/src/file" + std::to_string(f) + ".c");
+    }
+    fsys.readdir("/projects/alpha/src");
+  }
+  print_stats(fsys, "\nbefore migration (everything on shard 0):");
+
+  // --- the Migrator: move hot subtrees (what Origami's model decides) ------
+  std::printf("\nmigrating /projects/alpha -> shard 1, /projects/beta -> shard 2\n");
+  const auto moved_a = fsys.migrate_subtree("/projects/alpha", 1);
+  const auto moved_b = fsys.migrate_subtree("/projects/beta", 2);
+  std::printf("  moved %lu + %lu dirents\n",
+              static_cast<unsigned long>(moved_a.value()),
+              static_cast<unsigned long>(moved_b.value()));
+
+  // --- verify: namespace intact, traffic follows the fragments -------------
+  int resolved = 0;
+  for (int f = 0; f < 200; ++f) {
+    if (fsys.stat("/projects/alpha/src/file" + std::to_string(f) + ".c").is_ok()) {
+      ++resolved;
+    }
+  }
+  std::printf("post-migration resolution check: %d/200 hot files OK\n", resolved);
+  const auto listing = fsys.readdir("/projects/alpha/src");
+  std::printf("readdir(/projects/alpha/src): %zu entries\n",
+              listing.value().size());
+  std::printf("owner(/projects/alpha) = shard %u, owner(/projects/gamma) = "
+              "shard %u\n",
+              fsys.owner_of("/projects/alpha").value(),
+              fsys.owner_of("/projects/gamma").value());
+
+  for (int round = 0; round < 10; ++round) {
+    for (int f = 0; f < 200; ++f) {
+      fsys.stat("/projects/alpha/src/file" + std::to_string(f) + ".c");
+    }
+  }
+  print_stats(fsys, "\nafter migration (hot lookups now land on shard 1):");
+
+  std::printf("\nThis is the mechanism Origami's trained model drives in the "
+              "simulated cluster:\nthe Data Collector reports per-subtree "
+              "stats, the model predicts migration\nbenefit, and the Migrator "
+              "relocates exactly these fragments.\n");
+  return 0;
+}

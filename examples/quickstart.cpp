@@ -1,0 +1,72 @@
+// Quickstart: a ten-minute tour of the Origami library.
+//
+//  1. build a namespace and a workload trace,
+//  2. replay it against a simulated single-MDS cluster,
+//  3. scale out to 5 MDSs under Origami's oracle balancer (Meta-OPT),
+//  4. inspect throughput, latency, RPC amplification and balance.
+//
+// Build: cmake --build build --target quickstart
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/wl/generators.hpp"
+
+using namespace origami;
+
+namespace {
+
+void report(const cluster::RunResult& r) {
+  std::printf("  %-10s  %8.0f ops/s  lat(mean) %7.1f us  RPC/req %.3f  "
+              "IF(busy) %.2f  migrations %lu\n",
+              r.balancer_name.c_str(), r.steady_throughput_ops,
+              r.mean_latency_us, r.rpc_per_request, r.imf_busy,
+              static_cast<unsigned long>(r.migrations));
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. a workload: the compilation trace of the paper's §5.1 ----------
+  wl::TraceRwConfig cfg;
+  cfg.ops = 200'000;
+  wl::Trace trace = wl::make_trace_rw(cfg);
+  const wl::TraceSummary summary = wl::summarize(trace);
+  std::printf("Trace %s: %lu ops over %zu files / %zu dirs "
+              "(%.0f%% metadata writes, max depth %u)\n",
+              trace.name.c_str(),
+              static_cast<unsigned long>(summary.total_ops),
+              trace.tree.file_count(), trace.tree.dir_count(),
+              summary.write_fraction * 100.0, summary.max_depth);
+
+  // --- 2. single MDS baseline -------------------------------------------
+  cluster::ReplayOptions opt;
+  opt.mds_count = 1;
+  opt.clients = 50;                       // saturate, as in the paper
+  opt.epoch_length = sim::millis(500);
+  opt.warmup_epochs = 4;
+  cluster::StaticBalancer single(cluster::StaticBalancer::Kind::kSingle);
+  std::printf("\nReplaying on 1 MDS...\n");
+  report(cluster::replay_trace(trace, opt, single));
+
+  // --- 3. five MDSs, Meta-OPT oracle balancing ---------------------------
+  opt.mds_count = 5;
+  core::MetaOptParams mp;
+  mp.min_subtree_ops = 8;
+  core::MetaOptOracleBalancer oracle(cost::CostModel{opt.cost_params}, mp,
+                                     core::RebalanceTrigger{0.05});
+  std::printf("Replaying on 5 MDSs with Meta-OPT subtree migration...\n");
+  report(cluster::replay_trace(trace, opt, oracle));
+
+  // --- 4. compare against naive even partitioning ------------------------
+  cluster::StaticBalancer fhash(cluster::StaticBalancer::Kind::kFineHash);
+  std::printf("Replaying on 5 MDSs with per-directory hashing (F-Hash)...\n");
+  report(cluster::replay_trace(trace, opt, fhash));
+
+  std::printf("\nNote how even partitioning buys balance but pays for it in "
+              "RPC amplification,\nwhile benefit-driven subtree migration "
+              "keeps requests local (the paper's core claim).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// train_and_serve: the complete Origami workflow of §4.3 —
+//
+//  ① replay a trace on OrigamiFS with Meta-OPT as the labelling oracle,
+//  ② dump per-subtree Table-1 features + benefit labels each epoch,
+//  ③ train LightGBM-style / level-wise GBDT / MLP models offline,
+//  ④ persist the chosen model, reload it, and serve it online through the
+//    Migrator pipeline on a *different* workload run.
+//
+// Also prints the Table-1-style feature importance ranking.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/core/pipeline.hpp"
+#include "origami/ml/metrics.hpp"
+#include "origami/ml/mlp.hpp"
+#include "origami/wl/generators.hpp"
+
+using namespace origami;
+
+int main() {
+  std::printf("== Origami training pipeline (paper §4.3) ==\n\n");
+
+  // ①/② label generation on the write-intensive cloud trace.
+  wl::TraceWiConfig cfg;
+  cfg.ops = 200'000;
+  const wl::Trace train_trace = wl::make_trace_wi(cfg);
+
+  core::LabelGenOptions lg;
+  lg.replay.mds_count = 5;
+  lg.replay.clients = 50;
+  lg.replay.epoch_length = sim::millis(500);
+  lg.meta_opt.min_subtree_ops = 8;
+  std::printf("replaying %zu ops for label generation...\n",
+              train_trace.ops.size());
+  const auto labels = core::generate_labels(train_trace, lg);
+  std::printf("  %zu benefit rows, %zu popularity rows, %lu oracle "
+              "migrations\n\n",
+              labels.benefit_data.size(), labels.popularity_data.size(),
+              static_cast<unsigned long>(labels.run.migrations));
+
+  // ③ offline training: LightGBM-style vs level-wise GBDT vs MLP.
+  auto [tr, va] = labels.benefit_data.split(0.8, 11);
+  ml::GbdtParams lgbm;          // leaf-wise, 400 rounds, 32 leaves (§4.3)
+  lgbm.early_stopping_rounds = 25;
+  const auto lgbm_model = ml::GbdtModel::train(tr, lgbm, &va);
+
+  ml::GbdtParams gbdt = lgbm;
+  gbdt.leaf_wise = false;
+  const auto gbdt_model = ml::GbdtModel::train(tr, gbdt, &va);
+
+  ml::MlpParams mlp_params;     // 4 hidden layers (§4.3)
+  mlp_params.epochs = 30;
+  const auto mlp_model = ml::MlpModel::train(tr, mlp_params);
+
+  auto score = [&](const char* name, const std::vector<double>& pred) {
+    std::printf("  %-10s rmse %.4f  spearman %.3f\n", name,
+                ml::rmse(pred, va.labels()), ml::spearman(pred, va.labels()));
+  };
+  std::printf("validation accuracy (benefit regression):\n");
+  score("lightgbm", lgbm_model.predict_batch(va));
+  score("gbdt", gbdt_model.predict_batch(va));
+  score("mlp", mlp_model.predict_batch(va));
+
+  // Table-1-style importance ranking of the deployed model.
+  std::printf("\nfeature importance (split gain, cf. paper Table 1):\n");
+  const auto ranking = lgbm_model.importance_ranking();
+  for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
+    std::printf("  #%zu %-16s %10.1f\n", rank + 1,
+                core::kFeatureNames[ranking[rank]],
+                lgbm_model.feature_importance()[ranking[rank]]);
+  }
+
+  // ④ persist + reload + serve online on a different run of the workload.
+  const std::string model_path = "origami_benefit.model";
+  {
+    std::ofstream out(model_path);
+    lgbm_model.save(out);
+  }
+  std::ifstream in(model_path);
+  auto served = std::make_shared<ml::GbdtModel>(ml::GbdtModel::load(in));
+  std::printf("\nmodel saved to %s (%d trees) and reloaded.\n",
+              model_path.c_str(), served->num_trees());
+
+  wl::TraceWiConfig serve_cfg = cfg;
+  serve_cfg.seed = 321;
+  const wl::Trace serve_trace = wl::make_trace_wi(serve_cfg);
+  cluster::ReplayOptions opt = lg.replay;
+
+  cluster::StaticBalancer baseline(cluster::StaticBalancer::Kind::kSingle);
+  const auto r_none = cluster::replay_trace(serve_trace, opt, baseline);
+
+  core::OrigamiBalancer::Params ob;
+  ob.min_subtree_ops = 8;
+  core::OrigamiBalancer origami(served, cost::CostModel{opt.cost_params}, ob,
+                                core::RebalanceTrigger{0.05});
+  const auto r_served = cluster::replay_trace(serve_trace, opt, origami);
+
+  std::printf("\nonline serving on an unseen %s run (5 MDS, 50 clients):\n",
+              serve_trace.name.c_str());
+  std::printf("  no balancing : %8.0f ops/s\n", r_none.steady_throughput_ops);
+  std::printf("  origami      : %8.0f ops/s (%.2fx, %lu migrations, "
+              "RPC/req %.3f)\n",
+              r_served.steady_throughput_ops,
+              r_served.steady_throughput_ops / r_none.steady_throughput_ops,
+              static_cast<unsigned long>(r_served.migrations),
+              r_served.rpc_per_request);
+  return 0;
+}

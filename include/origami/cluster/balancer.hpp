@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "origami/cluster/metrics.hpp"
+#include "origami/cost/cost_model.hpp"
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/mds/partition.hpp"
+#include "origami/wl/trace.hpp"
+
+namespace origami::cluster {
+
+/// Per-directory statistics collected by the Data Collector during one
+/// epoch. Values are for the directory itself; balancers aggregate over
+/// subtrees (migration is subtree-granular, §4.3).
+struct DirEpochStats {
+  std::uint32_t reads = 0;      ///< metadata read ops homed at this dir
+  std::uint32_t writes = 0;     ///< metadata write ops homed at this dir
+  std::uint32_t lsdir = 0;      ///< readdir ops on this dir
+  std::uint32_t nsm_self = 0;   ///< ns-mutations whose *target* is this dir
+  sim::SimTime rct = 0;         ///< analytic RCT of ops homed at this dir
+};
+
+/// Everything a balancing policy sees at an epoch boundary.
+struct EpochSnapshot {
+  std::uint32_t epoch = 0;
+  sim::SimTime now = 0;
+  sim::SimTime epoch_length = 0;
+  std::vector<mds::MdsEpochCounters> mds;
+  std::vector<std::uint64_t> mds_inodes;
+  /// Indexed by NodeId; file entries unused.
+  const std::vector<DirEpochStats>* dir_stats = nullptr;
+  /// Oracle lookahead: the next operations the cluster will replay. Online
+  /// policies must ignore this; Meta-OPT (label generation / upper bound)
+  /// consumes it — it is the "known future sequence N" of Algorithm 1.
+  std::span<const wl::MetaOp> upcoming;
+};
+
+/// One migration (path, source, destination — §4.1 Migrator input). When
+/// `whole_subtree` is false only the named directory fragment moves
+/// (LoADM-style directory granularity).
+struct MigrationDecision {
+  fsns::NodeId subtree = fsns::kInvalidNode;
+  cost::MdsId from = cost::kInvalidMds;
+  cost::MdsId to = cost::kInvalidMds;
+  double predicted_benefit = 0.0;
+  bool whole_subtree = true;
+};
+
+/// A metadata load-balancing policy. `prepare` fixes the initial partition
+/// (hash baselines partition up front; dynamic policies start on MDS-0);
+/// `rebalance` is invoked by the Migrator pipeline at every epoch boundary.
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void prepare(const fsns::DirTree& tree, mds::PartitionMap& map) {
+    (void)tree;
+    (void)map;
+  }
+
+  virtual std::vector<MigrationDecision> rebalance(
+      const EpochSnapshot& snapshot, const fsns::DirTree& tree,
+      const mds::PartitionMap& map) {
+    (void)snapshot;
+    (void)tree;
+    (void)map;
+    return {};
+  }
+};
+
+/// No migrations; reproduces a captured directory-ownership map (e.g.
+/// `RunResult::final_dir_owner`) so a converged partition can be probed
+/// under different load without re-running its balancer.
+class FixedPartitionBalancer final : public Balancer {
+ public:
+  explicit FixedPartitionBalancer(std::vector<std::uint32_t> dir_owner,
+                                  bool hash_file_inodes = false)
+      : dir_owner_(std::move(dir_owner)),
+        hash_file_inodes_(hash_file_inodes) {}
+  explicit FixedPartitionBalancer(const RunResult& converged)
+      : FixedPartitionBalancer(converged.final_dir_owner,
+                               converged.hash_file_inodes) {}
+
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+  void prepare(const fsns::DirTree& tree, mds::PartitionMap& map) override {
+    for (fsns::NodeId d : tree.directories()) {
+      if (d < dir_owner_.size()) {
+        map.set_dir_owner(d, dir_owner_[d] % map.mds_count());
+      }
+    }
+    map.set_hash_file_inodes(hash_file_inodes_);
+  }
+
+ private:
+  std::vector<std::uint32_t> dir_owner_;
+  bool hash_file_inodes_ = false;
+};
+
+/// No migrations; initial partition per the named baseline.
+class StaticBalancer final : public Balancer {
+ public:
+  enum class Kind { kSingle, kCoarseHash, kFineHash };
+  explicit StaticBalancer(Kind kind, std::uint32_t coarse_levels = 2)
+      : kind_(kind), coarse_levels_(coarse_levels) {}
+
+  [[nodiscard]] std::string name() const override;
+  void prepare(const fsns::DirTree& tree, mds::PartitionMap& map) override;
+
+ private:
+  Kind kind_;
+  std::uint32_t coarse_levels_;
+};
+
+}  // namespace origami::cluster

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "origami/common/histogram.hpp"
+#include "origami/common/status.hpp"
+#include "origami/mds/client_cache.hpp"
+#include "origami/mds/mds_server.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::cluster {
+
+/// One MDS's activity in one epoch (the Data Collector dump).
+struct MdsEpochMetrics {
+  std::uint64_t ops = 0;        ///< requests executed here
+  std::uint64_t rpcs = 0;       ///< messages handled
+  std::uint64_t inodes = 0;     ///< metadata entries owned at epoch end
+  sim::SimTime busy = 0;        ///< service time spent
+  sim::SimTime rct = 0;         ///< analytic RCT charged (JCT bin)
+};
+
+struct EpochMetrics {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  std::vector<MdsEpochMetrics> mds;
+  std::uint32_t migrations = 0;
+  std::uint64_t inodes_moved = 0;
+};
+
+/// Complete result of one replay. All rates use the virtual clock.
+struct RunResult {
+  std::string balancer_name;
+  std::uint32_t mds_count = 0;
+  std::uint64_t completed_ops = 0;
+  sim::SimTime makespan = 0;
+
+  /// completed_ops / makespan.
+  double throughput_ops = 0.0;
+  /// Throughput over post-warm-up epochs only ("average aggregated
+  /// metadata throughput post-rebalancing", §5.2).
+  double steady_throughput_ops = 0.0;
+
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  common::LatencyHistogram latency;
+  /// Latency broken down by Eq. 2's op taxonomy (indexed by OpClass:
+  /// 0 = lsdir, 1 = ns-mutation, 2 = other).
+  std::array<common::LatencyHistogram, 3> latency_by_class;
+
+  std::uint64_t total_rpcs = 0;
+  double rpc_per_request = 0.0;
+  /// Requests that needed more than one MDS visit (forwarding).
+  std::uint64_t forwarded_requests = 0;
+
+  std::uint64_t migrations = 0;
+  std::uint64_t inodes_migrated = 0;
+  mds::NearRootCache::Stats cache;
+
+  /// Imbalance factors (paper §5.3) averaged over post-warm-up epochs.
+  double imf_qps = 0.0;
+  double imf_rpc = 0.0;
+  double imf_inodes = 0.0;
+  double imf_busy = 0.0;
+
+  /// Mean per-MDS busy fraction per epoch (Fig. 7's "efficiency" series is
+  /// derived from epochs[].mds[].busy).
+  std::vector<EpochMetrics> epochs;
+
+  /// End-to-end (data path) figures; zero when the data path is off.
+  std::uint64_t data_requests = 0;
+  double data_throughput_mb_s = 0.0;
+
+  /// Directory ownership at the end of the run (indexed by NodeId; file
+  /// entries mirror their parent). Feed into `FixedPartitionBalancer` to
+  /// probe a converged partition, e.g. for single-client latency (§5.2).
+  std::vector<std::uint32_t> final_dir_owner;
+  /// Whether the run hashed file inodes independently (fine-grained
+  /// partitioning) — FixedPartitionBalancer reproduces this too.
+  bool hash_file_inodes = false;
+};
+
+/// Writes the per-epoch, per-MDS series of a run (ops, rpcs, busy, rct,
+/// inodes) as CSV — the raw data behind Figs. 2/6/7-style plots.
+common::Status write_epoch_csv(const RunResult& result,
+                               const std::string& path);
+
+}  // namespace origami::cluster

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace origami::common {
+
+/// Minimal CSV writer used by the benchmark harnesses to persist the series
+/// behind every reproduced figure/table. Fields containing commas or quotes
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check `is_open()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+  void header(std::initializer_list<std::string_view> names);
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(int v) { return field(static_cast<std::int64_t>(v)); }
+  CsvWriter& field(unsigned v) { return field(static_cast<std::uint64_t>(v)); }
+
+  /// Terminates the current row.
+  void endrow();
+
+ private:
+  void sep();
+  static std::string escape(std::string_view v);
+
+  std::ofstream out_;
+  bool row_started_ = false;
+};
+
+}  // namespace origami::common

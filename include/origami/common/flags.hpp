@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace origami::common {
+
+/// Minimal command-line parser for the CLI tools: accepts `--key value`,
+/// `--key=value` and boolean `--flag` forms plus positional arguments.
+/// Unknown flags are collected so callers can reject them with a usage
+/// message.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string fallback = {}) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Names seen on the command line (without dashes), for validation.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace origami::common

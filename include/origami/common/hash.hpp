@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace origami::common {
+
+/// FNV-1a over bytes; stable across platforms (used for partition hashing,
+/// so its value must never depend on the standard library's std::hash).
+constexpr std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Finalizer from MurmurHash3: bijective 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash with another value (boost-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+}  // namespace origami::common

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace origami::common {
+
+/// Streaming mean/variance via Welford's algorithm; mergeable so per-thread
+/// accumulators can be combined.
+class WelfordStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const WelfordStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (0 when count < 2).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// HdrHistogram-style log-linear histogram for latency-like quantities.
+///
+/// Values are bucketed with a relative error bound of ~1/64 (6 sub-bucket
+/// bits) over the range [1, 2^62). Quantile queries interpolate within the
+/// matched bucket. All operations are O(1); memory is a few KiB.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(std::uint64_t value) noexcept { add(value, 1); }
+  void add(std::uint64_t value, std::uint64_t count) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  void clear() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  /// Value at quantile q in [0,1]; q=0.5 is the median.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 64
+  static constexpr int kBucketGroups = 57;                 // exponents
+
+  [[nodiscard]] static std::size_t index_for(std::uint64_t value) noexcept;
+  [[nodiscard]] static std::uint64_t value_for(std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace origami::common

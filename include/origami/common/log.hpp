@@ -1,0 +1,55 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace origami::common {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped. Thread safe.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr: "<level> <component>: <message>". Thread safe
+/// (single formatted write per call).
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ORIGAMI_LOG(level, component)                                     \
+  if (::origami::common::log_level() <= (level))                          \
+  ::origami::common::detail::LogLine((level), (component))
+
+#define ORIGAMI_LOG_DEBUG(component) \
+  ORIGAMI_LOG(::origami::common::LogLevel::kDebug, component)
+#define ORIGAMI_LOG_INFO(component) \
+  ORIGAMI_LOG(::origami::common::LogLevel::kInfo, component)
+#define ORIGAMI_LOG_WARN(component) \
+  ORIGAMI_LOG(::origami::common::LogLevel::kWarn, component)
+#define ORIGAMI_LOG_ERROR(component) \
+  ORIGAMI_LOG(::origami::common::LogLevel::kError, component)
+
+}  // namespace origami::common

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace origami::common {
+
+/// Error category for `Status`. Kept deliberately small: the library avoids
+/// exceptions on hot paths and reports recoverable failures through values.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kCorruption,
+  kUnavailable,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A lightweight success-or-error value. `Status::ok()` is allocation free;
+/// error statuses carry a message describing the failure.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status already_exists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status corruption(std::string msg) {
+    return {StatusCode::kCorruption, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of an
+/// errored result is a programming error and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  [[nodiscard]] const Status& status() const {
+    static const Status kOkStatus;
+    if (is_ok()) return kOkStatus;
+    return std::get<Status>(state_);
+  }
+  [[nodiscard]] T& value() & { return std::get<T>(state_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(state_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(state_)); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace origami::common

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace origami::common {
+
+/// Fixed-size worker pool with a shared queue. Destruction joins all
+/// workers after draining outstanding tasks. `wait_idle()` blocks until the
+/// queue is empty and no task is executing — the GBDT trainer uses it as a
+/// per-round barrier.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects `std::thread::hardware_concurrency()` (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+/// pool, blocking until all chunks complete. Degenerates to a direct call
+/// when the range is small or the pool has one thread.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t min_chunk = 1024);
+
+}  // namespace origami::common

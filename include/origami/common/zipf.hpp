@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/common/rng.hpp"
+
+namespace origami::common {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which is
+/// O(1) per sample and exact, so workload generators can use very large `n`
+/// (hundreds of millions of files) without precomputing a CDF.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (theta == 0 degenerates to uniform).
+  ZipfDistribution(std::uint64_t n, double theta);
+
+  std::uint64_t operator()(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+/// A discrete distribution over arbitrary non-negative weights, sampled via
+/// Walker's alias method: O(n) build, O(1) sample. Used for per-phase
+/// hotspot mixtures in the trace generators.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::size_t operator()(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace origami::common

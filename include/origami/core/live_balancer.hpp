@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "origami/fs/origami_fs.hpp"
+#include "origami/ml/gbdt.hpp"
+
+namespace origami::core {
+
+/// The §4.2 rebalancing loop running against the *live* OrigamiFS service
+/// (not the simulator): drain the Data Collector, aggregate per-subtree
+/// Table-1 features, predict migration benefit with the trained model, and
+/// drive the Migrator — greedily, highest predicted benefit first, until
+/// predictions fall below the threshold.
+class LiveOrigamiBalancer {
+ public:
+  struct Params {
+    double min_predicted_benefit = 0.002;
+    int max_moves_per_epoch = 8;
+    std::uint64_t min_subtree_ops = 16;
+    /// Skip rebalancing entirely below this activity imbalance (Lunule
+    /// trigger on per-shard op counts).
+    double trigger_threshold = 0.05;
+  };
+
+  struct Move {
+    fs::Ino subtree = fs::kInvalidIno;
+    std::string path;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    double predicted_benefit = 0.0;
+    std::uint64_t entries_moved = 0;
+  };
+
+  LiveOrigamiBalancer(std::shared_ptr<const ml::GbdtModel> model,
+                      Params params)
+      : model_(std::move(model)), params_(params) {}
+  explicit LiveOrigamiBalancer(std::shared_ptr<const ml::GbdtModel> model)
+      : LiveOrigamiBalancer(std::move(model), Params{}) {}
+
+  /// One epoch: drains activity, decides, migrates. Returns what it did.
+  std::vector<Move> rebalance_epoch(fs::OrigamiFs& fsys);
+
+ private:
+  std::shared_ptr<const ml::GbdtModel> model_;
+  Params params_;
+};
+
+}  // namespace origami::core

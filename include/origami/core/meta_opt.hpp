@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "origami/cluster/balancer.hpp"
+#include "origami/core/subtree.hpp"
+#include "origami/cost/cost_model.hpp"
+#include "origami/mds/partition.hpp"
+#include "origami/wl/trace.hpp"
+
+namespace origami::core {
+
+/// Algorithm-1 knobs.
+struct MetaOptParams {
+  /// Δ — the post-migration imbalance guard (Alg. 1 line 9).
+  sim::SimTime delta = sim::millis(800);
+  /// Stop when the best remaining benefit drops below this (line 16).
+  sim::SimTime stop_threshold = sim::millis(10);
+  /// Safety cap on decisions per invocation.
+  int max_decisions = 12;
+  /// Candidate pool bound: top directories by subtree RCT.
+  std::size_t max_candidates = 2048;
+  /// Ignore subtrees with fewer homed ops in the window.
+  std::uint64_t min_subtree_ops = 16;
+  /// Client cache depth assumed when costing resolution (must match the
+  /// replay configuration for the estimate to be faithful).
+  std::uint32_t cache_depth = 3;
+  bool cache_enabled = true;
+  /// Charge the one-time subtree-export cost (t_migrate_per_inode × subtree
+  /// inodes, on both ends) against each candidate move. Without it the
+  /// search happily prescribes migration storms whose transfer work exceeds
+  /// their balancing gain.
+  bool charge_migration_cost = true;
+  /// Residence-time amortisation applied to the export cost (the window
+  /// only sees a slice of the subtree's post-migration lifetime).
+  double migration_amortization = 4.0;
+  /// Upper bound on inodes moved per invocation (CephFS-style migration
+  /// throttle).
+  std::uint64_t max_inodes_per_round = 100'000;
+};
+
+/// Appendix-A closed-form benefit of moving load `l` with post-migration
+/// overhead `o` from a bin leading by `D` (= src.rct − dst.rct):
+/// b = l when D >= 2l+o, else D − (l + o).
+[[nodiscard]] constexpr sim::SimTime appendix_benefit(sim::SimTime d,
+                                                      sim::SimTime l,
+                                                      sim::SimTime o) noexcept {
+  return d >= 2 * l + o ? l : d - (l + o);
+}
+
+/// Analytic evaluation of a request window against a partition: charges
+/// each request's Eq. 1–2 RCT to the MDS that executes it (the bins of the
+/// paper's bin-packing JCT estimate). `dir_rct` (optional, node-indexed)
+/// additionally receives per-home-directory sums.
+cost::JctAccumulator evaluate_window(std::span<const wl::MetaOp> window,
+                                     const fsns::DirTree& tree,
+                                     const mds::PartitionMap& partition,
+                                     const cost::CostModel& model,
+                                     bool cache_enabled,
+                                     std::uint32_t cache_depth,
+                                     std::vector<sim::SimTime>* dir_rct = nullptr);
+
+/// Per-window, per-directory statistics used to build a SubtreeView when
+/// costing a *future* window (the oracle path, where the Data Collector's
+/// epoch stats do not yet exist).
+std::vector<cluster::DirEpochStats> window_dir_stats(
+    std::span<const wl::MetaOp> window, const fsns::DirTree& tree,
+    const mds::PartitionMap& partition, const cost::CostModel& model,
+    bool cache_enabled, std::uint32_t cache_depth);
+
+/// The post-migration overhead `o_s` for subtree `s` moving from its owner
+/// to any other MDS: the extra boundary hop every request into `s` pays,
+/// plus coordination for mutations that target `s`'s root, plus the lsdir
+/// fan-out its parent's listings acquire. Zero when the boundary is hidden
+/// by the near-root client cache or the parent is already remote.
+sim::SimTime subtree_overhead(const SubtreeView& view,
+                              const fsns::DirTree& tree,
+                              const mds::PartitionMap& partition,
+                              fsns::NodeId subtree,
+                              const cost::CostModel& model,
+                              bool cache_enabled, std::uint32_t cache_depth);
+
+/// Meta-OPT (Algorithm 1): greedy search for the migration list maximising
+/// end-to-end benefit on a known future window. Works on copies of the
+/// partition state; the caller applies the returned decisions.
+class MetaOpt {
+ public:
+  MetaOpt(const cost::CostModel& model, MetaOptParams params)
+      : model_(model), params_(params) {}
+
+  struct Labelled {
+    fsns::NodeId subtree;
+    cost::MdsId from;
+    cost::MdsId to;               ///< best destination found
+    sim::SimTime benefit;         ///< may be <= 0 (label for ML training)
+    sim::SimTime load;            ///< l_s
+    sim::SimTime overhead;        ///< o_s
+  };
+
+  /// Runs Algorithm 1. If `labels` is non-null it receives, for every
+  /// candidate evaluated in the *first* iteration, the subtree's best
+  /// benefit — these are the per-subtree training labels of §4.3.
+  std::vector<cluster::MigrationDecision> optimize(
+      std::span<const wl::MetaOp> window, const fsns::DirTree& tree,
+      const mds::PartitionMap& partition,
+      std::vector<Labelled>* labels = nullptr) const;
+
+  [[nodiscard]] const MetaOptParams& params() const noexcept { return params_; }
+
+ private:
+  const cost::CostModel& model_;
+  MetaOptParams params_;
+};
+
+}  // namespace origami::core

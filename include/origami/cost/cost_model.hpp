@@ -1,0 +1,155 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "origami/fsns/types.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::cost {
+
+/// Identifier of a metadata server within a cluster.
+using MdsId = std::uint32_t;
+inline constexpr MdsId kInvalidMds = static_cast<MdsId>(-1);
+
+/// Calibrated execution-time parameters behind Eq. 1–2 of the paper.
+///
+/// Defaults are tuned so a single simulated MDS sustains ~20k metadata
+/// ops/s on Trace-RW (the paper's OrigamiFS prototype measured 19.4k/s);
+/// see DESIGN.md §6. Every experiment can override them.
+struct CostParams {
+  /// Per-inode read cost (the `T_inode · (m+k)` term).
+  sim::SimTime t_inode = sim::micros(4);
+  /// Execution cost of a metadata read op (stat/open).
+  sim::SimTime t_exec_read = sim::micros(35);
+  /// Execution cost of a metadata mutation (create/mkdir/unlink/...).
+  sim::SimTime t_exec_write = sim::micros(60);
+  /// Base execution cost of a readdir.
+  sim::SimTime t_exec_readdir = sim::micros(45);
+  /// Fixed RPC dispatch/handling cost charged at every MDS a request
+  /// visits (deserialisation, dispatch, locking, reply marshalling). This
+  /// is the execution-overhead component that makes request forwarding
+  /// expensive (§2.2: per-MDS throughput *drops* under even partitioning
+  /// because each server burns capacity handling forwarded RPCs), and it
+  /// dominates the capacity cost of F-Hash's 2.3-2.9 RPCs/request.
+  sim::SimTime t_rpc_handle = sim::micros(100);
+  /// Additional distributed-transaction cost when a namespace mutation
+  /// spans two MDSs (the `T_coor · 1(i>0)` term).
+  sim::SimTime t_coor = sim::micros(450);
+  /// Round-trip time used in the *analytic* RCT (the simulator's Network
+  /// draws jittered samples around the same mean).
+  sim::SimTime rtt = sim::micros(150);
+  /// Per-inode cost charged to both source and destination MDS when a
+  /// subtree is migrated.
+  sim::SimTime t_migrate_per_inode = sim::micros(25);
+  /// Optional multiplicative noise on simulated service times (0 = exact;
+  /// e.g. 0.2 draws a seeded factor around 1 with sigma 0.2, floored at
+  /// 0.25x). The analytic model always uses the mean.
+  double service_jitter_frac = 0.0;
+};
+
+/// A request's analytic cost, decomposed per Eq. 1–2.
+struct RctBreakdown {
+  sim::SimTime t_meta = 0;   ///< Eq. 2 (includes surcharges)
+  sim::SimTime network = 0;  ///< m · RTT
+  std::uint32_t hops = 0;    ///< m: distinct partitions touched
+
+  [[nodiscard]] sim::SimTime total() const noexcept { return t_meta + network; }
+};
+
+/// Implements the paper's metadata-cost decomposition. The model is
+/// deliberately closed-form: the DES adds queueing delay on top (the ΣQ_i
+/// term of Eq. 1), while Meta-OPT uses the closed form directly.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const CostParams& params() const noexcept { return params_; }
+
+  /// T_exec for an operation type.
+  [[nodiscard]] sim::SimTime exec_time(fsns::OpType op) const noexcept {
+    switch (fsns::classify(op)) {
+      case fsns::OpClass::kLsdir:
+        return params_.t_exec_readdir;
+      case fsns::OpClass::kNsMutation:
+        return params_.t_exec_write;
+      case fsns::OpClass::kOther:
+        return params_.t_exec_read;
+    }
+    return params_.t_exec_read;
+  }
+
+  /// Eq. 2 — `k`: path components resolved; `m`: distinct partitions the
+  /// request touches (m-1 of them contribute fake-inode reads);
+  /// `lsdir_spread`: for readdir, number of *extra* MDSs holding children
+  /// (the `i` in `RTT · i`); `ns_cross`: namespace mutation whose parent
+  /// and target live on different MDSs (the `1(i>0)` indicator).
+  [[nodiscard]] sim::SimTime t_meta(fsns::OpType op, std::uint32_t k,
+                                    std::uint32_t m, std::uint32_t lsdir_spread,
+                                    bool ns_cross) const noexcept {
+    sim::SimTime t = params_.t_inode * (m + k) + exec_time(op) +
+                     params_.t_rpc_handle * std::max<std::uint32_t>(1, m);
+    switch (fsns::classify(op)) {
+      case fsns::OpClass::kLsdir:
+        t += params_.rtt * lsdir_spread;
+        break;
+      case fsns::OpClass::kNsMutation:
+        if (ns_cross) t += params_.t_coor;
+        break;
+      case fsns::OpClass::kOther:
+        break;
+    }
+    return t;
+  }
+
+  /// Eq. 1 without the queueing term (the simulator supplies ΣQ_i; the
+  /// Meta-OPT estimator folds average queueing into per-MDS bin sums).
+  [[nodiscard]] RctBreakdown rct(fsns::OpType op, std::uint32_t k,
+                                 std::uint32_t m, std::uint32_t lsdir_spread,
+                                 bool ns_cross) const noexcept {
+    RctBreakdown b;
+    b.t_meta = t_meta(op, k, m, lsdir_spread, ns_cross);
+    b.network = params_.rtt * m;
+    b.hops = m;
+    return b;
+  }
+
+ private:
+  CostParams params_;
+};
+
+/// The paper's JCT approximation (§3.2): MDSs are bins, each accumulating
+/// the RCT of requests it serves; JCT ≈ the largest bin.
+class JctAccumulator {
+ public:
+  explicit JctAccumulator(std::size_t mds_count) : bins_(mds_count, 0) {}
+
+  void charge(MdsId mds, sim::SimTime rct) noexcept { bins_[mds] += rct; }
+
+  [[nodiscard]] sim::SimTime jct() const noexcept {
+    sim::SimTime best = 0;
+    for (auto b : bins_) best = std::max(best, b);
+    return best;
+  }
+  [[nodiscard]] sim::SimTime total() const noexcept {
+    sim::SimTime t = 0;
+    for (auto b : bins_) t += b;
+    return t;
+  }
+  [[nodiscard]] const std::vector<sim::SimTime>& per_mds() const noexcept {
+    return bins_;
+  }
+  void clear() noexcept { std::fill(bins_.begin(), bins_.end(), 0); }
+
+ private:
+  std::vector<sim::SimTime> bins_;
+};
+
+/// Imbalance factor in [0, 1] over per-MDS loads (Lunule's metric, §5.3):
+/// 0 = perfectly even, 1 = everything on one MDS. Defined as
+/// (max − mean) / (total − total/n), i.e. the max's excess over fair share
+/// normalised by the worst case.
+double imbalance_factor(const std::vector<double>& loads) noexcept;
+
+}  // namespace origami::cost

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "origami/fs/origami_fs.hpp"
+#include "origami/wl/trace.hpp"
+
+namespace origami::fs {
+
+/// Statistics of one live replay.
+struct LiveReplayStats {
+  std::uint64_t executed = 0;        ///< service calls issued
+  std::uint64_t failed = 0;          ///< calls that returned an error
+  std::uint64_t epochs = 0;          ///< balancing epochs fired
+  std::uint64_t migrations = 0;      ///< subtree moves performed
+  /// Final per-shard dirent-operation counts (lookups + mutations).
+  std::vector<std::uint64_t> shard_ops;
+  /// Imbalance factor of shard_ops.
+  double shard_imbalance = 0.0;
+};
+
+/// Replays a generated/imported trace against the live OrigamiFS service.
+///
+/// Trace semantics are adapted to a real mutable namespace: every op's
+/// ancestor directories are materialised on first use; `create` upserts
+/// (recreates after unlink), `unlink`/`rmdir` ignore already-gone targets,
+/// `rename` skips occupied destinations. Every `epoch_ops` operations the
+/// `on_epoch` hook runs (wire `core::LiveOrigamiBalancer::rebalance_epoch`
+/// in, or leave null for an unbalanced run).
+LiveReplayStats replay_on_live(
+    const wl::Trace& trace, OrigamiFs& fsys, std::uint64_t epoch_ops,
+    const std::function<std::uint64_t(OrigamiFs&)>& on_epoch = nullptr);
+
+}  // namespace origami::fs

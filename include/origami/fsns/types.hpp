@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace origami::fsns {
+
+/// Index of a node within a `DirTree` (dense, 0 = root).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr NodeId kRootNode = 0;
+
+/// Metadata operation vocabulary replayed against the MDS cluster.
+enum class OpType : std::uint8_t {
+  kStat = 0,   // getattr on a file or directory
+  kOpen,       // open an existing file (metadata side only)
+  kReaddir,    // list a directory (the paper's "lsdir")
+  kCreate,     // create a file
+  kMkdir,      // create a directory
+  kUnlink,     // remove a file
+  kRmdir,      // remove a directory
+  kRename,     // move a file/dir to another directory
+  kSetattr,    // chmod/chown/utimens
+};
+inline constexpr int kOpTypeCount = 9;
+
+std::string_view to_string(OpType op) noexcept;
+
+/// The paper's Eq. 2 taxonomy: `lsdir` pays +i·RTT when children are spread
+/// over i extra MDSs; namespace mutations pay T_coor when the parent and
+/// target live on different MDSs; everything else pays no surcharge.
+enum class OpClass : std::uint8_t { kLsdir = 0, kNsMutation, kOther };
+
+constexpr OpClass classify(OpType op) noexcept {
+  switch (op) {
+    case OpType::kReaddir:
+      return OpClass::kLsdir;
+    case OpType::kCreate:
+    case OpType::kMkdir:
+    case OpType::kUnlink:
+    case OpType::kRmdir:
+    case OpType::kRename:
+      return OpClass::kNsMutation;
+    case OpType::kStat:
+    case OpType::kOpen:
+    case OpType::kSetattr:
+      return OpClass::kOther;
+  }
+  return OpClass::kOther;
+}
+
+/// Metadata *write* ops per the paper's Table-1 feature definition
+/// (create(), mkdir(), ... vs. read ops open(), stat()).
+constexpr bool is_write(OpType op) noexcept {
+  switch (op) {
+    case OpType::kCreate:
+    case OpType::kMkdir:
+    case OpType::kUnlink:
+    case OpType::kRmdir:
+    case OpType::kRename:
+    case OpType::kSetattr:
+      return true;
+    case OpType::kStat:
+    case OpType::kOpen:
+    case OpType::kReaddir:
+      return false;
+  }
+  return false;
+}
+
+/// Inode attributes carried in the per-MDS KV store. Deliberately compact:
+/// the balancing study needs identity and shape, not full POSIX state.
+struct InodeAttr {
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint32_t nlink = 1;
+};
+
+}  // namespace origami::fsns

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace origami::kv {
+
+/// Blocked-free simple Bloom filter with double hashing (Kirsch–Mitzenmacher).
+/// Sized at construction for an expected key count and bits-per-key budget.
+class BloomFilter {
+ public:
+  /// `expected_keys` may be 0 (filter stays empty and matches nothing).
+  BloomFilter(std::size_t expected_keys, int bits_per_key = 10);
+
+  void add(std::string_view key) noexcept;
+  [[nodiscard]] bool may_contain(std::string_view key) const noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bits_.size() * 8; }
+  [[nodiscard]] int hash_count() const noexcept { return k_; }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  int k_ = 1;
+};
+
+}  // namespace origami::kv

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "origami/common/status.hpp"
+#include "origami/kv/memtable.hpp"
+#include "origami/kv/sorted_run.hpp"
+#include "origami/kv/wal.hpp"
+
+namespace origami::kv {
+
+/// Tuning knobs for the fragmented-LSM store.
+struct DbOptions {
+  /// Memtable flush threshold.
+  std::size_t memtable_bytes = 4u << 20;
+  /// Max sorted runs per guard before the guard is compacted.
+  std::size_t runs_per_guard = 4;
+  /// Number of on-"disk" levels (level 0 is unguarded).
+  int levels = 4;
+  /// Fan-out: each level has ~`guard_fanout`× the guards of its parent.
+  int guard_fanout = 4;
+  int bloom_bits_per_key = 10;
+  /// Optional WAL file path; empty keeps the log in memory.
+  std::string wal_path;
+};
+
+/// Operation counters exposed for benchmarks and tests.
+struct DbStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t memtable_flushes = 0;
+  std::uint64_t guard_compactions = 0;
+  std::uint64_t bloom_negative = 0;  // lookups skipped by bloom filters
+  std::uint64_t run_probes = 0;      // binary searches into sorted runs
+  std::uint64_t entries_compacted = 0;
+};
+
+/// A PebblesDB-style fragmented log-structured merge store.
+///
+/// Layout: one mutable memtable + WAL; level 0 holds whole-memtable runs;
+/// levels >= 1 are split into *guards* (key-space partitions picked by
+/// sampling flushed keys). Unlike a classic LSM, a guard accumulates
+/// multiple (possibly overlapping) runs and compaction merges runs *within*
+/// one guard, appending fragments to the child guards of the next level —
+/// this is the fragmented-LSM write-amplification trade described in the
+/// PebblesDB paper (SOSP'17), which OrigamiFS uses as its inode store.
+///
+/// Thread safety: all public methods are safe to call concurrently; a
+/// single mutex guards mutations (reads copy shared_ptr run handles and
+/// search without the lock held).
+class Db {
+ public:
+  explicit Db(DbOptions options = {});
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  common::Status put(std::string_view key, std::string_view value);
+  common::Status del(std::string_view key);
+  /// Returns the value, or kNotFound.
+  common::Result<std::string> get(std::string_view key) const;
+
+  /// Visits live entries with key in [begin, end) in key order; return
+  /// false from the callback to stop early.
+  void scan(std::string_view begin, std::string_view end,
+            const std::function<bool(std::string_view, std::string_view)>& fn) const;
+
+  /// Visits all live entries whose key starts with `prefix`.
+  void scan_prefix(std::string_view prefix,
+                   const std::function<bool(std::string_view, std::string_view)>& fn) const;
+
+  /// Forces the memtable into a level-0 run regardless of size.
+  common::Status flush();
+
+  /// Flushes and then compacts every guard until each holds at most one
+  /// run, pushing data toward the bottom level (major compaction).
+  common::Status compact_all();
+
+  /// Per-level structure snapshot for introspection and tests.
+  struct LevelInfo {
+    std::size_t guards = 0;
+    std::size_t runs = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  [[nodiscard]] std::vector<LevelInfo> level_info() const;
+
+  /// Snapshot iterator over live entries in key order. The snapshot is
+  /// taken at construction (O(n)); subsequent writes are not visible.
+  class Iterator {
+   public:
+    [[nodiscard]] bool valid() const noexcept { return pos_ < items_.size(); }
+    [[nodiscard]] std::string_view key() const { return items_[pos_].first; }
+    [[nodiscard]] std::string_view value() const { return items_[pos_].second; }
+    void next() noexcept { ++pos_; }
+    /// Repositions to the first key >= `target`.
+    void seek(std::string_view target);
+
+   private:
+    friend class Db;
+    std::vector<std::pair<std::string, std::string>> items_;
+    std::size_t pos_ = 0;
+  };
+  [[nodiscard]] Iterator new_iterator() const;
+
+  /// Number of live (non-tombstone) entries; O(n) — for tests/metrics.
+  [[nodiscard]] std::size_t count_live() const;
+
+  [[nodiscard]] DbStats stats() const;
+
+  /// Rebuilds state from the WAL file in `options.wal_path` (no-op for the
+  /// in-memory log). Called by users after constructing a fresh Db over an
+  /// existing log to model crash recovery.
+  common::Status recover();
+
+  /// Persists the full store (memtable snapshot + every guard's runs,
+  /// preserving the fragmented-LSM structure) to a single checksummed
+  /// checkpoint file.
+  common::Status checkpoint(const std::string& path) const;
+
+  /// Replaces this store's contents with a checkpoint written by
+  /// `checkpoint()`. The store should be freshly constructed.
+  common::Status restore(const std::string& path);
+
+ private:
+  struct Guard;
+  struct Level;
+
+  void maybe_flush_locked();
+  void flush_locked();
+  void place_into_level_locked(int level_index,
+                               std::vector<std::pair<std::string, Entry>> entries);
+  void maybe_compact_guard_locked(int level_index, std::size_t guard_index);
+  [[nodiscard]] std::size_t guard_for_locked(const Level& level,
+                                             std::string_view key) const;
+  [[nodiscard]] std::optional<Entry> lookup(std::string_view key) const;
+
+  DbOptions options_;
+  mutable std::mutex mutex_;
+  MemTable mem_;
+  WriteAheadLog wal_;
+  std::vector<Level> levels_;
+  std::uint64_t next_seqno_ = 1;
+  mutable DbStats stats_;
+};
+
+}  // namespace origami::kv

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "origami/common/rng.hpp"
+
+namespace origami::kv {
+
+/// A string-keyed skip list — the memtable structure of LevelDB-lineage
+/// stores (PebblesDB included). Nodes are allocated from an arena and never
+/// freed individually; the whole structure is dropped at once when the
+/// memtable is flushed, which is exactly the memtable lifecycle.
+///
+/// Single-writer / multi-reader like the surrounding MemTable; external
+/// synchronisation required for concurrent writes.
+template <typename Value>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0xdecafbadULL), head_(allocate_node({}, kMaxHeight)) {}
+
+  /// Inserts or overwrites. Returns a reference to the stored value.
+  Value& upsert(std::string_view key) {
+    Node* prev[kMaxHeight];
+    Node* node = find_greater_or_equal(key, prev);
+    if (node != nullptr && node->key == key) return node->value;
+
+    const int height = random_height();
+    if (height > height_) {
+      for (int level = height_; level < height; ++level) prev[level] = head_;
+      height_ = height;
+    }
+    Node* fresh = allocate_node(key, height);
+    for (int level = 0; level < height; ++level) {
+      fresh->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = fresh;
+    }
+    ++size_;
+    return fresh->value;
+  }
+
+  /// Returns the value for `key`, or nullptr.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    Node* node = find_greater_or_equal(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+  [[nodiscard]] Value* find(std::string_view key) {
+    Node* node = find_greater_or_equal(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  /// Visits entries with key in [begin, end) in key order (empty `end`
+  /// means unbounded); return false from the callback to stop.
+  void scan(std::string_view begin, std::string_view end,
+            const std::function<bool(std::string_view, const Value&)>& fn) const {
+    for (Node* node = find_greater_or_equal(begin, nullptr); node != nullptr;
+         node = node->next[0]) {
+      if (!end.empty() && node->key >= end) break;
+      if (!fn(node->key, node->value)) break;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Arena footprint (node storage), for memtable size accounting.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept { return arena_bytes_; }
+
+ private:
+  struct Node {
+    std::string key;
+    Value value{};
+    int height = 0;
+    // Over-allocated flexible tail emulated with a fixed array: heights are
+    // bounded by kMaxHeight, and nodes live in unique_ptrs in the arena.
+    std::array<Node*, kMaxHeight> next{};
+  };
+
+  Node* allocate_node(std::string_view key, int height) {
+    auto node = std::make_unique<Node>();
+    node->key.assign(key);
+    node->height = height;
+    arena_bytes_ += sizeof(Node) + node->key.size();
+    arena_.push_back(std::move(node));
+    return arena_.back().get();
+  }
+
+  int random_height() {
+    int height = 1;
+    // P(bump) = 1/4 per level, LevelDB's branching factor.
+    while (height < kMaxHeight && (rng_() & 3) == 0) ++height;
+    return height;
+  }
+
+  /// First node with key >= `key`; fills `prev` (length kMaxHeight) with
+  /// the rightmost node before it on every level when non-null.
+  Node* find_greater_or_equal(std::string_view key, Node** prev) const {
+    Node* node = head_;
+    int level = height_ - 1;
+    while (true) {
+      Node* next = node->next[static_cast<std::size_t>(level)];
+      if (next != nullptr && next->key < key) {
+        node = next;
+      } else {
+        if (prev != nullptr) prev[level] = node;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  common::Xoshiro256 rng_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  std::size_t arena_bytes_ = 0;
+  std::size_t size_ = 0;
+  int height_ = 1;
+  Node* head_;
+};
+
+}  // namespace origami::kv

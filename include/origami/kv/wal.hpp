@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "origami/common/status.hpp"
+
+namespace origami::kv {
+
+/// Write-ahead log record kinds.
+enum class WalRecordType : std::uint8_t { kPut = 1, kDelete = 2 };
+
+/// A length-prefixed, checksummed append-only log. When constructed without
+/// a path the log buffers in memory (the simulation default); with a path it
+/// appends to the file so recovery can be exercised by tests.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  explicit WriteAheadLog(std::string path);
+
+  common::Status append(WalRecordType type, std::string_view key,
+                        std::string_view value, std::uint64_t seqno);
+
+  /// Discards all buffered/persisted records (called after a flush makes
+  /// them durable in a sorted run).
+  common::Status reset();
+
+  /// Replays records in append order. Stops and returns kCorruption on a
+  /// checksum mismatch (records after a torn write are dropped).
+  common::Status replay(
+      const std::function<void(WalRecordType, std::string_view key,
+                               std::string_view value, std::uint64_t seqno)>& fn);
+
+  /// Replays an existing log file into `fn` without owning it.
+  static common::Status replay_file(
+      const std::string& path,
+      const std::function<void(WalRecordType, std::string_view key,
+                               std::string_view value, std::uint64_t seqno)>& fn);
+
+  [[nodiscard]] std::size_t byte_size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] bool file_backed() const noexcept { return !path_.empty(); }
+
+ private:
+  static void encode_record(std::string& out, WalRecordType type,
+                            std::string_view key, std::string_view value,
+                            std::uint64_t seqno);
+  static common::Status decode_all(
+      std::string_view data,
+      const std::function<void(WalRecordType, std::string_view,
+                               std::string_view, std::uint64_t)>& fn);
+
+  std::string path_;
+  std::string buffer_;  // in-memory mode; mirrors the file in file mode
+};
+
+}  // namespace origami::kv

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/fsns/types.hpp"
+
+namespace origami::mds {
+
+/// The configurable near-root metadata cache of the OrigamiFS client SDK
+/// (§4.2): clients cache ownership/attributes of entries whose depth is
+/// below a threshold. There is no synchronisation protocol — a migration
+/// bumps the directory's partition version and the next access through a
+/// stale entry pays one forwarding hop, then refreshes.
+///
+/// The simulation models the client population's shared cache state (with
+/// dozens of closed-loop clients, near-root entries are warm within
+/// milliseconds, so per-client copies would add memory without changing
+/// behaviour).
+class NearRootCache {
+ public:
+  enum class Outcome : std::uint8_t {
+    kDisabled,     ///< cache off (Table 2 "w/o cache")
+    kBeyondDepth,  ///< entry too deep to be cacheable
+    kMiss,         ///< first access; entry filled after resolution
+    kStale,        ///< cached owner outdated (migrated since) — one forward
+    kHit,          ///< served from client memory, no MDS visit
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale = 0;
+  };
+
+  NearRootCache(std::size_t node_count, std::uint32_t depth_threshold,
+                bool enabled);
+
+  /// Classifies an access to `dir` (depth `depth`) given the partition
+  /// map's current version of that directory, updating the cached state.
+  Outcome access(fsns::NodeId dir, std::uint32_t depth,
+                 std::uint32_t current_version);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::uint32_t depth_threshold() const noexcept {
+    return depth_threshold_;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNotCached = static_cast<std::uint32_t>(-1);
+
+  bool enabled_;
+  std::uint32_t depth_threshold_;
+  std::vector<std::uint32_t> cached_version_;  // kNotCached = absent
+  Stats stats_;
+};
+
+}  // namespace origami::mds

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/common/hash.hpp"
+#include "origami/fsns/types.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::mds {
+
+struct DataClusterParams {
+  std::uint32_t servers = 5;
+  std::uint32_t slots_per_server = 8;
+  /// Fixed per-request data-path latency (connection + disk seek budget).
+  sim::SimTime base_latency = sim::micros(250);
+  /// Sustained per-server bandwidth in bytes per second.
+  double bytes_per_second = 1.2e9;
+};
+
+/// The file-data side of the DFS (Fig. 1's data cluster), used only for the
+/// end-to-end experiments (Fig. 9b): after a request's metadata completes,
+/// its payload is served by a data server chosen by content hash, modeled
+/// as another multi-slot FCFS station.
+class DataCluster {
+ public:
+  explicit DataCluster(DataClusterParams params = {});
+
+  /// Reserves data service for `bytes` starting no earlier than `arrival`;
+  /// returns the completion time.
+  sim::SimTime serve(fsns::NodeId file, sim::SimTime arrival,
+                     std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t bytes_served() const noexcept { return bytes_; }
+
+ private:
+  DataClusterParams params_;
+  std::vector<std::vector<sim::SimTime>> slot_free_;  // [server][slot]
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace origami::mds

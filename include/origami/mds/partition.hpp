@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/cost/cost_model.hpp"
+#include "origami/fsns/dir_tree.hpp"
+
+namespace origami::mds {
+
+/// Ownership map: every *directory* is owned by one MDS; a file's metadata
+/// (its dirent + inode) lives with its parent directory's owner, matching
+/// the (parent-ino, name) keying of OrigamiFS / InfiniFS / CFS.
+///
+/// Migration moves the directories of a subtree that are currently owned by
+/// the source MDS (CephFS-style authoritative subtree export) and leaves a
+/// forwarding stub ("fake inode") at the old owner.
+class PartitionMap {
+ public:
+  PartitionMap(const fsns::DirTree& tree, std::uint32_t mds_count,
+               cost::MdsId initial_owner = 0);
+
+  [[nodiscard]] std::uint32_t mds_count() const noexcept { return mds_count_; }
+
+  /// Owner of a directory's fragment.
+  [[nodiscard]] cost::MdsId dir_owner(fsns::NodeId dir) const {
+    return owner_[dir];
+  }
+  /// Owner of any node's metadata. Files normally resolve to the parent
+  /// dir's owner (co-located dirent + inode); under `hash_file_inodes`
+  /// (Tectonic/InfiniFS-style fine-grained hashing) the file inode is
+  /// hashed independently, so mutations routinely span the dirent owner
+  /// and the inode owner.
+  [[nodiscard]] cost::MdsId node_owner(fsns::NodeId node) const;
+
+  void set_hash_file_inodes(bool enabled) noexcept {
+    hash_file_inodes_ = enabled;
+  }
+  [[nodiscard]] bool hash_file_inodes() const noexcept {
+    return hash_file_inodes_;
+  }
+
+  /// Directly assigns a single directory (initial partitioning only).
+  void set_dir_owner(fsns::NodeId dir, cost::MdsId owner);
+
+  /// Migrates the subtree rooted at `subtree`: every directory in it owned
+  /// by `from` moves to `to`. Returns the number of *inodes* moved (dirs +
+  /// their files), which the simulator converts into migration busy time.
+  std::uint64_t migrate(fsns::NodeId subtree, cost::MdsId from, cost::MdsId to);
+
+  /// Migrates a single directory fragment (the dir plus its file children,
+  /// child directories stay behind) — LoADM-style directory-granular
+  /// migration, used by the ML-tree baseline. Returns inodes moved (0 when
+  /// `dir` is not owned by `from`).
+  std::uint64_t migrate_single(fsns::NodeId dir, cost::MdsId from,
+                               cost::MdsId to);
+
+  /// Monotone per-directory version, bumped on migration — clients use it
+  /// to detect stale near-root cache entries.
+  [[nodiscard]] std::uint32_t dir_version(fsns::NodeId dir) const {
+    return version_[dir];
+  }
+  /// Owner before the most recent migration (forwarding stub location).
+  [[nodiscard]] cost::MdsId prev_owner(fsns::NodeId dir) const {
+    return prev_owner_[dir];
+  }
+
+  /// Inodes (dirs + files) currently owned by each MDS.
+  [[nodiscard]] const std::vector<std::uint64_t>& inode_counts() const noexcept {
+    return inode_count_;
+  }
+
+  /// True when every directory in the subtree has the same owner as its
+  /// root (the candidate form Meta-OPT migrates).
+  [[nodiscard]] bool subtree_uniform(fsns::NodeId subtree) const;
+
+  [[nodiscard]] const fsns::DirTree& tree() const noexcept { return *tree_; }
+
+ private:
+  [[nodiscard]] std::uint64_t node_weight(fsns::NodeId dir) const;
+
+  const fsns::DirTree* tree_;
+  std::uint32_t mds_count_;
+  std::vector<cost::MdsId> owner_;       // per node; files mirror parent
+  std::vector<cost::MdsId> prev_owner_;  // last owner before migration
+  std::vector<std::uint32_t> version_;
+  std::vector<std::uint64_t> inode_count_;
+  bool hash_file_inodes_ = false;
+};
+
+/// Initial-partition policies (§5.1 baselines).
+namespace partitioner {
+
+/// Everything on MDS 0 (the OrigamiFS initial state and the 1-MDS baseline).
+void single(PartitionMap& map);
+
+/// Coarse-grained hashing (HopsFS-style "C-Hash"): directories at depth <=
+/// `levels` are hashed; deeper directories inherit their level-`levels`
+/// ancestor, so whole subtrees stay together.
+void coarse_hash(PartitionMap& map, std::uint32_t levels = 2);
+
+/// Fine-grained hashing (Tectonic/InfiniFS-style "F-Hash"): every directory
+/// is hashed independently.
+void fine_hash(PartitionMap& map);
+
+}  // namespace partitioner
+
+}  // namespace origami::mds

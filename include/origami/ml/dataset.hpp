@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "origami/common/rng.hpp"
+
+namespace origami::ml {
+
+/// Row-major feature matrix with one regression label per row.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void add_row(std::span<const float> features, float label);
+
+  [[nodiscard]] std::size_t size() const noexcept { return y_.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return feature_names_.empty() ? inferred_features_ : feature_names_.size();
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t i) const {
+    return {x_.data() + i * num_features(), num_features()};
+  }
+  [[nodiscard]] float label(std::size_t i) const { return y_[i]; }
+  [[nodiscard]] const std::vector<float>& labels() const noexcept { return y_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  /// Column `f` values gathered into a dense vector.
+  [[nodiscard]] std::vector<float> column(std::size_t f) const;
+
+  /// Deterministic shuffled split; first element holds `train_fraction`.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
+                                                  std::uint64_t seed) const;
+
+  /// Appends all rows of `other` (feature counts must match).
+  void append(const Dataset& other);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::size_t inferred_features_ = 0;
+  std::vector<float> x_;
+  std::vector<float> y_;
+};
+
+}  // namespace origami::ml

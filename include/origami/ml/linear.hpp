@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "origami/ml/dataset.hpp"
+
+namespace origami::ml {
+
+/// Ridge regression solved in closed form (normal equations with L2
+/// regularisation, Gaussian elimination on the (d+1)×(d+1) system). The
+/// simplest credible baseline for the benefit regressor — and a useful
+/// sanity probe: if the GBDT barely beats this, the features are linear.
+class LinearModel {
+ public:
+  struct Params {
+    double l2 = 1e-3;
+  };
+
+  static LinearModel train(const Dataset& data, const Params& params);
+  static LinearModel train(const Dataset& data) {
+    return train(data, Params{});
+  }
+
+  [[nodiscard]] double predict(std::span<const float> features) const;
+  [[nodiscard]] std::vector<double> predict_batch(const Dataset& data) const;
+
+  /// Learned weights (index-aligned with features) and intercept.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace origami::ml

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace origami::ml {
+
+/// Root-mean-squared error between predictions and labels.
+double rmse(const std::vector<double>& pred, const std::vector<float>& truth);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& pred, const std::vector<float>& truth);
+
+/// Coefficient of determination (1 = perfect, 0 = mean predictor).
+double r2(const std::vector<double>& pred, const std::vector<float>& truth);
+
+/// Spearman rank correlation — the metric that matters for Origami, since
+/// Meta-OPT only needs *ranking* of subtree benefits, not exact values
+/// (§4.3: models with different accuracies produced near-identical
+/// decisions because all ranked the high-benefit subtrees on top).
+double spearman(const std::vector<double>& pred,
+                const std::vector<float>& truth);
+
+/// Normalised discounted cumulative gain over the top-k predicted items:
+/// 1 when the model's top-k ordering extracts as much true benefit as the
+/// ideal ordering, 0 when the top-k carries none.
+double ndcg_at_k(const std::vector<double>& pred,
+                 const std::vector<float>& truth, std::size_t k);
+
+/// Fraction of the truly-top-k items the model places in its predicted
+/// top-k (set overlap).
+double precision_at_k(const std::vector<double>& pred,
+                      const std::vector<float>& truth, std::size_t k);
+
+}  // namespace origami::ml

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "origami/ml/dataset.hpp"
+
+namespace origami::ml {
+
+/// Training configuration for the MLP regressor the paper compares against
+/// (§4.3: "a MLP with 4 hidden layers").
+struct MlpParams {
+  std::vector<std::size_t> hidden = {64, 64, 32, 32};
+  int epochs = 60;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;  // Adam step size
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  std::uint64_t seed = 23;
+};
+
+/// Fully-connected ReLU regressor trained with Adam on squared error.
+/// Inputs are standardised internally (mean/std from the training set).
+class MlpModel {
+ public:
+  static MlpModel train(const Dataset& train, const MlpParams& params);
+
+  [[nodiscard]] double predict(std::span<const float> features) const;
+  [[nodiscard]] std::vector<double> predict_batch(const Dataset& data) const;
+
+  [[nodiscard]] std::size_t num_features() const noexcept { return mean_.size(); }
+  [[nodiscard]] std::size_t num_layers() const noexcept { return weights_.size(); }
+
+  /// Text (de)serialisation, matching GbdtModel's save/load convention.
+  void save(std::ostream& out) const;
+  static MlpModel load(std::istream& in);
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+  };
+
+  [[nodiscard]] std::vector<double> forward(std::span<const float> x,
+                                            std::vector<std::vector<double>>* acts) const;
+
+  std::vector<Layer> shape_;
+  std::vector<std::vector<double>> weights_;  // [layer][out*in]
+  std::vector<std::vector<double>> biases_;   // [layer][out]
+  std::vector<double> mean_;
+  std::vector<double> stdev_;
+  friend class MlpTrainer;
+};
+
+}  // namespace origami::ml

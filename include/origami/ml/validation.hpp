@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "origami/ml/dataset.hpp"
+
+namespace origami::ml {
+
+/// A trained predictor as a type-erased callable.
+using Predictor = std::function<double(std::span<const float>)>;
+/// Trains a predictor on a dataset (the model-family-agnostic hook).
+using TrainFn = std::function<Predictor(const Dataset&)>;
+
+struct CvResult {
+  std::vector<double> fold_rmse;
+  double mean_rmse = 0.0;
+  double stddev_rmse = 0.0;
+  std::vector<double> fold_spearman;
+  double mean_spearman = 0.0;
+};
+
+/// Deterministic k-fold cross-validation: shuffles rows once by `seed`,
+/// trains on k−1 folds, evaluates on the held-out fold, repeats. Used to
+/// pick GBDT hyper-parameters without leaking the evaluation trace.
+CvResult cross_validate(const Dataset& data, int folds, std::uint64_t seed,
+                        const TrainFn& train);
+
+}  // namespace origami::ml

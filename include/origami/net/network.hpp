@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/common/rng.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::net {
+
+/// Endpoint index: clients and MDSs share one id space inside the network
+/// model; the cluster assigns ranges.
+using EndpointId = std::uint32_t;
+
+struct NetworkParams {
+  /// Mean round-trip time between any two distinct endpoints.
+  sim::SimTime base_rtt = sim::micros(150);
+  /// Lognormal-ish jitter fraction of base_rtt (0 disables jitter).
+  double jitter_frac = 0.05;
+  std::uint64_t seed = 42;
+};
+
+/// Flat datacenter network model: uniform RTT plus bounded deterministic
+/// jitter. Local (same-endpoint) traffic is free. Also counts RPCs so the
+/// harness can report the paper's "# RPC per request" metric.
+class Network {
+ public:
+  explicit Network(NetworkParams params = {});
+
+  /// One round trip between two endpoints (0 when src == dst).
+  sim::SimTime rtt(EndpointId src, EndpointId dst);
+
+  /// One-way latency (rtt/2 semantics).
+  sim::SimTime one_way(EndpointId src, EndpointId dst);
+
+  [[nodiscard]] std::uint64_t rpc_count() const noexcept { return rpcs_; }
+  void reset_counters() noexcept { rpcs_ = 0; }
+
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+
+ private:
+  sim::SimTime sample(sim::SimTime base);
+
+  NetworkParams params_;
+  common::Xoshiro256 rng_;
+  std::uint64_t rpcs_ = 0;
+};
+
+}  // namespace origami::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "origami/sim/time.hpp"
+
+namespace origami::sim {
+
+/// Discrete-event scheduler. Events at equal timestamps run in scheduling
+/// order (a monotone sequence number breaks ties), which keeps the
+/// simulation fully deterministic.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` `delay` after the current time.
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with time <= `deadline`; the clock ends at
+  /// max(now, deadline) even if the queue drains early.
+  void run_until(SimTime deadline);
+  /// Drops all pending events (used to cut a run off at a horizon).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace origami::sim

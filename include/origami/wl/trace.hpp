@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "origami/common/status.hpp"
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/fsns/types.hpp"
+
+namespace origami::wl {
+
+/// One replayed metadata operation. Targets reference nodes of the trace's
+/// namespace tree; for rename, `aux` is the destination directory.
+struct MetaOp {
+  fsns::OpType type = fsns::OpType::kStat;
+  fsns::NodeId target = fsns::kRootNode;
+  fsns::NodeId aux = fsns::kInvalidNode;
+  /// Data payload size for end-to-end (data-path) runs; 0 = metadata only.
+  std::uint32_t data_bytes = 0;
+};
+
+/// A complete workload: the namespace it runs against plus the ordered
+/// operation sequence. Replay never mutates `tree` (trace-replay style);
+/// mutations change simulated MDS state only.
+struct Trace {
+  std::string name;
+  fsns::DirTree tree;
+  std::vector<MetaOp> ops;
+};
+
+/// Aggregate shape statistics, used by tests to pin each generator to its
+/// paper-described characteristics.
+struct TraceSummary {
+  std::array<std::uint64_t, fsns::kOpTypeCount> op_counts{};
+  std::uint64_t total_ops = 0;
+  double write_fraction = 0.0;   // fraction of metadata write ops
+  double mean_depth = 0.0;       // mean target depth
+  std::uint32_t max_depth = 0;
+  std::uint64_t unique_targets = 0;
+  /// Fraction of accesses landing on the most popular 1% of targets
+  /// (a skew proxy).
+  double top1pct_share = 0.0;
+};
+
+TraceSummary summarize(const Trace& trace);
+
+/// Binary (de)serialisation so generated traces can be cached on disk and
+/// shared between benches. Format is private to this library.
+common::Status save_trace(const Trace& trace, const std::string& path);
+common::Result<Trace> load_trace(const std::string& path);
+
+/// Parses a human-readable trace, one operation per line:
+///
+///   stat /usr/bin/ls
+///   create /build/a.o 16384        # optional data size in bytes
+///   rename /tmp/x /var/y           # destination path's parent is `aux`
+///   # comments and blank lines are ignored
+///
+/// The namespace tree is inferred from the paths: directories are
+/// materialised for every intermediate component, targets of mkdir/readdir/
+/// rmdir become directories, everything else becomes a file. This is the
+/// entry point for replaying real-world traces through the simulator.
+common::Result<Trace> parse_text_trace(std::istream& in,
+                                       std::string name = "imported");
+common::Result<Trace> parse_text_trace_file(const std::string& path);
+
+/// Writes a trace in the text format above (lossy: data sizes kept, node
+/// identity flattened to paths).
+common::Status write_text_trace(const Trace& trace, std::ostream& out);
+
+/// Composes several workloads into one cluster-wide trace: each input's
+/// namespace is grafted under /mix<i>/ and the op streams are interleaved
+/// proportionally to their lengths (deterministic, seeded). Models the
+/// multi-tenant reality where a compile farm, a web tier and a log
+/// ingester share one metadata cluster.
+Trace interleave_traces(const std::vector<const Trace*>& traces,
+                        std::uint64_t seed = 29,
+                        std::string name = "mixed");
+
+}  // namespace origami::wl

@@ -1,0 +1,584 @@
+#include "origami/cluster/replay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <memory>
+
+#include "origami/common/csv.hpp"
+#include "origami/common/rng.hpp"
+#include "origami/common/log.hpp"
+
+namespace origami::cluster {
+
+namespace {
+
+using cost::MdsId;
+using fsns::NodeId;
+using fsns::OpClass;
+using fsns::OpType;
+using sim::SimTime;
+
+/// One service stop of a request at an MDS.
+struct Visit {
+  MdsId mds;
+  SimTime service;
+};
+
+/// Fully planned request: visit sequence + Eq. 1/2 accounting inputs.
+struct Plan {
+  std::vector<Visit> visits;
+  std::uint32_t k = 0;            // path components resolved
+  std::uint32_t m = 1;            // distinct partitions touched
+  std::uint32_t lsdir_spread = 0; // extra MDSs a readdir fans out to
+  bool ns_cross = false;          // ns-mutation spanning two MDSs
+  NodeId target = fsns::kRootNode;
+  NodeId home_dir = fsns::kRootNode;
+  OpType type = OpType::kStat;
+  std::uint32_t data_bytes = 0;
+};
+
+struct InFlight {
+  Plan plan;
+  std::size_t next_visit = 0;
+  SimTime issued = 0;
+  std::uint32_t client = 0;
+  bool in_use = false;
+};
+
+class Replayer {
+ public:
+  Replayer(const wl::Trace& trace, const ReplayOptions& options,
+           Balancer& balancer)
+      : trace_(trace),
+        opt_(options),
+        balancer_(balancer),
+        model_(options.cost_params),
+        network_(options.net_params),
+        partition_(trace.tree, options.mds_count),
+        cache_(trace.tree.size(), options.cache_depth, options.cache_enabled),
+        data_(options.data_params),
+        jitter_rng_(options.seed ^ 0x5eedULL),
+        dir_stats_(trace.tree.size()) {
+    for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
+      servers_.emplace_back(i, opt_.mds_params);
+    }
+    balancer_.prepare(trace_.tree, partition_);
+    if (opt_.kv_backing) {
+      stores_.reserve(opt_.mds_count);
+      for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
+        stores_.push_back(std::make_unique<mds::InodeStore>());
+      }
+      const auto n = static_cast<NodeId>(trace_.tree.size());
+      for (NodeId id = 0; id < n; ++id) {
+        stores_[partition_.node_owner(id)]->put(trace_.tree, id);
+      }
+    }
+  }
+
+  RunResult run();
+
+ private:
+  // --- planning ------------------------------------------------------------
+  Plan build_plan(const wl::MetaOp& op);
+  void account_issue(const Plan& plan);
+
+  // --- event handlers --------------------------------------------------------
+  void issue_for_client(std::uint32_t client);
+  void issue_open_loop();
+  void hop(std::size_t slot);
+  void finish(std::size_t slot);
+  void epoch_boundary();
+
+  std::size_t alloc_slot();
+  [[nodiscard]] bool trace_done() const {
+    if (opt_.time_limit > 0 && queue_.now() >= opt_.time_limit) return true;
+    return cursor_ >= trace_.ops.size() && !opt_.loop_trace;
+  }
+
+  const wl::Trace& trace_;
+  ReplayOptions opt_;
+  Balancer& balancer_;
+  cost::CostModel model_;
+  net::Network network_;
+  mds::PartitionMap partition_;
+  mds::NearRootCache cache_;
+  mds::DataCluster data_;
+  common::Xoshiro256 jitter_rng_;
+  std::vector<mds::MdsServer> servers_;
+  std::vector<std::unique_ptr<mds::InodeStore>> stores_;  // when kv_backing
+
+  sim::EventQueue queue_;
+  std::vector<InFlight> pool_;
+  std::vector<std::size_t> free_slots_;
+
+  std::size_t cursor_ = 0;
+  std::uint32_t active_clients_ = 0;
+  std::uint32_t epoch_index_ = 0;
+  SimTime last_epoch_at_ = 0;
+  SimTime last_completion_ = 0;
+
+  std::vector<DirEpochStats> dir_stats_;
+  RunResult result_;
+};
+
+Plan Replayer::build_plan(const wl::MetaOp& op) {
+  const auto& tree = trace_.tree;
+  Plan plan;
+  plan.type = op.type;
+  plan.target = op.target;
+  plan.data_bytes = op.data_bytes;
+  plan.k = tree.depth(op.target);
+  plan.home_dir =
+      tree.is_dir(op.target) ? op.target : tree.parent(op.target);
+
+  const MdsId exec_owner = partition_.node_owner(op.target);
+  const SimTime t_inode = opt_.cost_params.t_inode;
+  const SimTime t_rpc = opt_.cost_params.t_rpc_handle;
+
+  auto add_visit = [&](MdsId mds, SimTime service) {
+    if (!plan.visits.empty() && plan.visits.back().mds == mds) {
+      plan.visits.back().service += service;
+    } else {
+      plan.visits.push_back({mds, service + t_rpc});
+    }
+  };
+
+  // Path resolution over the ancestor chain (root .. parent-of-target).
+  // Near-root components may be served from the client cache; a stale cache
+  // entry visits the old owner's forwarding stub first (§4.2).
+  const auto chain = tree.ancestors(op.target);
+  std::array<MdsId, 64> seen{};
+  std::size_t seen_n = 0;
+  auto note_owner = [&](MdsId mds) {
+    for (std::size_t i = 0; i < seen_n; ++i) {
+      if (seen[i] == mds) return;
+    }
+    if (seen_n < seen.size()) seen[seen_n++] = mds;
+  };
+
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const NodeId comp = chain[i];
+    const MdsId owner = partition_.dir_owner(comp);
+    const auto outcome =
+        cache_.access(comp, tree.depth(comp), partition_.dir_version(comp));
+    if (outcome == mds::NearRootCache::Outcome::kHit) continue;
+    if (outcome == mds::NearRootCache::Outcome::kStale) {
+      add_visit(partition_.prev_owner(comp), t_inode);  // forwarding stub
+      note_owner(partition_.prev_owner(comp));
+    }
+    add_visit(owner, t_inode);
+    note_owner(owner);
+  }
+
+  // Target read + execution at the owning MDS.
+  add_visit(exec_owner, t_inode + model_.exec_time(op.type));
+  note_owner(exec_owner);
+
+  // lsdir fan-out: each extra MDS holding children of the listed directory
+  // serves its fragment (+RTT elapsed via the extra visit, Eq. 2).
+  if (op.type == OpType::kReaddir && tree.is_dir(op.target)) {
+    std::array<MdsId, 32> child_owners{};
+    std::size_t child_n = 0;
+    for (NodeId child : tree.node(op.target).children) {
+      if (!tree.is_dir(child)) continue;  // files live with the parent
+      const MdsId o = partition_.dir_owner(child);
+      if (o == exec_owner) continue;
+      bool dup = false;
+      for (std::size_t i = 0; i < child_n; ++i) {
+        if (child_owners[i] == o) dup = true;
+      }
+      if (dup) continue;
+      if (child_n < child_owners.size()) child_owners[child_n++] = o;
+    }
+    plan.lsdir_spread = static_cast<std::uint32_t>(child_n);
+    for (std::size_t i = 0; i < child_n; ++i) {
+      add_visit(child_owners[i], opt_.cost_params.t_exec_readdir / 2);
+      note_owner(child_owners[i]);
+    }
+  }
+
+  // Distributed coordination for namespace mutations spanning two MDSs
+  // (mkdir/rmdir whose fragment lands elsewhere; cross-directory rename).
+  if (fsns::classify(op.type) == OpClass::kNsMutation) {
+    MdsId other = exec_owner;
+    if ((op.type == OpType::kMkdir || op.type == OpType::kRmdir) &&
+        tree.is_dir(op.target) && op.target != fsns::kRootNode) {
+      other = partition_.dir_owner(tree.parent(op.target));
+    } else if (op.type == OpType::kRename && op.aux != fsns::kInvalidNode) {
+      other = partition_.dir_owner(op.aux);
+    } else if ((op.type == OpType::kCreate || op.type == OpType::kUnlink) &&
+               !tree.is_dir(op.target)) {
+      // Dirent lives with the parent directory; the file inode may be
+      // hashed elsewhere (fine-grained partitioning) — then the mutation
+      // is a distributed transaction.
+      other = partition_.dir_owner(tree.parent(op.target));
+    }
+    if (other != exec_owner) {
+      plan.ns_cross = true;
+      const SimTime half = opt_.cost_params.t_coor / 2;
+      plan.visits.back().service += half;  // coordinator side
+      add_visit(other, half);              // participant side
+      note_owner(other);
+    }
+  }
+
+  plan.m = static_cast<std::uint32_t>(seen_n);
+  return plan;
+}
+
+void Replayer::account_issue(const Plan& plan) {
+  DirEpochStats& home = dir_stats_[plan.home_dir];
+  if (fsns::is_write(plan.type)) {
+    ++home.writes;
+  } else {
+    ++home.reads;
+  }
+  if (plan.type == OpType::kReaddir) ++dir_stats_[plan.target].lsdir;
+  if (fsns::classify(plan.type) == OpClass::kNsMutation &&
+      trace_.tree.is_dir(plan.target)) {
+    ++dir_stats_[plan.target].nsm_self;
+  }
+  const auto rct =
+      model_.rct(plan.type, plan.k, plan.m, plan.lsdir_spread, plan.ns_cross);
+  home.rct += rct.total();
+  const MdsId exec_owner = plan.visits.empty()
+                               ? partition_.node_owner(plan.target)
+                               : plan.visits.back().mds;
+  servers_[exec_owner].counters().rct_charged += rct.total();
+}
+
+void Replayer::issue_open_loop() {
+  if (trace_done()) {
+    active_clients_ = 0;
+    return;
+  }
+  if (cursor_ >= trace_.ops.size()) cursor_ = 0;  // loop_trace
+  const wl::MetaOp& op = trace_.ops[cursor_++];
+
+  const std::size_t slot = alloc_slot();
+  InFlight& fl = pool_[slot];
+  fl.plan = build_plan(op);
+  fl.next_visit = 0;
+  fl.issued = queue_.now();
+  fl.client = 0;
+  account_issue(fl.plan);
+  const SimTime travel =
+      network_.one_way(opt_.mds_count, fl.plan.visits.front().mds);
+  queue_.schedule_after(travel, [this, slot] { hop(slot); });
+
+  // Next arrival: exponential inter-arrival at the offered rate.
+  const double mean_gap_s = 1.0 / opt_.open_loop_rate;
+  const SimTime gap = std::max<SimTime>(
+      1, static_cast<SimTime>(jitter_rng_.exponential(1.0 / mean_gap_s) *
+                              static_cast<double>(sim::kSecond)));
+  queue_.schedule_after(gap, [this] { issue_open_loop(); });
+}
+
+void Replayer::issue_for_client(std::uint32_t client) {
+  if (trace_done()) {
+    --active_clients_;
+    return;
+  }
+  if (cursor_ >= trace_.ops.size()) cursor_ = 0;  // loop_trace
+  const wl::MetaOp& op = trace_.ops[cursor_++];
+
+  const std::size_t slot = alloc_slot();
+  InFlight& fl = pool_[slot];
+  fl.plan = build_plan(op);
+  fl.next_visit = 0;
+  fl.issued = queue_.now();
+  fl.client = client;
+  account_issue(fl.plan);
+
+  const SimTime travel = network_.one_way(opt_.mds_count + client,
+                                          fl.plan.visits.front().mds);
+  queue_.schedule_after(travel, [this, slot] { hop(slot); });
+}
+
+void Replayer::hop(std::size_t slot) {
+  InFlight& fl = pool_[slot];
+  const Visit& v = fl.plan.visits[fl.next_visit];
+  mds::MdsServer& server = servers_[v.mds];
+  ++server.counters().rpcs;
+  SimTime service = v.service;
+  if (opt_.cost_params.service_jitter_frac > 0.0) {
+    const double factor = std::max(
+        0.25, 1.0 + opt_.cost_params.service_jitter_frac * jitter_rng_.normal());
+    service = static_cast<SimTime>(static_cast<double>(service) * factor);
+  }
+  const SimTime done = server.serve(queue_.now(), service);
+  ++fl.next_visit;
+
+  if (fl.next_visit < fl.plan.visits.size()) {
+    const MdsId next = fl.plan.visits[fl.next_visit].mds;
+    const SimTime arrive = done + network_.one_way(v.mds, next);
+    queue_.schedule_at(arrive, [this, slot] { hop(slot); });
+    return;
+  }
+
+  // Final visit executed here.
+  ++server.counters().ops_executed;
+  if (opt_.kv_backing) {
+    auto& store = *stores_[v.mds];
+    if (fsns::is_write(fl.plan.type)) {
+      store.put(trace_.tree, fl.plan.target);
+    } else {
+      (void)store.lookup(trace_.tree, fl.plan.target);
+    }
+  }
+
+  SimTime reply_at = done + network_.one_way(v.mds, opt_.mds_count + fl.client);
+  if (opt_.data_path && fl.plan.data_bytes > 0) {
+    reply_at = data_.serve(fl.plan.target, reply_at, fl.plan.data_bytes) +
+               opt_.net_params.base_rtt / 2;
+  }
+  queue_.schedule_at(reply_at, [this, slot] { finish(slot); });
+}
+
+void Replayer::finish(std::size_t slot) {
+  InFlight& fl = pool_[slot];
+  const SimTime latency = queue_.now() - fl.issued;
+  result_.latency.add(static_cast<std::uint64_t>(latency));
+  result_.latency_by_class[static_cast<std::size_t>(fsns::classify(fl.plan.type))]
+      .add(static_cast<std::uint64_t>(latency));
+  ++result_.completed_ops;
+  result_.total_rpcs += fl.plan.visits.size();
+  if (fl.plan.visits.size() > 1) ++result_.forwarded_requests;
+  last_completion_ = std::max(last_completion_, queue_.now());
+
+  const std::uint32_t client = fl.client;
+  fl.in_use = false;
+  free_slots_.push_back(slot);
+  // Open-loop arrivals are self-scheduling; only the closed loop chains
+  // the next request off this completion.
+  if (opt_.open_loop_rate <= 0.0) issue_for_client(client);
+}
+
+std::size_t Replayer::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    pool_[slot].in_use = true;
+    return slot;
+  }
+  pool_.emplace_back();
+  pool_.back().in_use = true;
+  return pool_.size() - 1;
+}
+
+void Replayer::epoch_boundary() {
+  EpochSnapshot snap;
+  snap.epoch = epoch_index_;
+  snap.now = queue_.now();
+  snap.epoch_length = opt_.epoch_length;
+  snap.mds.reserve(servers_.size());
+  for (auto& s : servers_) snap.mds.push_back(s.drain_counters());
+  snap.mds_inodes = partition_.inode_counts();
+  snap.dir_stats = &dir_stats_;
+  const std::size_t look_end =
+      std::min(trace_.ops.size(),
+               cursor_ + static_cast<std::size_t>(opt_.lookahead_ops));
+  snap.upcoming = std::span<const wl::MetaOp>(trace_.ops.data() + cursor_,
+                                              look_end - cursor_);
+
+  EpochMetrics em;
+  em.start = last_epoch_at_;
+  em.end = queue_.now();
+  em.mds.resize(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    em.mds[i].ops = snap.mds[i].ops_executed;
+    em.mds[i].rpcs = snap.mds[i].rpcs;
+    em.mds[i].busy = snap.mds[i].busy;
+    em.mds[i].rct = snap.mds[i].rct_charged;
+    em.mds[i].inodes = snap.mds_inodes[i];
+  }
+
+  auto decisions = balancer_.rebalance(snap, trace_.tree, partition_);
+  for (const MigrationDecision& d : decisions) {
+    if (d.subtree == fsns::kInvalidNode || d.from == d.to) continue;
+    const std::uint64_t moved =
+        d.whole_subtree ? partition_.migrate(d.subtree, d.from, d.to)
+                        : partition_.migrate_single(d.subtree, d.from, d.to);
+    if (moved == 0) continue;
+    const SimTime cost = opt_.cost_params.t_migrate_per_inode *
+                         static_cast<SimTime>(moved);
+    servers_[d.from].serve(queue_.now(), cost);
+    servers_[d.to].serve(queue_.now(), cost);
+    if (opt_.kv_backing) {
+      trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
+        if (partition_.node_owner(id) != d.to) return;
+        stores_[d.from]->erase(trace_.tree, id);
+        stores_[d.to]->put(trace_.tree, id);
+      });
+    }
+    ++em.migrations;
+    em.inodes_moved += moved;
+    ++result_.migrations;
+    result_.inodes_migrated += moved;
+  }
+  result_.epochs.push_back(std::move(em));
+
+  std::fill(dir_stats_.begin(), dir_stats_.end(), DirEpochStats{});
+  ++epoch_index_;
+  last_epoch_at_ = queue_.now();
+  if (active_clients_ > 0) {
+    queue_.schedule_after(opt_.epoch_length, [this] { epoch_boundary(); });
+  }
+}
+
+RunResult Replayer::run() {
+  result_.balancer_name = balancer_.name();
+  result_.mds_count = opt_.mds_count;
+
+  if (opt_.open_loop_rate > 0.0) {
+    active_clients_ = 1;  // the arrival process counts as one driver
+    queue_.schedule_at(0, [this] { issue_open_loop(); });
+  } else {
+    active_clients_ = opt_.clients;
+    for (std::uint32_t c = 0; c < opt_.clients; ++c) {
+      // Slight stagger breaks lockstep between identical clients.
+      queue_.schedule_at(static_cast<SimTime>(c) * sim::kMicrosecond,
+                         [this, c] { issue_for_client(c); });
+    }
+  }
+  queue_.schedule_after(opt_.epoch_length, [this] { epoch_boundary(); });
+  queue_.run();
+
+  // ---- summary statistics ----
+  result_.makespan = last_completion_;
+  if (result_.makespan > 0) {
+    result_.throughput_ops = static_cast<double>(result_.completed_ops) /
+                             sim::to_seconds(result_.makespan);
+  }
+  result_.mean_latency_us = result_.latency.mean() / 1000.0;
+  result_.p50_latency_us =
+      static_cast<double>(result_.latency.quantile(0.5)) / 1000.0;
+  result_.p99_latency_us =
+      static_cast<double>(result_.latency.quantile(0.99)) / 1000.0;
+  if (result_.completed_ops > 0) {
+    result_.rpc_per_request = static_cast<double>(result_.total_rpcs) /
+                              static_cast<double>(result_.completed_ops);
+  }
+  result_.cache = cache_.stats();
+
+  // Post-warm-up steady state: throughput and imbalance factors.
+  double imf_qps = 0, imf_rpc = 0, imf_inodes = 0, imf_busy = 0;
+  std::uint64_t steady_ops = 0;
+  SimTime steady_time = 0;
+  std::size_t counted = 0;
+  // The final epoch is truncated by trace exhaustion (clients drain), so it
+  // is excluded whenever at least one full post-warm-up epoch exists.
+  std::size_t steady_end = result_.epochs.size();
+  if (steady_end > opt_.warmup_epochs + 1) --steady_end;
+  for (std::size_t e = opt_.warmup_epochs; e < steady_end; ++e) {
+    const EpochMetrics& em = result_.epochs[e];
+    std::vector<double> qps, rpc, ino, busy;
+    std::uint64_t epoch_ops = 0;
+    for (const auto& m : em.mds) {
+      qps.push_back(static_cast<double>(m.ops));
+      rpc.push_back(static_cast<double>(m.rpcs));
+      ino.push_back(static_cast<double>(m.inodes));
+      busy.push_back(static_cast<double>(m.busy));
+      epoch_ops += m.ops;
+    }
+    if (epoch_ops == 0) continue;
+    imf_qps += cost::imbalance_factor(qps);
+    imf_rpc += cost::imbalance_factor(rpc);
+    imf_inodes += cost::imbalance_factor(ino);
+    imf_busy += cost::imbalance_factor(busy);
+    steady_ops += epoch_ops;
+    steady_time += em.end - em.start;
+    ++counted;
+  }
+  if (counted > 0) {
+    result_.imf_qps = imf_qps / static_cast<double>(counted);
+    result_.imf_rpc = imf_rpc / static_cast<double>(counted);
+    result_.imf_inodes = imf_inodes / static_cast<double>(counted);
+    result_.imf_busy = imf_busy / static_cast<double>(counted);
+  }
+  if (steady_time > 0) {
+    result_.steady_throughput_ops =
+        static_cast<double>(steady_ops) / sim::to_seconds(steady_time);
+  } else {
+    result_.steady_throughput_ops = result_.throughput_ops;
+  }
+
+  result_.final_dir_owner.resize(trace_.tree.size());
+  for (fsns::NodeId d = 0; d < trace_.tree.size(); ++d) {
+    result_.final_dir_owner[d] = partition_.node_owner(d);
+  }
+  result_.hash_file_inodes = partition_.hash_file_inodes();
+
+  result_.data_requests = data_.requests();
+  if (opt_.data_path && result_.makespan > 0) {
+    result_.data_throughput_mb_s =
+        static_cast<double>(data_.bytes_served()) / 1e6 /
+        sim::to_seconds(result_.makespan);
+  }
+  return result_;
+}
+
+}  // namespace
+
+common::Status write_epoch_csv(const RunResult& result,
+                               const std::string& path) {
+  common::CsvWriter csv(path);
+  if (!csv.is_open()) return common::Status::unavailable("cannot open " + path);
+  csv.header({"epoch", "t_start_s", "t_end_s", "mds", "ops", "rpcs",
+              "busy_ms", "rct_ms", "inodes", "migrations", "inodes_moved"});
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    const EpochMetrics& em = result.epochs[e];
+    for (std::size_t m = 0; m < em.mds.size(); ++m) {
+      csv.field(static_cast<std::uint64_t>(e))
+          .field(sim::to_seconds(em.start))
+          .field(sim::to_seconds(em.end))
+          .field(static_cast<std::uint64_t>(m))
+          .field(em.mds[m].ops)
+          .field(em.mds[m].rpcs)
+          .field(static_cast<double>(em.mds[m].busy) / 1e6)
+          .field(static_cast<double>(em.mds[m].rct) / 1e6)
+          .field(em.mds[m].inodes)
+          .field(static_cast<std::uint64_t>(em.migrations))
+          .field(em.inodes_moved);
+      csv.endrow();
+    }
+  }
+  return common::Status::ok();
+}
+
+RunResult replay_trace(const wl::Trace& trace, const ReplayOptions& options,
+                       Balancer& balancer) {
+  assert(!trace.ops.empty());
+  Replayer replayer(trace, options, balancer);
+  return replayer.run();
+}
+
+std::string StaticBalancer::name() const {
+  switch (kind_) {
+    case Kind::kSingle:
+      return "single";
+    case Kind::kCoarseHash:
+      return "c-hash";
+    case Kind::kFineHash:
+      return "f-hash";
+  }
+  return "static";
+}
+
+void StaticBalancer::prepare(const fsns::DirTree& tree, mds::PartitionMap& map) {
+  (void)tree;
+  switch (kind_) {
+    case Kind::kSingle:
+      mds::partitioner::single(map);
+      break;
+    case Kind::kCoarseHash:
+      mds::partitioner::coarse_hash(map, coarse_levels_);
+      break;
+    case Kind::kFineHash:
+      mds::partitioner::fine_hash(map);
+      break;
+  }
+}
+
+}  // namespace origami::cluster

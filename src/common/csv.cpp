@@ -1,0 +1,59 @@
+#include "origami/common/csv.hpp"
+
+#include <iomanip>
+
+namespace origami::common {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  for (auto name : names) field(name);
+  endrow();
+}
+
+void CsvWriter::sep() {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  if (v.find_first_of(",\"\n") == std::string_view::npos) return std::string(v);
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  sep();
+  out_ << escape(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  sep();
+  out_ << std::setprecision(10) << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  sep();
+  out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  sep();
+  out_ << v;
+  return *this;
+}
+
+void CsvWriter::endrow() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+}  // namespace origami::common

@@ -1,0 +1,66 @@
+#include "origami/common/flags.hpp"
+
+#include <cstdlib>
+
+namespace origami::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--key value` unless the next token is itself a flag (then boolean).
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_.emplace(std::string(arg), argv[i + 1]);
+      ++i;
+    } else {
+      values_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool Flags::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::get(std::string_view name, std::string fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace origami::common

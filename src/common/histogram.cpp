@@ -1,0 +1,123 @@
+#include "origami/common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace origami::common {
+
+void WelfordStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void WelfordStats::merge(const WelfordStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double WelfordStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double WelfordStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kBucketGroups) * kSubBuckets, 0) {}
+
+std::size_t LatencyHistogram::index_for(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int group = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return static_cast<std::size_t>(group) * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::value_for(std::size_t index) noexcept {
+  const std::size_t group = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  if (group == 0) return sub;
+  // Midpoint of the bucket's value range.
+  const std::uint64_t base =
+      (static_cast<std::uint64_t>(kSubBuckets) + sub) << (group - 1);
+  const std::uint64_t width = 1ULL << (group - 1);
+  return base + width / 2;
+}
+
+void LatencyHistogram::add(std::uint64_t value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  const std::size_t idx = index_for(value);
+  if (idx >= buckets_.size()) return;  // beyond 2^62: not representable
+  buckets_[idx] += count;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += count;
+  sum_ += value * count;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = sum_ = min_ = max_ = 0;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target && buckets_[i] > 0) {
+      return std::clamp(value_for(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace origami::common

@@ -1,0 +1,44 @@
+#include "origami/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace origami::common {
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box–Muller; avoids caching the spare so forked streams stay independent.
+  double u1 = uniform_double();
+  while (u1 <= 0.0) u1 = uniform_double();
+  const double u2 = uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::exponential(double rate) noexcept {
+  double u = uniform_double();
+  while (u <= 0.0) u = uniform_double();
+  return -std::log(u) / rate;
+}
+
+}  // namespace origami::common

@@ -1,0 +1,105 @@
+#include "origami/common/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace origami::common {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (theta < 0.0) throw std::invalid_argument("ZipfDistribution: theta < 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfDistribution::h(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
+
+double ZipfDistribution::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // Integral of x^-theta: handles theta == 1 via the helper below.
+  const double t = log_x * (1.0 - theta_);
+  // (exp(t) - 1) / t computed stably for small t.
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = std::expm1(t) / t;
+  } else {
+    helper = 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + 0.25 * t));
+  }
+  return log_x * helper;
+}
+
+double ZipfDistribution::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // clamp against rounding below the pole
+  // log1p(t)/t computed stably for small t.
+  double helper;
+  if (std::abs(t) > 1e-8) {
+    helper = std::log1p(t) / t;
+  } else {
+    helper = 1.0 - t * (0.5 - t * (1.0 / 3.0 - 0.25 * t));
+  }
+  return std::exp(x * helper);
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_integral_num_elements_ +
+                     rng.uniform_double() *
+                         (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= s_ || u >= h_integral(static_cast<double>(k) + 0.5) -
+                                h(static_cast<double>(k))) {
+      return k - 1;  // ranks are 0-based for callers
+    }
+  }
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  assert(n > 0);
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::operator()(Xoshiro256& rng) const {
+  const std::size_t i = rng.uniform(prob_.size());
+  return rng.uniform_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace origami::common

@@ -1,0 +1,38 @@
+#include "origami/core/features.hpp"
+
+#include <algorithm>
+
+namespace origami::core {
+
+std::vector<std::string> feature_name_vector() {
+  return {kFeatureNames.begin(), kFeatureNames.end()};
+}
+
+FeatureExtractor::FeatureExtractor(const fsns::DirTree& tree,
+                                   const SubtreeView& view)
+    : tree_(&tree), view_(&view) {
+  for (fsns::NodeId d : tree.directories()) {
+    max_depth_ = std::max(max_depth_, static_cast<double>(tree.depth(d)));
+    max_sub_files_ =
+        std::max(max_sub_files_, static_cast<double>(view.sub_files(d)));
+    max_sub_dirs_ =
+        std::max(max_sub_dirs_, static_cast<double>(view.sub_dirs(d)));
+  }
+  total_access_ = std::max(1.0, static_cast<double>(view.total_ops()));
+}
+
+void FeatureExtractor::extract(fsns::NodeId dir, std::span<float> out) const {
+  const double reads = static_cast<double>(view_->reads(dir));
+  const double writes = static_cast<double>(view_->writes(dir));
+  const double files = static_cast<double>(view_->sub_files(dir));
+  const double dirs = static_cast<double>(view_->sub_dirs(dir));
+  out[0] = static_cast<float>(tree_->depth(dir) / max_depth_);
+  out[1] = static_cast<float>(files / max_sub_files_);
+  out[2] = static_cast<float>(dirs / max_sub_dirs_);
+  out[3] = static_cast<float>(reads / total_access_);
+  out[4] = static_cast<float>(writes / total_access_);
+  out[5] = static_cast<float>(writes / std::max(1.0, reads + writes));
+  out[6] = static_cast<float>((dirs + 1.0) / (files + 1.0));
+}
+
+}  // namespace origami::core

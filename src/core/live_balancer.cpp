@@ -1,0 +1,158 @@
+#include "origami/core/live_balancer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "origami/core/features.hpp"
+#include "origami/cost/cost_model.hpp"
+
+namespace origami::core {
+
+namespace {
+
+/// Subtree-aggregated view over the live Data Collector dump.
+struct LiveSubtree {
+  fs::Ino ino = fs::kInvalidIno;
+  fs::Ino parent = fs::kInvalidIno;
+  std::uint32_t depth = 0;
+  std::uint32_t shard = 0;
+  bool uniform = true;        // whole subtree on one shard
+  std::uint64_t sub_files = 0;
+  std::uint64_t sub_dirs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+}  // namespace
+
+std::vector<LiveOrigamiBalancer::Move> LiveOrigamiBalancer::rebalance_epoch(
+    fs::OrigamiFs& fsys) {
+  std::vector<Move> moves;
+  if (model_ == nullptr) return moves;
+
+  const auto activity = fsys.collect_activity(/*reset=*/true);
+  if (activity.empty()) return moves;
+
+  // --- per-shard load + Lunule trigger ------------------------------------
+  std::vector<double> shard_load(fsys.shard_count(), 0.0);
+  for (const auto& a : activity) {
+    shard_load[a.shard] += static_cast<double>(a.reads + a.writes);
+  }
+  if (cost::imbalance_factor(shard_load) < params_.trigger_threshold) {
+    return moves;
+  }
+
+  // --- aggregate directories into subtrees (children before parents is not
+  // guaranteed for ino order, so do it via repeated parent propagation on a
+  // topologically ordered copy: sort by depth descending).
+  std::vector<LiveSubtree> nodes(activity.size());
+  std::unordered_map<fs::Ino, std::size_t> index;
+  index.reserve(activity.size());
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    const auto& a = activity[i];
+    nodes[i] = {a.ino,       a.parent, a.depth, a.shard, true,
+                a.sub_files, a.sub_dirs, a.reads, a.writes};
+    index.emplace(a.ino, i);
+  }
+  std::vector<std::size_t> order(nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return nodes[a].depth > nodes[b].depth;
+  });
+  double total_ops = 0;
+  for (std::size_t i : order) {
+    total_ops += static_cast<double>(nodes[i].reads + nodes[i].writes);
+    const auto pit = index.find(nodes[i].parent);
+    if (pit == index.end()) continue;
+    LiveSubtree& p = nodes[pit->second];
+    p.sub_files += nodes[i].sub_files;
+    p.sub_dirs += nodes[i].sub_dirs;
+    p.reads += nodes[i].reads;
+    p.writes += nodes[i].writes;
+    if (!nodes[i].uniform || nodes[i].shard != p.shard) p.uniform = false;
+  }
+  if (total_ops <= 0) return moves;
+
+  // --- Table-1 features + prediction ---------------------------------------
+  double max_depth = 1, max_files = 1, max_dirs = 1;
+  for (const auto& n : nodes) {
+    max_depth = std::max(max_depth, static_cast<double>(n.depth));
+    max_files = std::max(max_files, static_cast<double>(n.sub_files));
+    max_dirs = std::max(max_dirs, static_cast<double>(n.sub_dirs));
+  }
+  struct Scored {
+    std::size_t idx;
+    double pred;
+  };
+  std::vector<Scored> scored;
+  std::array<float, kFeatureCount> feat{};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const LiveSubtree& n = nodes[i];
+    if (!n.uniform || n.ino == fs::kRootIno) continue;
+    if (n.reads + n.writes < params_.min_subtree_ops) continue;
+    const double reads = static_cast<double>(n.reads);
+    const double writes = static_cast<double>(n.writes);
+    feat[0] = static_cast<float>(n.depth / max_depth);
+    feat[1] = static_cast<float>(static_cast<double>(n.sub_files) / max_files);
+    feat[2] = static_cast<float>(static_cast<double>(n.sub_dirs) / max_dirs);
+    feat[3] = static_cast<float>(reads / total_ops);
+    feat[4] = static_cast<float>(writes / total_ops);
+    feat[5] = static_cast<float>(writes / std::max(1.0, reads + writes));
+    feat[6] = static_cast<float>((static_cast<double>(n.sub_dirs) + 1.0) /
+                                 (static_cast<double>(n.sub_files) + 1.0));
+    const double pred = model_->predict(feat);
+    if (pred > params_.min_predicted_benefit) scored.push_back({i, pred});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.pred > b.pred; });
+
+  // --- greedy migration, highest predicted benefit first -------------------
+  std::vector<bool> frozen(nodes.size(), false);
+  for (const Scored& s : scored) {
+    if (moves.size() >= static_cast<std::size_t>(params_.max_moves_per_epoch)) {
+      break;
+    }
+    const LiveSubtree& n = nodes[s.idx];
+    if (frozen[s.idx]) continue;
+    const std::uint32_t from = n.shard;
+    const auto to = static_cast<std::uint32_t>(
+        std::min_element(shard_load.begin(), shard_load.end()) -
+        shard_load.begin());
+    if (to == from || shard_load[from] <= shard_load[to]) continue;
+    const double load = static_cast<double>(n.reads + n.writes);
+    if (shard_load[to] + load > shard_load[from] - load + load) {
+      // Moving would overshoot (the Δ-guard idea on live counters).
+      continue;
+    }
+
+    auto moved = fsys.migrate_subtree_ino(n.ino, to);
+    if (!moved.is_ok()) continue;
+    Move m;
+    m.subtree = n.ino;
+    m.path = fsys.path_of(n.ino).value_or("?");
+    m.from = from;
+    m.to = to;
+    m.predicted_benefit = s.pred;
+    m.entries_moved = moved.value();
+    moves.push_back(std::move(m));
+
+    shard_load[from] -= load;
+    shard_load[to] += load;
+    // Freeze the moved subtree (and its ancestors become non-uniform).
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      fs::Ino cur = nodes[i].ino;
+      while (cur != fs::kInvalidIno) {
+        if (cur == n.ino) {
+          frozen[i] = true;
+          break;
+        }
+        const auto it = index.find(cur);
+        if (it == index.end()) break;
+        cur = nodes[it->second].parent;
+      }
+    }
+  }
+  return moves;
+}
+
+}  // namespace origami::core

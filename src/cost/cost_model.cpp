@@ -1,0 +1,20 @@
+#include "origami/cost/cost_model.hpp"
+
+namespace origami::cost {
+
+double imbalance_factor(const std::vector<double>& loads) noexcept {
+  const std::size_t n = loads.size();
+  if (n <= 1) return 0.0;
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double l : loads) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  if (total <= 0.0) return 0.0;
+  const double mean = total / static_cast<double>(n);
+  const double worst_excess = total - mean;  // all load on one MDS
+  return (max_load - mean) / worst_excess;
+}
+
+}  // namespace origami::cost

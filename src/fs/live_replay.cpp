@@ -1,0 +1,141 @@
+#include "origami/fs/live_replay.hpp"
+
+#include <string>
+#include <vector>
+
+#include "origami/cost/cost_model.hpp"
+
+namespace origami::fs {
+
+namespace {
+
+/// Lazily materialises trace-tree nodes in the live service, caching which
+/// ids already exist.
+class Materialiser {
+ public:
+  Materialiser(const fsns::DirTree& tree, OrigamiFs& fsys)
+      : tree_(tree), fsys_(fsys), created_(tree.size(), false) {
+    created_[fsns::kRootNode] = true;
+  }
+
+  /// Ensures every *directory* ancestor of `id` exists (not `id` itself
+  /// unless it is a directory and `include_self`).
+  void ensure_dirs(fsns::NodeId id, bool include_self) {
+    const auto chain = tree_.ancestors(id);
+    const std::size_t end = include_self ? chain.size() : chain.size() - 1;
+    for (std::size_t i = 1; i < end; ++i) {
+      const fsns::NodeId node = chain[i];
+      if (created_[node] || !tree_.is_dir(node)) continue;
+      (void)fsys_.mkdir(tree_.full_path(node));
+      created_[node] = true;
+    }
+  }
+
+  void mark(fsns::NodeId id, bool exists) { created_[id] = exists; }
+  [[nodiscard]] bool exists(fsns::NodeId id) const { return created_[id]; }
+
+ private:
+  const fsns::DirTree& tree_;
+  OrigamiFs& fsys_;
+  std::vector<bool> created_;
+};
+
+}  // namespace
+
+LiveReplayStats replay_on_live(
+    const wl::Trace& trace, OrigamiFs& fsys, std::uint64_t epoch_ops,
+    const std::function<std::uint64_t(OrigamiFs&)>& on_epoch) {
+  LiveReplayStats stats;
+  Materialiser mat(trace.tree, fsys);
+  const auto& tree = trace.tree;
+
+  std::uint64_t since_epoch = 0;
+  for (const wl::MetaOp& op : trace.ops) {
+    const std::string path = tree.full_path(op.target);
+    common::Status status = common::Status::ok();
+    switch (op.type) {
+      case fsns::OpType::kCreate: {
+        mat.ensure_dirs(op.target, false);
+        if (mat.exists(op.target)) {
+          status = fsys.setattr(path, {});  // replayed re-create = overwrite
+        } else {
+          auto r = fsys.create(path);
+          status = r.is_ok() ? common::Status::ok() : r.status();
+          if (r.is_ok()) mat.mark(op.target, true);
+        }
+        break;
+      }
+      case fsns::OpType::kMkdir: {
+        mat.ensure_dirs(op.target, true);
+        break;
+      }
+      case fsns::OpType::kUnlink: {
+        if (mat.exists(op.target)) {
+          status = fsys.unlink(path);
+          mat.mark(op.target, false);
+        }
+        break;
+      }
+      case fsns::OpType::kRmdir: {
+        // Replayed namespaces keep using removed dirs; skip real removal.
+        break;
+      }
+      case fsns::OpType::kRename: {
+        // Renames would desynchronise the path mapping; model the load as
+        // a metadata write on the entry instead.
+        mat.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
+          auto r = fsys.create(path);
+          if (r.is_ok()) mat.mark(op.target, true);
+        }
+        status = fsys.setattr(path, {});
+        break;
+      }
+      case fsns::OpType::kStat:
+      case fsns::OpType::kOpen: {
+        mat.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
+          auto r = fsys.create(path);
+          if (r.is_ok()) mat.mark(op.target, true);
+        }
+        status = fsys.stat(path).is_ok() ? common::Status::ok()
+                                         : common::Status::not_found(path);
+        break;
+      }
+      case fsns::OpType::kSetattr: {
+        mat.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
+          auto r = fsys.create(path);
+          if (r.is_ok()) mat.mark(op.target, true);
+        }
+        status = fsys.setattr(path, {});
+        break;
+      }
+      case fsns::OpType::kReaddir: {
+        mat.ensure_dirs(op.target, true);
+        status = fsys.readdir(path).is_ok() ? common::Status::ok()
+                                            : common::Status::not_found(path);
+        break;
+      }
+    }
+    ++stats.executed;
+    if (!status.is_ok()) ++stats.failed;
+
+    if (on_epoch != nullptr && ++since_epoch >= epoch_ops) {
+      since_epoch = 0;
+      ++stats.epochs;
+      stats.migrations += on_epoch(fsys);
+    }
+  }
+
+  const auto shard_stats = fsys.shard_stats();
+  std::vector<double> loads;
+  for (const ShardStats& st : shard_stats) {
+    stats.shard_ops.push_back(st.lookups + st.mutations);
+    loads.push_back(static_cast<double>(st.lookups + st.mutations));
+  }
+  stats.shard_imbalance = cost::imbalance_factor(loads);
+  return stats;
+}
+
+}  // namespace origami::fs

@@ -1,0 +1,29 @@
+#include "origami/fsns/types.hpp"
+
+namespace origami::fsns {
+
+std::string_view to_string(OpType op) noexcept {
+  switch (op) {
+    case OpType::kStat:
+      return "stat";
+    case OpType::kOpen:
+      return "open";
+    case OpType::kReaddir:
+      return "readdir";
+    case OpType::kCreate:
+      return "create";
+    case OpType::kMkdir:
+      return "mkdir";
+    case OpType::kUnlink:
+      return "unlink";
+    case OpType::kRmdir:
+      return "rmdir";
+    case OpType::kRename:
+      return "rename";
+    case OpType::kSetattr:
+      return "setattr";
+  }
+  return "unknown";
+}
+
+}  // namespace origami::fsns

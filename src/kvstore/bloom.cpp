@@ -1,0 +1,40 @@
+#include "origami/kv/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "origami/common/hash.hpp"
+
+namespace origami::kv {
+
+BloomFilter::BloomFilter(std::size_t expected_keys, int bits_per_key) {
+  bits_per_key = std::max(1, bits_per_key);
+  const std::size_t bits =
+      std::max<std::size_t>(64, expected_keys * static_cast<std::size_t>(bits_per_key));
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln(2) * bits/keys, clamped to a sane range.
+  k_ = std::clamp(static_cast<int>(std::round(0.69 * bits_per_key)), 1, 12);
+}
+
+void BloomFilter::add(std::string_view key) noexcept {
+  const std::uint64_t h1 = common::fnv1a(key);
+  const std::uint64_t h2 = common::mix64(h1);
+  const std::size_t nbits = bits_.size() * 8;
+  for (int i = 0; i < k_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % nbits;
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::may_contain(std::string_view key) const noexcept {
+  const std::uint64_t h1 = common::fnv1a(key);
+  const std::uint64_t h2 = common::mix64(h1);
+  const std::size_t nbits = bits_.size() * 8;
+  for (int i = 0; i < k_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace origami::kv

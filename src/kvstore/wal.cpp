@@ -1,0 +1,139 @@
+#include "origami/kv/wal.hpp"
+
+#include <cstring>
+
+#include "origami/common/hash.hpp"
+
+namespace origami::kv {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::uint32_t record_checksum(WalRecordType type, std::string_view key,
+                              std::string_view value, std::uint64_t seqno) {
+  std::uint64_t h = common::fnv1a(key);
+  h = common::hash_combine(h, common::fnv1a(value));
+  h = common::hash_combine(h, seqno);
+  h = common::hash_combine(h, static_cast<std::uint64_t>(type));
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  // Load any existing log content so replay() after reopen sees history.
+  std::ifstream in(path_, std::ios::binary);
+  if (in) {
+    buffer_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+}
+
+void WriteAheadLog::encode_record(std::string& out, WalRecordType type,
+                                  std::string_view key, std::string_view value,
+                                  std::uint64_t seqno) {
+  // Layout: [u32 checksum][u8 type][u64 seqno][u32 klen][u32 vlen][key][value]
+  put_u32(out, record_checksum(type, key, value, seqno));
+  out.push_back(static_cast<char>(type));
+  put_u64(out, seqno);
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(key);
+  out.append(value);
+}
+
+common::Status WriteAheadLog::append(WalRecordType type, std::string_view key,
+                                     std::string_view value,
+                                     std::uint64_t seqno) {
+  std::string record;
+  record.reserve(21 + key.size() + value.size());
+  encode_record(record, type, key, value, seqno);
+  buffer_.append(record);
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return common::Status::unavailable("wal: cannot open " + path_);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    if (!out) return common::Status::unavailable("wal: write failed");
+  }
+  return common::Status::ok();
+}
+
+common::Status WriteAheadLog::reset() {
+  buffer_.clear();
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) return common::Status::unavailable("wal: cannot truncate " + path_);
+  }
+  return common::Status::ok();
+}
+
+common::Status WriteAheadLog::decode_all(
+    std::string_view data,
+    const std::function<void(WalRecordType, std::string_view, std::string_view,
+                             std::uint64_t)>& fn) {
+  std::size_t pos = 0;
+  while (pos + 21 <= data.size()) {
+    const std::uint32_t checksum = get_u32(data.data() + pos);
+    const auto type = static_cast<WalRecordType>(data[pos + 4]);
+    const std::uint64_t seqno = get_u64(data.data() + pos + 5);
+    const std::uint32_t klen = get_u32(data.data() + pos + 13);
+    const std::uint32_t vlen = get_u32(data.data() + pos + 17);
+    const std::size_t body = pos + 21;
+    if (body + klen + vlen > data.size()) {
+      return common::Status::corruption("wal: truncated record");
+    }
+    const std::string_view key = data.substr(body, klen);
+    const std::string_view value = data.substr(body + klen, vlen);
+    if (record_checksum(type, key, value, seqno) != checksum) {
+      return common::Status::corruption("wal: checksum mismatch");
+    }
+    fn(type, key, value, seqno);
+    pos = body + klen + vlen;
+  }
+  if (pos != data.size()) {
+    return common::Status::corruption("wal: trailing bytes");
+  }
+  return common::Status::ok();
+}
+
+common::Status WriteAheadLog::replay(
+    const std::function<void(WalRecordType, std::string_view, std::string_view,
+                             std::uint64_t)>& fn) {
+  return decode_all(buffer_, fn);
+}
+
+common::Status WriteAheadLog::replay_file(
+    const std::string& path,
+    const std::function<void(WalRecordType, std::string_view, std::string_view,
+                             std::uint64_t)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::not_found("wal: no file " + path);
+  std::string data(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>{});
+  return decode_all(data, fn);
+}
+
+}  // namespace origami::kv

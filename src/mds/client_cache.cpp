@@ -1,0 +1,31 @@
+#include "origami/mds/client_cache.hpp"
+
+namespace origami::mds {
+
+NearRootCache::NearRootCache(std::size_t node_count,
+                             std::uint32_t depth_threshold, bool enabled)
+    : enabled_(enabled),
+      depth_threshold_(depth_threshold),
+      cached_version_(enabled ? node_count : 0, kNotCached) {}
+
+NearRootCache::Outcome NearRootCache::access(fsns::NodeId dir,
+                                             std::uint32_t depth,
+                                             std::uint32_t current_version) {
+  if (!enabled_) return Outcome::kDisabled;
+  if (depth >= depth_threshold_) return Outcome::kBeyondDepth;
+  std::uint32_t& slot = cached_version_[dir];
+  if (slot == kNotCached) {
+    ++stats_.misses;
+    slot = current_version;
+    return Outcome::kMiss;
+  }
+  if (slot != current_version) {
+    ++stats_.stale;
+    slot = current_version;
+    return Outcome::kStale;
+  }
+  ++stats_.hits;
+  return Outcome::kHit;
+}
+
+}  // namespace origami::mds

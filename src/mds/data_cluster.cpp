@@ -1,0 +1,31 @@
+#include "origami/mds/data_cluster.hpp"
+
+#include <algorithm>
+
+namespace origami::mds {
+
+DataCluster::DataCluster(DataClusterParams params) : params_(params) {
+  params_.servers = std::max<std::uint32_t>(1, params_.servers);
+  params_.slots_per_server = std::max<std::uint32_t>(1, params_.slots_per_server);
+  slot_free_.assign(params_.servers,
+                    std::vector<sim::SimTime>(params_.slots_per_server, 0));
+}
+
+sim::SimTime DataCluster::serve(fsns::NodeId file, sim::SimTime arrival,
+                                std::uint64_t bytes) {
+  const std::size_t server =
+      static_cast<std::size_t>(common::mix64(file) % params_.servers);
+  auto& slots = slot_free_[server];
+  auto it = std::min_element(slots.begin(), slots.end());
+  const sim::SimTime start = std::max(arrival, *it);
+  const auto transfer = static_cast<sim::SimTime>(
+      static_cast<double>(bytes) / params_.bytes_per_second *
+      static_cast<double>(sim::kSecond));
+  const sim::SimTime done = start + params_.base_latency + transfer;
+  *it = done;
+  ++requests_;
+  bytes_ += bytes;
+  return done;
+}
+
+}  // namespace origami::mds

@@ -1,0 +1,38 @@
+#include "origami/mds/mds_server.hpp"
+
+#include <algorithm>
+
+namespace origami::mds {
+
+MdsServer::MdsServer(cost::MdsId id, const MdsServerParams& params)
+    : id_(id), slot_free_(std::max<std::uint32_t>(1, params.service_slots), 0) {}
+
+sim::SimTime MdsServer::serve(sim::SimTime arrival, sim::SimTime service) {
+  auto it = std::min_element(slot_free_.begin(), slot_free_.end());
+  const sim::SimTime start = std::max(arrival, *it);
+  const sim::SimTime done = start + service;
+  *it = done;
+  counters_.busy += service;
+  counters_.queue_wait += start - arrival;
+  return done;
+}
+
+sim::SimTime MdsServer::earliest_start(sim::SimTime arrival) const noexcept {
+  const sim::SimTime free_at =
+      *std::min_element(slot_free_.begin(), slot_free_.end());
+  return std::max(arrival, free_at);
+}
+
+sim::SimTime MdsServer::backlog(sim::SimTime now) const noexcept {
+  sim::SimTime total = 0;
+  for (sim::SimTime t : slot_free_) total += std::max<sim::SimTime>(0, t - now);
+  return total;
+}
+
+MdsEpochCounters MdsServer::drain_counters() noexcept {
+  MdsEpochCounters out = counters_;
+  counters_ = MdsEpochCounters{};
+  return out;
+}
+
+}  // namespace origami::mds

@@ -1,0 +1,55 @@
+#include "origami/ml/dataset.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace origami::ml {
+
+void Dataset::add_row(std::span<const float> features, float label) {
+  if (feature_names_.empty() && inferred_features_ == 0) {
+    inferred_features_ = features.size();
+  }
+  assert(features.size() == num_features());
+  x_.insert(x_.end(), features.begin(), features.end());
+  y_.push_back(label);
+}
+
+std::vector<float> Dataset::column(std::size_t f) const {
+  std::vector<float> out;
+  out.reserve(size());
+  const std::size_t nf = num_features();
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(x_[i * nf + f]);
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           std::uint64_t seed) const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Xoshiro256 rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(order.size()));
+  Dataset train(feature_names_);
+  Dataset valid(feature_names_);
+  train.inferred_features_ = inferred_features_;
+  valid.inferred_features_ = inferred_features_;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? train : valid).add_row(row(order[i]), label(order[i]));
+  }
+  return {std::move(train), std::move(valid)};
+}
+
+void Dataset::append(const Dataset& other) {
+  assert(other.num_features() == num_features() || size() == 0);
+  if (size() == 0 && feature_names_.empty()) {
+    feature_names_ = other.feature_names_;
+    inferred_features_ = other.inferred_features_;
+  }
+  x_.insert(x_.end(), other.x_.begin(), other.x_.end());
+  y_.insert(y_.end(), other.y_.begin(), other.y_.end());
+}
+
+}  // namespace origami::ml

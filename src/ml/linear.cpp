@@ -1,0 +1,80 @@
+#include "origami/ml/linear.hpp"
+
+#include <cmath>
+
+namespace origami::ml {
+
+LinearModel LinearModel::train(const Dataset& data, const Params& params) {
+  LinearModel model;
+  const std::size_t d = data.num_features();
+  model.weights_.assign(d, 0.0);
+  if (data.size() == 0 || d == 0) return model;
+
+  // Augmented design: features + bias column. Solve (XᵀX + λI) w = Xᵀy.
+  const std::size_t n = d + 1;
+  std::vector<double> a(n * n, 0.0);  // row-major symmetric
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const auto row = data.row(r);
+    const double y = data.label(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = i < d ? row[i] : 1.0;
+      b[i] += xi * y;
+      for (std::size_t j = i; j < n; ++j) {
+        const double xj = j < d ? row[j] : 1.0;
+        a[i * n + j] += xi * xj;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) a[i * n + j] = a[j * n + i];
+    if (i < d) a[i * n + i] += params.l2;  // don't regularise the bias
+  }
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * n + col]) < 1e-12) continue;  // singular column
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a[r * n + j] -= factor * a[col * n + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a[i * n + j] * w[j];
+    const double diag = a[i * n + i];
+    w[i] = std::abs(diag) < 1e-12 ? 0.0 : sum / diag;
+  }
+  for (std::size_t i = 0; i < d; ++i) model.weights_[i] = w[i];
+  model.intercept_ = w[d];
+  return model;
+}
+
+double LinearModel::predict(std::span<const float> features) const {
+  double out = intercept_;
+  const std::size_t d = std::min(features.size(), weights_.size());
+  for (std::size_t i = 0; i < d; ++i) out += weights_[i] * features[i];
+  return out;
+}
+
+std::vector<double> LinearModel::predict_batch(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+  return out;
+}
+
+}  // namespace origami::ml

@@ -1,0 +1,145 @@
+#include "origami/ml/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace origami::ml {
+
+double rmse(const std::vector<double>& pred, const std::vector<float>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(pred.size()));
+}
+
+double mae(const std::vector<double>& pred, const std::vector<float>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    sum += std::abs(pred[i] - truth[i]);
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+double r2(const std::vector<double>& pred, const std::vector<float>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double mean = 0.0;
+  for (float t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+namespace {
+/// Average ranks with ties resolved to the midpoint.
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = rank;
+    i = j + 1;
+  }
+  return r;
+}
+}  // namespace
+
+namespace {
+std::vector<std::size_t> order_desc(const std::vector<double>& v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+  return order;
+}
+}  // namespace
+
+double ndcg_at_k(const std::vector<double>& pred,
+                 const std::vector<float>& truth, std::size_t k) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  k = std::min(k, pred.size());
+  const auto by_pred = order_desc(pred);
+  std::vector<double> t(truth.begin(), truth.end());
+  const auto by_truth = order_desc(t);
+
+  auto gain = [&](const std::vector<std::size_t>& order) {
+    double g = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double rel = std::max(0.0, t[order[i]]);
+      g += rel / std::log2(static_cast<double>(i) + 2.0);
+    }
+    return g;
+  };
+  const double ideal = gain(by_truth);
+  if (ideal <= 0.0) return 0.0;
+  return gain(by_pred) / ideal;
+}
+
+double precision_at_k(const std::vector<double>& pred,
+                      const std::vector<float>& truth, std::size_t k) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  k = std::min(k, pred.size());
+  if (k == 0) return 0.0;
+  const auto by_pred = order_desc(pred);
+  std::vector<double> t(truth.begin(), truth.end());
+  const auto by_truth = order_desc(t);
+  std::vector<bool> top_true(pred.size(), false);
+  for (std::size_t i = 0; i < k; ++i) top_true[by_truth[i]] = true;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (top_true[by_pred[i]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double spearman(const std::vector<double>& pred,
+                const std::vector<float>& truth) {
+  assert(pred.size() == truth.size());
+  const std::size_t n = pred.size();
+  if (n < 2) return 0.0;
+  std::vector<double> t(truth.begin(), truth.end());
+  const auto rp = ranks(pred);
+  const auto rt = ranks(t);
+  double mp = 0.0;
+  double mt = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mp += rp[i];
+    mt += rt[i];
+  }
+  mp /= static_cast<double>(n);
+  mt /= static_cast<double>(n);
+  double cov = 0.0;
+  double vp = 0.0;
+  double vt = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (rp[i] - mp) * (rt[i] - mt);
+    vp += (rp[i] - mp) * (rp[i] - mp);
+    vt += (rt[i] - mt) * (rt[i] - mt);
+  }
+  if (vp == 0.0 || vt == 0.0) return 0.0;
+  return cov / std::sqrt(vp * vt);
+}
+
+}  // namespace origami::ml

@@ -1,0 +1,245 @@
+#include "origami/ml/mlp.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "origami/common/rng.hpp"
+
+namespace origami::ml {
+
+std::vector<double> MlpModel::forward(
+    std::span<const float> x, std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cur[i] = (x[i] - mean_[i]) / stdev_[i];
+  }
+  if (acts != nullptr) acts->push_back(cur);
+  for (std::size_t l = 0; l < shape_.size(); ++l) {
+    const auto [in, out] = shape_[l];
+    std::vector<double> next(out, 0.0);
+    for (std::size_t o = 0; o < out; ++o) {
+      double z = biases_[l][o];
+      const double* w = weights_[l].data() + o * in;
+      for (std::size_t i = 0; i < in; ++i) z += w[i] * cur[i];
+      // ReLU on hidden layers, identity on the output layer.
+      next[o] = (l + 1 < shape_.size()) ? std::max(0.0, z) : z;
+    }
+    cur = std::move(next);
+    if (acts != nullptr) acts->push_back(cur);
+  }
+  return cur;
+}
+
+double MlpModel::predict(std::span<const float> features) const {
+  return forward(features, nullptr)[0];
+}
+
+std::vector<double> MlpModel::predict_batch(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+  return out;
+}
+
+/// SGD/Adam trainer; kept separate so the model object stays inference-only.
+class MlpTrainer {
+ public:
+  MlpTrainer(const Dataset& data, const MlpParams& params)
+      : data_(data), params_(params), rng_(params.seed) {}
+
+  MlpModel run() {
+    MlpModel model;
+    const std::size_t nf = data_.num_features();
+
+    // Input standardisation.
+    model.mean_.assign(nf, 0.0);
+    model.stdev_.assign(nf, 1.0);
+    if (data_.size() > 0) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        double m = 0.0;
+        for (std::size_t i = 0; i < data_.size(); ++i) m += data_.row(i)[f];
+        m /= static_cast<double>(data_.size());
+        double v = 0.0;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+          const double d = data_.row(i)[f] - m;
+          v += d * d;
+        }
+        v /= static_cast<double>(data_.size());
+        model.mean_[f] = m;
+        model.stdev_[f] = v > 1e-12 ? std::sqrt(v) : 1.0;
+      }
+    }
+
+    // He-initialised layers: nf -> hidden... -> 1.
+    std::vector<std::size_t> dims{nf};
+    dims.insert(dims.end(), params_.hidden.begin(), params_.hidden.end());
+    dims.push_back(1);
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+      model.shape_.push_back({dims[l], dims[l + 1]});
+      const double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
+      std::vector<double> w(dims[l] * dims[l + 1]);
+      for (double& x : w) x = rng_.normal() * scale;
+      model.weights_.push_back(std::move(w));
+      model.biases_.emplace_back(dims[l + 1], 0.0);
+    }
+    if (data_.size() == 0) return model;
+
+    // Adam state.
+    std::vector<std::vector<double>> mw(model.weights_.size());
+    std::vector<std::vector<double>> vw(model.weights_.size());
+    std::vector<std::vector<double>> mb(model.biases_.size());
+    std::vector<std::vector<double>> vb(model.biases_.size());
+    for (std::size_t l = 0; l < model.weights_.size(); ++l) {
+      mw[l].assign(model.weights_[l].size(), 0.0);
+      vw[l].assign(model.weights_[l].size(), 0.0);
+      mb[l].assign(model.biases_[l].size(), 0.0);
+      vb[l].assign(model.biases_[l].size(), 0.0);
+    }
+
+    std::vector<std::size_t> order(data_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::uint64_t step = 0;
+
+    for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng_.uniform(i)]);
+      }
+      for (std::size_t start = 0; start < order.size();
+           start += params_.batch_size) {
+        const std::size_t end =
+            std::min(order.size(), start + params_.batch_size);
+        // Accumulate gradients over the minibatch.
+        std::vector<std::vector<double>> gw(model.weights_.size());
+        std::vector<std::vector<double>> gb(model.biases_.size());
+        for (std::size_t l = 0; l < model.weights_.size(); ++l) {
+          gw[l].assign(model.weights_[l].size(), 0.0);
+          gb[l].assign(model.biases_[l].size(), 0.0);
+        }
+        for (std::size_t bi = start; bi < end; ++bi) {
+          backprop(model, order[bi], gw, gb);
+        }
+        const double inv = 1.0 / static_cast<double>(end - start);
+        ++step;
+        adam_update(model, gw, gb, mw, vw, mb, vb, inv, step);
+      }
+    }
+    return model;
+  }
+
+ private:
+  void backprop(const MlpModel& model, std::size_t row,
+                std::vector<std::vector<double>>& gw,
+                std::vector<std::vector<double>>& gb) {
+    std::vector<std::vector<double>> acts;
+    const auto out = model.forward(data_.row(row), &acts);
+    // d(0.5*(out - y)^2)/dout
+    std::vector<double> delta{out[0] - data_.label(row)};
+    for (std::size_t l = model.shape_.size(); l-- > 0;) {
+      const auto [in, nout] = model.shape_[l];
+      const auto& input = acts[l];
+      std::vector<double> prev_delta(in, 0.0);
+      for (std::size_t o = 0; o < nout; ++o) {
+        const double d = delta[o];
+        gb[l][o] += d;
+        double* gwo = gw[l].data() + o * in;
+        const double* w = model.weights_[l].data() + o * in;
+        for (std::size_t i = 0; i < in; ++i) {
+          gwo[i] += d * input[i];
+          prev_delta[i] += d * w[i];
+        }
+      }
+      if (l > 0) {
+        // ReLU derivative through the previous layer's activations.
+        for (std::size_t i = 0; i < in; ++i) {
+          if (acts[l][i] <= 0.0) prev_delta[i] = 0.0;
+        }
+      }
+      delta = std::move(prev_delta);
+    }
+  }
+
+  void adam_update(MlpModel& model, const std::vector<std::vector<double>>& gw,
+                   const std::vector<std::vector<double>>& gb,
+                   std::vector<std::vector<double>>& mw,
+                   std::vector<std::vector<double>>& vw,
+                   std::vector<std::vector<double>>& mb,
+                   std::vector<std::vector<double>>& vb, double inv,
+                   std::uint64_t step) {
+    const double b1 = params_.beta1;
+    const double b2 = params_.beta2;
+    const double bc1 = 1.0 - std::pow(b1, static_cast<double>(step));
+    const double bc2 = 1.0 - std::pow(b2, static_cast<double>(step));
+    auto update = [&](std::vector<double>& param, const std::vector<double>& g,
+                      std::vector<double>& m, std::vector<double>& v) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        const double grad = g[i] * inv;
+        m[i] = b1 * m[i] + (1.0 - b1) * grad;
+        v[i] = b2 * v[i] + (1.0 - b2) * grad * grad;
+        const double mhat = m[i] / bc1;
+        const double vhat = v[i] / bc2;
+        param[i] -= params_.learning_rate * mhat / (std::sqrt(vhat) + params_.eps);
+      }
+    };
+    for (std::size_t l = 0; l < model.weights_.size(); ++l) {
+      update(model.weights_[l], gw[l], mw[l], vw[l]);
+      update(model.biases_[l], gb[l], mb[l], vb[l]);
+    }
+  }
+
+  const Dataset& data_;
+  MlpParams params_;
+  common::Xoshiro256 rng_;
+};
+
+MlpModel MlpModel::train(const Dataset& train, const MlpParams& params) {
+  MlpTrainer trainer(train, params);
+  return trainer.run();
+}
+
+void MlpModel::save(std::ostream& out) const {
+  out.precision(17);
+  out << "origami-mlp 1\n";
+  out << mean_.size() << ' ' << shape_.size() << '\n';
+  for (double m : mean_) out << m << ' ';
+  out << '\n';
+  for (double s : stdev_) out << s << ' ';
+  out << '\n';
+  for (std::size_t l = 0; l < shape_.size(); ++l) {
+    out << shape_[l].in << ' ' << shape_[l].out << '\n';
+    for (double w : weights_[l]) out << w << ' ';
+    out << '\n';
+    for (double b : biases_[l]) out << b << ' ';
+    out << '\n';
+  }
+}
+
+MlpModel MlpModel::load(std::istream& in) {
+  MlpModel model;
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "origami-mlp" || version != 1) return model;
+  std::size_t features = 0;
+  std::size_t layers = 0;
+  in >> features >> layers;
+  model.mean_.resize(features);
+  model.stdev_.resize(features);
+  for (double& m : model.mean_) in >> m;
+  for (double& s : model.stdev_) in >> s;
+  model.shape_.resize(layers);
+  model.weights_.resize(layers);
+  model.biases_.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    in >> model.shape_[l].in >> model.shape_[l].out;
+    model.weights_[l].resize(model.shape_[l].in * model.shape_[l].out);
+    for (double& w : model.weights_[l]) in >> w;
+    model.biases_[l].resize(model.shape_[l].out);
+    for (double& b : model.biases_[l]) in >> b;
+  }
+  return model;
+}
+
+}  // namespace origami::ml

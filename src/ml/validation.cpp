@@ -1,0 +1,57 @@
+#include "origami/ml/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "origami/common/rng.hpp"
+#include "origami/ml/metrics.hpp"
+
+namespace origami::ml {
+
+CvResult cross_validate(const Dataset& data, int folds, std::uint64_t seed,
+                        const TrainFn& train) {
+  CvResult result;
+  folds = std::max(2, folds);
+  if (data.size() < static_cast<std::size_t>(folds)) return result;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Xoshiro256 rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train_set(data.feature_names());
+    Dataset valid_set(data.feature_names());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const bool held_out =
+          static_cast<int>(i % static_cast<std::size_t>(folds)) == fold;
+      (held_out ? valid_set : train_set)
+          .add_row(data.row(order[i]), data.label(order[i]));
+    }
+    const Predictor predictor = train(train_set);
+    std::vector<double> pred(valid_set.size());
+    for (std::size_t i = 0; i < valid_set.size(); ++i) {
+      pred[i] = predictor(valid_set.row(i));
+    }
+    result.fold_rmse.push_back(rmse(pred, valid_set.labels()));
+    result.fold_spearman.push_back(spearman(pred, valid_set.labels()));
+  }
+
+  double sum = 0.0;
+  for (double r : result.fold_rmse) sum += r;
+  result.mean_rmse = sum / static_cast<double>(folds);
+  double var = 0.0;
+  for (double r : result.fold_rmse) {
+    var += (r - result.mean_rmse) * (r - result.mean_rmse);
+  }
+  result.stddev_rmse = std::sqrt(var / static_cast<double>(folds));
+  double ssum = 0.0;
+  for (double r : result.fold_spearman) ssum += r;
+  result.mean_spearman = ssum / static_cast<double>(folds);
+  return result;
+}
+
+}  // namespace origami::ml

@@ -1,0 +1,29 @@
+#include "origami/net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace origami::net {
+
+Network::Network(NetworkParams params)
+    : params_(params), rng_(params.seed) {}
+
+sim::SimTime Network::sample(sim::SimTime base) {
+  if (params_.jitter_frac <= 0.0) return base;
+  const double jitter = 1.0 + params_.jitter_frac * rng_.normal();
+  const double scaled = static_cast<double>(base) * std::max(0.25, jitter);
+  return static_cast<sim::SimTime>(scaled);
+}
+
+sim::SimTime Network::rtt(EndpointId src, EndpointId dst) {
+  if (src == dst) return 0;
+  ++rpcs_;
+  return sample(params_.base_rtt);
+}
+
+sim::SimTime Network::one_way(EndpointId src, EndpointId dst) {
+  if (src == dst) return 0;
+  return sample(params_.base_rtt / 2);
+}
+
+}  // namespace origami::net

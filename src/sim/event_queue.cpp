@@ -1,0 +1,38 @@
+#include "origami/sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace origami::sim {
+
+void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule events in the virtual past");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::run() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; move is safe because pop follows.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace origami::sim

@@ -1,0 +1,158 @@
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "origami/fsns/path_resolver.hpp"
+#include "origami/wl/trace.hpp"
+
+namespace origami::wl {
+
+namespace {
+
+/// Incremental path→NodeId materialiser: unlike PathResolver (built over a
+/// finished tree), this creates missing components on first sight.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(fsns::DirTree& tree) : tree_(tree) {}
+
+  /// Materialises `path`; `as_dir` controls the type of the final
+  /// component when it does not exist yet. Fails when the path descends
+  /// through an existing *file* or retypes an existing node.
+  common::Result<fsns::NodeId> materialise(std::string_view path, bool as_dir) {
+    const auto parts = fsns::split_path(path);
+    fsns::NodeId cur = fsns::kRootNode;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const bool leaf = i + 1 == parts.size();
+      const bool want_dir = leaf ? as_dir : true;
+      const auto key = std::make_pair(cur, std::string(parts[i]));
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        cur = it->second;
+        if (want_dir && !tree_.is_dir(cur)) {
+          return common::Status::invalid_argument(
+              "path component is a file: " + std::string(path));
+        }
+        continue;
+      }
+      if (!tree_.is_dir(cur)) {
+        return common::Status::invalid_argument(
+            "cannot descend through file: " + std::string(path));
+      }
+      const fsns::NodeId fresh = want_dir
+                                     ? tree_.add_dir(cur, std::string(parts[i]))
+                                     : tree_.add_file(cur, std::string(parts[i]));
+      index_.emplace(key, fresh);
+      cur = fresh;
+    }
+    return cur;
+  }
+
+ private:
+  fsns::DirTree& tree_;
+  std::map<std::pair<fsns::NodeId, std::string>, fsns::NodeId> index_;
+};
+
+bool op_from_name(std::string_view name, fsns::OpType& out) {
+  for (int i = 0; i < fsns::kOpTypeCount; ++i) {
+    const auto op = static_cast<fsns::OpType>(i);
+    if (fsns::to_string(op) == name) {
+      out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+common::Result<Trace> parse_text_trace(std::istream& in, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+  TreeBuilder builder(trace.tree);
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string opname;
+    if (!(fields >> opname)) continue;  // blank line
+
+    fsns::OpType type;
+    if (!op_from_name(opname, type)) {
+      return common::Status::invalid_argument(
+          "line " + std::to_string(lineno) + ": unknown op '" + opname + "'");
+    }
+    std::string path;
+    if (!(fields >> path)) {
+      return common::Status::invalid_argument(
+          "line " + std::to_string(lineno) + ": missing path");
+    }
+
+    const bool target_is_dir = type == fsns::OpType::kMkdir ||
+                               type == fsns::OpType::kRmdir ||
+                               type == fsns::OpType::kReaddir;
+    auto target = builder.materialise(path, target_is_dir);
+    if (!target.is_ok()) {
+      return common::Status::invalid_argument(
+          "line " + std::to_string(lineno) + ": " + target.status().message());
+    }
+
+    MetaOp op;
+    op.type = type;
+    op.target = target.value();
+
+    if (type == fsns::OpType::kRename) {
+      std::string dst;
+      if (!(fields >> dst)) {
+        return common::Status::invalid_argument(
+            "line " + std::to_string(lineno) + ": rename needs a destination");
+      }
+      // The aux node is the destination's parent directory.
+      const std::size_t cut = dst.find_last_of('/');
+      const std::string dst_dir = cut == 0 || cut == std::string::npos
+                                      ? std::string("/")
+                                      : dst.substr(0, cut);
+      auto aux = builder.materialise(dst_dir, /*as_dir=*/true);
+      if (!aux.is_ok()) {
+        return common::Status::invalid_argument(
+            "line " + std::to_string(lineno) + ": " + aux.status().message());
+      }
+      op.aux = aux.value();
+    }
+    std::uint64_t bytes = 0;
+    if (fields >> bytes) {
+      op.data_bytes = static_cast<std::uint32_t>(bytes);
+    }
+    trace.ops.push_back(op);
+  }
+  trace.tree.finalize();
+  return trace;
+}
+
+common::Result<Trace> parse_text_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return common::Status::not_found("cannot open " + path);
+  return parse_text_trace(in, path);
+}
+
+common::Status write_text_trace(const Trace& trace, std::ostream& out) {
+  for (const MetaOp& op : trace.ops) {
+    out << fsns::to_string(op.type) << ' ' << trace.tree.full_path(op.target);
+    if (op.type == fsns::OpType::kRename && op.aux != fsns::kInvalidNode) {
+      // Reconstruct a destination path: aux dir + the source leaf name.
+      out << ' ' << trace.tree.full_path(op.aux) << '/'
+          << trace.tree.node(op.target).name;
+    }
+    if (op.data_bytes > 0) out << ' ' << op.data_bytes;
+    out << '\n';
+  }
+  if (!out) return common::Status::unavailable("text trace write failed");
+  return common::Status::ok();
+}
+
+}  // namespace origami::wl

@@ -1,0 +1,156 @@
+#include "origami/wl/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace origami::wl {
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  s.total_ops = trace.ops.size();
+  std::unordered_map<fsns::NodeId, std::uint64_t> hits;
+  double depth_sum = 0.0;
+  std::uint64_t writes = 0;
+  for (const MetaOp& op : trace.ops) {
+    ++s.op_counts[static_cast<std::size_t>(op.type)];
+    if (fsns::is_write(op.type)) ++writes;
+    const auto d = trace.tree.depth(op.target);
+    depth_sum += d;
+    s.max_depth = std::max(s.max_depth, d);
+    ++hits[op.target];
+  }
+  if (s.total_ops > 0) {
+    s.write_fraction = static_cast<double>(writes) / static_cast<double>(s.total_ops);
+    s.mean_depth = depth_sum / static_cast<double>(s.total_ops);
+  }
+  s.unique_targets = hits.size();
+  if (!hits.empty()) {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(hits.size());
+    for (const auto& [node, c] : hits) counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    const std::size_t top = std::max<std::size_t>(1, counts.size() / 100);
+    std::uint64_t top_hits = 0;
+    for (std::size_t i = 0; i < top; ++i) top_hits += counts[i];
+    s.top1pct_share =
+        static_cast<double>(top_hits) / static_cast<double>(s.total_ops);
+  }
+  return s;
+}
+
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x4f524754;  // "ORGT"
+constexpr std::uint32_t kTraceVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::ifstream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!read_pod(in, len)) return false;
+  s.resize(len);
+  in.read(s.data(), len);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+common::Status save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return common::Status::unavailable("cannot open " + path);
+  write_pod(out, kTraceMagic);
+  write_pod(out, kTraceVersion);
+  write_string(out, trace.name);
+
+  write_pod(out, static_cast<std::uint64_t>(trace.tree.size()));
+  // Node 0 is the implicit root; children arrays are rebuilt on load.
+  for (std::size_t i = 1; i < trace.tree.size(); ++i) {
+    const auto& n = trace.tree.node(static_cast<fsns::NodeId>(i));
+    write_pod(out, n.parent);
+    write_pod(out, static_cast<std::uint8_t>(n.is_dir ? 1 : 0));
+    write_string(out, n.name);
+  }
+
+  write_pod(out, static_cast<std::uint64_t>(trace.ops.size()));
+  for (const MetaOp& op : trace.ops) {
+    write_pod(out, static_cast<std::uint8_t>(op.type));
+    write_pod(out, op.target);
+    write_pod(out, op.aux);
+    write_pod(out, op.data_bytes);
+  }
+  if (!out) return common::Status::unavailable("write failed: " + path);
+  return common::Status::ok();
+}
+
+common::Result<Trace> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::not_found("cannot open " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!read_pod(in, magic) || magic != kTraceMagic) {
+    return common::Status::corruption("bad trace magic in " + path);
+  }
+  if (!read_pod(in, version) || version != kTraceVersion) {
+    return common::Status::corruption("unsupported trace version in " + path);
+  }
+  Trace trace;
+  if (!read_string(in, trace.name)) {
+    return common::Status::corruption("truncated trace header");
+  }
+
+  std::uint64_t node_count = 0;
+  if (!read_pod(in, node_count) || node_count == 0) {
+    return common::Status::corruption("truncated node table");
+  }
+  for (std::uint64_t i = 1; i < node_count; ++i) {
+    fsns::NodeId parent = 0;
+    std::uint8_t is_dir = 0;
+    std::string name;
+    if (!read_pod(in, parent) || !read_pod(in, is_dir) ||
+        !read_string(in, name) || parent >= trace.tree.size()) {
+      return common::Status::corruption("truncated or invalid node record");
+    }
+    if (is_dir != 0) {
+      trace.tree.add_dir(parent, std::move(name));
+    } else {
+      trace.tree.add_file(parent, std::move(name));
+    }
+  }
+  trace.tree.finalize();
+
+  std::uint64_t op_count = 0;
+  if (!read_pod(in, op_count)) {
+    return common::Status::corruption("truncated op table");
+  }
+  trace.ops.reserve(op_count);
+  for (std::uint64_t i = 0; i < op_count; ++i) {
+    std::uint8_t type = 0;
+    MetaOp op;
+    if (!read_pod(in, type) || !read_pod(in, op.target) ||
+        !read_pod(in, op.aux) || !read_pod(in, op.data_bytes) ||
+        type >= fsns::kOpTypeCount || op.target >= trace.tree.size()) {
+      return common::Status::corruption("truncated or invalid op record");
+    }
+    op.type = static_cast<fsns::OpType>(type);
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace origami::wl

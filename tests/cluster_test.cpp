@@ -1,0 +1,234 @@
+// Tests for the DES replay engine: completion, RPC accounting, caching,
+// epochs, determinism, static partitioners, data path.
+#include <gtest/gtest.h>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami::cluster {
+namespace {
+
+wl::Trace tiny_trace(std::uint64_t ops = 20'000) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = ops;
+  cfg.projects = 6;
+  cfg.modules_per_project = 4;
+  cfg.sources_per_module = 10;
+  cfg.headers_shared = 100;
+  return wl::make_trace_rw(cfg);
+}
+
+ReplayOptions fast_options() {
+  ReplayOptions opt;
+  opt.mds_count = 3;
+  opt.clients = 16;
+  opt.epoch_length = sim::millis(100);
+  opt.warmup_epochs = 2;
+  opt.net_params.jitter_frac = 0.0;  // exact determinism for tests
+  return opt;
+}
+
+TEST(Replay, CompletesAllOps) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions opt = fast_options();
+  StaticBalancer balancer(StaticBalancer::Kind::kSingle);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  EXPECT_EQ(r.completed_ops, trace.ops.size());
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.throughput_ops, 0.0);
+  EXPECT_EQ(r.balancer_name, "single");
+  EXPECT_EQ(r.mds_count, 3u);
+}
+
+TEST(Replay, SingleMdsWithCacheIsOneRpcPerRequest) {
+  const wl::Trace trace = tiny_trace(10'000);
+  ReplayOptions opt = fast_options();
+  opt.mds_count = 1;
+  StaticBalancer balancer(StaticBalancer::Kind::kSingle);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  // Everything is local: exactly one visit per request.
+  EXPECT_DOUBLE_EQ(r.rpc_per_request, 1.0);
+  EXPECT_EQ(r.forwarded_requests, 0u);
+}
+
+TEST(Replay, FineHashForwardsMoreThanCoarse) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions opt = fast_options();
+  StaticBalancer coarse(StaticBalancer::Kind::kCoarseHash);
+  StaticBalancer fine(StaticBalancer::Kind::kFineHash);
+  const RunResult rc = replay_trace(trace, opt, coarse);
+  const RunResult rf = replay_trace(trace, opt, fine);
+  EXPECT_GT(rf.rpc_per_request, rc.rpc_per_request);
+  EXPECT_GT(rf.forwarded_requests, 0u);
+}
+
+TEST(Replay, CacheReducesRpcs) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions with_cache = fast_options();
+  ReplayOptions no_cache = fast_options();
+  no_cache.cache_enabled = false;
+  StaticBalancer b1(StaticBalancer::Kind::kFineHash);
+  StaticBalancer b2(StaticBalancer::Kind::kFineHash);
+  const RunResult rc = replay_trace(trace, with_cache, b1);
+  const RunResult rn = replay_trace(trace, no_cache, b2);
+  EXPECT_LT(rc.rpc_per_request, rn.rpc_per_request);
+  EXPECT_GT(rc.cache.hits, 0u);
+  EXPECT_EQ(rn.cache.hits, 0u);
+  // Caching also improves throughput (Table 2's headline effect).
+  EXPECT_GT(rc.throughput_ops, rn.throughput_ops);
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  const wl::Trace trace = tiny_trace(8'000);
+  ReplayOptions opt = fast_options();
+  opt.net_params.jitter_frac = 0.05;  // jitter is seeded, still deterministic
+  StaticBalancer b1(StaticBalancer::Kind::kCoarseHash);
+  StaticBalancer b2(StaticBalancer::Kind::kCoarseHash);
+  const RunResult a = replay_trace(trace, opt, b1);
+  const RunResult b = replay_trace(trace, opt, b2);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_rpcs, b.total_rpcs);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
+}
+
+TEST(Replay, EpochsAreRecordedWithMdsBreakdown) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions opt = fast_options();
+  StaticBalancer balancer(StaticBalancer::Kind::kCoarseHash);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  ASSERT_GT(r.epochs.size(), 2u);
+  std::uint64_t epoch_ops = 0;
+  for (const EpochMetrics& em : r.epochs) {
+    ASSERT_EQ(em.mds.size(), 3u);
+    EXPECT_GE(em.end, em.start);
+    for (const auto& m : em.mds) epoch_ops += m.ops;
+  }
+  // All executed ops fall into some epoch (last partial epoch may be cut).
+  EXPECT_LE(epoch_ops, r.completed_ops);
+  EXPECT_GT(epoch_ops, r.completed_ops * 8 / 10);
+}
+
+TEST(Replay, MoreClientsMoreThroughputUntilSaturation) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions low = fast_options();
+  low.clients = 1;
+  ReplayOptions high = fast_options();
+  high.clients = 32;
+  StaticBalancer b1(StaticBalancer::Kind::kSingle);
+  StaticBalancer b2(StaticBalancer::Kind::kSingle);
+  const RunResult rl = replay_trace(trace, low, b1);
+  const RunResult rh = replay_trace(trace, high, b2);
+  EXPECT_GT(rh.throughput_ops, rl.throughput_ops * 2);
+}
+
+TEST(Replay, SingleClientLatencyIsServicePlusNetwork) {
+  const wl::Trace trace = tiny_trace(5'000);
+  ReplayOptions opt = fast_options();
+  opt.mds_count = 1;
+  opt.clients = 1;
+  StaticBalancer balancer(StaticBalancer::Kind::kSingle);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  // No queueing with one client: latency ~ rtt + service, well under 1ms.
+  EXPECT_GT(r.mean_latency_us, 100.0);
+  EXPECT_LT(r.mean_latency_us, 1000.0);
+  EXPECT_GE(r.p99_latency_us, r.p50_latency_us);
+}
+
+TEST(Replay, TimeLimitCutsRunAndLoops) {
+  const wl::Trace trace = tiny_trace(2'000);  // short trace
+  ReplayOptions opt = fast_options();
+  opt.loop_trace = true;
+  opt.time_limit = sim::seconds(2);
+  StaticBalancer balancer(StaticBalancer::Kind::kCoarseHash);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  // The 2k-op trace must have been replayed several times over 2 seconds.
+  EXPECT_GT(r.completed_ops, 4'000u);
+  EXPECT_LE(r.makespan, sim::seconds(2) + sim::millis(100));
+}
+
+TEST(Replay, ImbalanceFactorsWithinRange) {
+  const wl::Trace trace = tiny_trace();
+  ReplayOptions opt = fast_options();
+  StaticBalancer balancer(StaticBalancer::Kind::kFineHash);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  for (double f : {r.imf_qps, r.imf_rpc, r.imf_inodes, r.imf_busy}) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Replay, DataPathAddsLatencyAndTracksBytes) {
+  const wl::Trace trace = tiny_trace(10'000);
+  ReplayOptions meta_only = fast_options();
+  ReplayOptions with_data = fast_options();
+  with_data.data_path = true;
+  StaticBalancer b1(StaticBalancer::Kind::kCoarseHash);
+  StaticBalancer b2(StaticBalancer::Kind::kCoarseHash);
+  const RunResult rm = replay_trace(trace, meta_only, b1);
+  const RunResult rd = replay_trace(trace, with_data, b2);
+  EXPECT_EQ(rm.data_requests, 0u);
+  EXPECT_GT(rd.data_requests, 0u);
+  EXPECT_GT(rd.data_throughput_mb_s, 0.0);
+  // End-to-end throughput is below metadata-only (Fig. 9b vs 9a).
+  EXPECT_LT(rd.throughput_ops, rm.throughput_ops);
+}
+
+TEST(Replay, KvBackingExecutesRealStoreOps) {
+  const wl::Trace trace = tiny_trace(5'000);
+  ReplayOptions opt = fast_options();
+  opt.kv_backing = true;
+  StaticBalancer balancer(StaticBalancer::Kind::kCoarseHash);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  EXPECT_EQ(r.completed_ops, trace.ops.size());
+}
+
+// A balancer that migrates one fixed subtree at the first epoch, to test
+// the Migrator path of the replay engine.
+class OneShotMigrator final : public Balancer {
+ public:
+  explicit OneShotMigrator(fsns::NodeId subtree) : subtree_(subtree) {}
+  [[nodiscard]] std::string name() const override { return "one-shot"; }
+  std::vector<MigrationDecision> rebalance(const EpochSnapshot& snap,
+                                           const fsns::DirTree&,
+                                           const mds::PartitionMap& map) override {
+    if (fired_ || snap.epoch < 1) return {};
+    fired_ = true;
+    return {{subtree_, map.dir_owner(subtree_), 1, 1.0}};
+  }
+  bool fired_ = false;
+  fsns::NodeId subtree_;
+};
+
+TEST(Replay, MigrationsAreExecutedAndCounted) {
+  const wl::Trace trace = tiny_trace();
+  // Pick some project directory (child of /src).
+  const auto& root_children = trace.tree.node(fsns::kRootNode).children;
+  const fsns::NodeId src = root_children[0];
+  const fsns::NodeId proj = trace.tree.node(src).children[0];
+
+  ReplayOptions opt = fast_options();
+  OneShotMigrator balancer(proj);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  EXPECT_EQ(r.migrations, 1u);
+  EXPECT_GT(r.inodes_migrated, 0u);
+  // After migration some requests must be routed to MDS 1.
+  std::uint64_t mds1_ops = 0;
+  for (const auto& em : r.epochs) mds1_ops += em.mds[1].ops;
+  EXPECT_GT(mds1_ops, 0u);
+}
+
+TEST(Replay, StaleCacheForwardsAfterMigration) {
+  const wl::Trace trace = tiny_trace();
+  const auto& root_children = trace.tree.node(fsns::kRootNode).children;
+  const fsns::NodeId src = root_children[0];
+
+  ReplayOptions opt = fast_options();
+  opt.cache_depth = 4;  // project dirs are cacheable
+  OneShotMigrator balancer(src);
+  const RunResult r = replay_trace(trace, opt, balancer);
+  EXPECT_GT(r.cache.stale, 0u);
+}
+
+}  // namespace
+}  // namespace origami::cluster

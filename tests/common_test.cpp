@@ -1,0 +1,457 @@
+// Unit tests for the origami::common substrate: status/result types, RNG,
+// Zipf/alias sampling, hashing, histograms, CSV, thread pool, MPMC queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "origami/common/csv.hpp"
+#include "origami/common/hash.hpp"
+#include "origami/common/histogram.hpp"
+#include "origami/common/log.hpp"
+#include "origami/common/mpmc_queue.hpp"
+#include "origami/common/rng.hpp"
+#include "origami/common/status.hpp"
+#include "origami/common/thread_pool.hpp"
+#include "origami/common/zipf.hpp"
+
+namespace origami::common {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::not_found("missing inode");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing inode");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing inode");
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::internal("a"), Status::internal("b"));
+  EXPECT_FALSE(Status::internal("a") == Status::corruption("a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::unavailable("down"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+// ------------------------------------------------------------------- RNG --
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.uniform(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(5);
+  WelfordStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256 rng(6);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 50000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256 a(11);
+  Xoshiro256 b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+class ZipfShape : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfShape, RankZeroIsMostPopularAndInRange) {
+  const double theta = GetParam();
+  ZipfDistribution zipf(1000, theta);
+  Xoshiro256 rng(42);
+  std::vector<int> hits(1000, 0);
+  for (int i = 0; i < 200000; ++i) {
+    const auto r = zipf(rng);
+    ASSERT_LT(r, 1000u);
+    ++hits[r];
+  }
+  // Rank 0 must dominate for skewed thetas.
+  if (theta >= 0.8) {
+    EXPECT_GT(hits[0], hits[10]);
+    EXPECT_GT(hits[0], hits[999] * 5);
+  }
+  // Monotone-ish decay over decades (theta 0 is uniform — no decay).
+  if (theta >= 0.5) {
+    EXPECT_GE(hits[0] + hits[1] + hits[2], hits[500] + hits[501] + hits[502]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfShape,
+                         ::testing::Values(0.0, 0.5, 0.8, 0.99, 1.0, 1.2));
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(100, 0.0);
+  Xoshiro256 rng(1);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 100000; ++i) ++hits[zipf(rng)];
+  for (int h : hits) EXPECT_NEAR(h, 1000, 250);
+}
+
+TEST(Zipf, SkewMatchesTheory) {
+  // For theta=1, P(rank 0) ~= 1/H_n; with n=1000, H_n ~= 7.49.
+  ZipfDistribution zipf(1000, 1.0);
+  Xoshiro256 rng(2);
+  int zero = 0;
+  constexpr int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf(rng) == 0) ++zero;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / kDraws, 1.0 / 7.49, 0.02);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfDistribution zipf(1, 0.9);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Zipf, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), std::invalid_argument);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  AliasTable table({1.0, 2.0, 4.0, 1.0});
+  Xoshiro256 rng(9);
+  std::array<int, 4> hits{};
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) ++hits[table(rng)];
+  EXPECT_NEAR(hits[0], kDraws / 8, kDraws / 8 * 0.15);
+  EXPECT_NEAR(hits[1], kDraws / 4, kDraws / 4 * 0.1);
+  EXPECT_NEAR(hits[2], kDraws / 2, kDraws / 2 * 0.1);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0});
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table(rng), 1u);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(Hash, Fnv1aKnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, Mix64Bijective) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(Welford, MeanVarianceMinMax) {
+  WelfordStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Welford, MergeEqualsCombined) {
+  WelfordStats a;
+  WelfordStats b;
+  WelfordStats all;
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3 + 1;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
+TEST(LatencyHistogram, QuantileAccuracyWithinRelativeError) {
+  LatencyHistogram h;
+  Xoshiro256 rng(77);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.exponential(1e-6));
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact = values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const auto approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05 + 2.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MeanMatches) {
+  LatencyHistogram h;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.add(v * 1000);
+    sum += v * 1000;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 1000.0);
+}
+
+TEST(LatencyHistogram, MergeAndClear) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.add(100);
+  b.add(10000, 3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 100u);
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0u);
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/origami_csv_test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.is_open());
+    w.header({"name", "value"});
+    w.field("plain").field(std::int64_t{-3}).endrow();
+    w.field("has,comma").field(2.5).endrow();
+    w.field("has\"quote").field(std::uint64_t{7}).endrow();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,-3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has,comma\",2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",7");
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- Thread pool --
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(
+      pool, hits.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// ------------------------------------------------------------ MPMC queue --
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseWakesConsumers) {
+  MpmcQueue<int> q;
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumerDeliversAll) {
+  MpmcQueue<int> q;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (q.size() > 0) std::this_thread::yield();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.load(), 3 * kPerProducer);
+  EXPECT_EQ(sum.load(), 3L * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+// ------------------------------------------------------------------- Log --
+
+TEST(Log, LevelFiltering) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  ORIGAMI_LOG_ERROR("test") << "must not crash while filtered";
+  set_log_level(prev);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace origami::common

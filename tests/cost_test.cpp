@@ -1,0 +1,124 @@
+// Tests for the Eq. 1–2 cost decomposition, the JCT bin estimate and the
+// imbalance-factor metric.
+#include <gtest/gtest.h>
+
+#include "origami/cost/cost_model.hpp"
+
+namespace origami::cost {
+namespace {
+
+using fsns::OpType;
+
+CostParams simple_params() {
+  CostParams p;
+  p.t_inode = sim::micros(10);
+  p.t_exec_read = sim::micros(100);
+  p.t_exec_write = sim::micros(200);
+  p.t_exec_readdir = sim::micros(150);
+  p.t_rpc_handle = sim::micros(20);
+  p.t_coor = sim::micros(500);
+  p.rtt = sim::micros(100);
+  return p;
+}
+
+TEST(CostModel, ExecTimeByClass) {
+  CostModel m(simple_params());
+  EXPECT_EQ(m.exec_time(OpType::kStat), sim::micros(100));
+  EXPECT_EQ(m.exec_time(OpType::kOpen), sim::micros(100));
+  EXPECT_EQ(m.exec_time(OpType::kSetattr), sim::micros(100));
+  EXPECT_EQ(m.exec_time(OpType::kCreate), sim::micros(200));
+  EXPECT_EQ(m.exec_time(OpType::kRename), sim::micros(200));
+  EXPECT_EQ(m.exec_time(OpType::kReaddir), sim::micros(150));
+}
+
+TEST(CostModel, Eq2BaselineTerm) {
+  // T_meta = T_inode*(m+k) + T_exec + T_rpc*m for an unaffected op.
+  CostModel m(simple_params());
+  const auto t = m.t_meta(OpType::kStat, /*k=*/4, /*m=*/2, 0, false);
+  EXPECT_EQ(t, sim::micros(10) * 6 + sim::micros(100) + sim::micros(20) * 2);
+}
+
+TEST(CostModel, Eq2LsdirSurcharge) {
+  CostModel m(simple_params());
+  const auto base = m.t_meta(OpType::kReaddir, 3, 1, 0, false);
+  const auto spread2 = m.t_meta(OpType::kReaddir, 3, 1, 2, false);
+  EXPECT_EQ(spread2 - base, sim::micros(100) * 2);  // + RTT * i
+}
+
+TEST(CostModel, Eq2CoordinationSurcharge) {
+  CostModel m(simple_params());
+  const auto local = m.t_meta(OpType::kMkdir, 3, 1, 0, false);
+  const auto cross = m.t_meta(OpType::kMkdir, 3, 1, 0, true);
+  EXPECT_EQ(cross - local, sim::micros(500));  // + T_coor * 1(i>0)
+  // "Other" ops never pay coordination even if flagged.
+  EXPECT_EQ(m.t_meta(OpType::kStat, 3, 1, 0, true),
+            m.t_meta(OpType::kStat, 3, 1, 0, false));
+}
+
+TEST(CostModel, Eq1NetworkTerm) {
+  CostModel m(simple_params());
+  const auto b = m.rct(OpType::kStat, 4, 3, 0, false);
+  EXPECT_EQ(b.network, sim::micros(100) * 3);  // m * RTT
+  EXPECT_EQ(b.hops, 3u);
+  EXPECT_EQ(b.total(), b.t_meta + b.network);
+}
+
+TEST(CostModel, MoreHopsNeverCheaper) {
+  CostModel m(simple_params());
+  for (std::uint32_t k = 1; k < 12; ++k) {
+    for (std::uint32_t mm = 1; mm < 5; ++mm) {
+      EXPECT_LE(m.rct(OpType::kStat, k, mm, 0, false).total(),
+                m.rct(OpType::kStat, k, mm + 1, 0, false).total());
+    }
+  }
+}
+
+TEST(JctAccumulator, MaxBinIsJct) {
+  JctAccumulator acc(3);
+  acc.charge(0, 100);
+  acc.charge(1, 300);
+  acc.charge(2, 200);
+  acc.charge(1, 50);
+  EXPECT_EQ(acc.jct(), 350);
+  EXPECT_EQ(acc.total(), 650);
+  EXPECT_EQ(acc.per_mds()[2], 200);
+  acc.clear();
+  EXPECT_EQ(acc.jct(), 0);
+}
+
+TEST(ImbalanceFactor, EvenIsZero) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({10, 10, 10, 10, 10}), 0.0);
+}
+
+TEST(ImbalanceFactor, AllOnOneIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({100, 0, 0, 0, 0}), 1.0);
+}
+
+TEST(ImbalanceFactor, MonotoneInSkew) {
+  const double mild = imbalance_factor({30, 20, 20, 20, 10});
+  const double strong = imbalance_factor({60, 10, 10, 10, 10});
+  EXPECT_GT(mild, 0.0);
+  EXPECT_LT(mild, strong);
+  EXPECT_LT(strong, 1.0);
+}
+
+TEST(ImbalanceFactor, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({0, 0, 0}), 0.0);
+}
+
+TEST(ImbalanceFactor, ScaleInvariant) {
+  const double a = imbalance_factor({3, 1, 2});
+  const double b = imbalance_factor({300, 100, 200});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// Paper §5.3's example: "in a cluster with 5 MDSs, an Imbalance Factor of 1
+// means all requests go to a single MDS".
+TEST(ImbalanceFactor, PaperExample) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({42, 0, 0, 0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace origami::cost

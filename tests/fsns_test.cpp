@@ -1,0 +1,171 @@
+// Tests for the namespace substrate: op taxonomy and the directory tree.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/fsns/types.hpp"
+
+namespace origami::fsns {
+namespace {
+
+// -------------------------------------------------------------- Taxonomy --
+
+TEST(OpTypes, ClassificationMatchesPaper) {
+  // Eq. 2's three categories: lsdir / ns-mutation / other.
+  EXPECT_EQ(classify(OpType::kReaddir), OpClass::kLsdir);
+  for (OpType op : {OpType::kCreate, OpType::kMkdir, OpType::kUnlink,
+                    OpType::kRmdir, OpType::kRename}) {
+    EXPECT_EQ(classify(op), OpClass::kNsMutation) << to_string(op);
+  }
+  for (OpType op : {OpType::kStat, OpType::kOpen, OpType::kSetattr}) {
+    EXPECT_EQ(classify(op), OpClass::kOther) << to_string(op);
+  }
+}
+
+TEST(OpTypes, ReadWriteSplitMatchesTable1) {
+  // Table 1: reads = open/stat-like; writes = create/mkdir-like.
+  EXPECT_FALSE(is_write(OpType::kStat));
+  EXPECT_FALSE(is_write(OpType::kOpen));
+  EXPECT_FALSE(is_write(OpType::kReaddir));
+  EXPECT_TRUE(is_write(OpType::kCreate));
+  EXPECT_TRUE(is_write(OpType::kMkdir));
+  EXPECT_TRUE(is_write(OpType::kUnlink));
+  EXPECT_TRUE(is_write(OpType::kRmdir));
+  EXPECT_TRUE(is_write(OpType::kRename));
+  EXPECT_TRUE(is_write(OpType::kSetattr));
+}
+
+TEST(OpTypes, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int i = 0; i < kOpTypeCount; ++i) {
+    names.insert(to_string(static_cast<OpType>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kOpTypeCount));
+}
+
+// --------------------------------------------------------------- DirTree --
+
+class DirTreeFixture : public ::testing::Test {
+ protected:
+  // /
+  // ├── usr/
+  // │   ├── bin/
+  // │   │   └── ls        (file)
+  // │   └── lib/
+  // │       ├── libc.so   (file)
+  // │       └── libm.so   (file)
+  // └── home/
+  //     └── alice/
+  //         └── notes.txt (file)
+  void SetUp() override {
+    usr = tree.add_dir(kRootNode, "usr");
+    bin = tree.add_dir(usr, "bin");
+    lib = tree.add_dir(usr, "lib");
+    ls = tree.add_file(bin, "ls");
+    libc = tree.add_file(lib, "libc.so");
+    libm = tree.add_file(lib, "libm.so");
+    home = tree.add_dir(kRootNode, "home");
+    alice = tree.add_dir(home, "alice");
+    notes = tree.add_file(alice, "notes.txt");
+    tree.finalize();
+  }
+
+  DirTree tree;
+  NodeId usr{}, bin{}, lib{}, ls{}, libc{}, libm{}, home{}, alice{}, notes{};
+};
+
+TEST_F(DirTreeFixture, CountsAndTypes) {
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.dir_count(), 6u);
+  EXPECT_EQ(tree.file_count(), 4u);
+  EXPECT_TRUE(tree.is_dir(usr));
+  EXPECT_FALSE(tree.is_dir(ls));
+}
+
+TEST_F(DirTreeFixture, DepthsAndParents) {
+  EXPECT_EQ(tree.depth(kRootNode), 0u);
+  EXPECT_EQ(tree.depth(usr), 1u);
+  EXPECT_EQ(tree.depth(bin), 2u);
+  EXPECT_EQ(tree.depth(ls), 3u);
+  EXPECT_EQ(tree.parent(ls), bin);
+  EXPECT_EQ(tree.parent(usr), kRootNode);
+}
+
+TEST_F(DirTreeFixture, FullPaths) {
+  EXPECT_EQ(tree.full_path(kRootNode), "/");
+  EXPECT_EQ(tree.full_path(usr), "/usr");
+  EXPECT_EQ(tree.full_path(ls), "/usr/bin/ls");
+  EXPECT_EQ(tree.full_path(notes), "/home/alice/notes.txt");
+}
+
+TEST_F(DirTreeFixture, AncestorsRootFirst) {
+  const auto chain = tree.ancestors(ls);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], kRootNode);
+  EXPECT_EQ(chain[1], usr);
+  EXPECT_EQ(chain[2], bin);
+  EXPECT_EQ(chain[3], ls);
+  EXPECT_EQ(tree.ancestors(kRootNode).size(), 1u);
+}
+
+TEST_F(DirTreeFixture, ChildCounters) {
+  EXPECT_EQ(tree.node(usr).sub_dirs, 2u);
+  EXPECT_EQ(tree.node(usr).sub_files, 0u);
+  EXPECT_EQ(tree.node(lib).sub_files, 2u);
+  EXPECT_EQ(tree.node(kRootNode).sub_dirs, 2u);
+}
+
+TEST_F(DirTreeFixture, SubtreeSizesAfterFinalize) {
+  EXPECT_EQ(tree.node(kRootNode).subtree_nodes, 10u);
+  EXPECT_EQ(tree.node(usr).subtree_nodes, 6u);  // usr,bin,lib,ls,libc,libm
+  EXPECT_EQ(tree.node(lib).subtree_nodes, 3u);
+  EXPECT_EQ(tree.node(ls).subtree_nodes, 1u);
+}
+
+TEST_F(DirTreeFixture, VisitSubtreeIsPreorderAndComplete) {
+  std::vector<NodeId> visited;
+  tree.visit_subtree(usr, [&](NodeId id) { visited.push_back(id); });
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited[0], usr);
+  // Every visited node is within the subtree.
+  for (NodeId id : visited) EXPECT_TRUE(tree.in_subtree(id, usr));
+}
+
+TEST_F(DirTreeFixture, InSubtree) {
+  EXPECT_TRUE(tree.in_subtree(ls, usr));
+  EXPECT_TRUE(tree.in_subtree(usr, usr));
+  EXPECT_TRUE(tree.in_subtree(notes, kRootNode));
+  EXPECT_FALSE(tree.in_subtree(notes, usr));
+  EXPECT_FALSE(tree.in_subtree(usr, home));
+}
+
+TEST_F(DirTreeFixture, DirectoriesList) {
+  const auto dirs = tree.directories();
+  EXPECT_EQ(dirs.size(), 6u);
+  EXPECT_EQ(dirs.front(), kRootNode);
+  for (NodeId d : dirs) EXPECT_TRUE(tree.is_dir(d));
+}
+
+TEST(DirTree, RootOnly) {
+  DirTree tree;
+  tree.finalize();
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.full_path(kRootNode), "/");
+  EXPECT_EQ(tree.node(kRootNode).subtree_nodes, 1u);
+}
+
+TEST(DirTree, DeepChain) {
+  DirTree tree;
+  NodeId cur = kRootNode;
+  for (int i = 0; i < 100; ++i) cur = tree.add_dir(cur, "d" + std::to_string(i));
+  tree.finalize();
+  EXPECT_EQ(tree.depth(cur), 100u);
+  EXPECT_EQ(tree.ancestors(cur).size(), 101u);
+  EXPECT_EQ(tree.node(kRootNode).subtree_nodes, 101u);
+}
+
+}  // namespace
+}  // namespace origami::fsns

@@ -1,0 +1,203 @@
+// End-to-end integration tests: the full Origami workflow (label
+// generation -> offline training -> online ML-driven balancing) against
+// the baselines, on scaled-down versions of the paper's setup.
+#include <gtest/gtest.h>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/core/pipeline.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami {
+namespace {
+
+using cluster::ReplayOptions;
+using cluster::RunResult;
+using cluster::StaticBalancer;
+
+wl::Trace small_rw(std::uint64_t ops = 90'000) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = ops;
+  cfg.projects = 8;
+  cfg.modules_per_project = 5;
+  cfg.sources_per_module = 12;
+  cfg.headers_shared = 150;
+  return wl::make_trace_rw(cfg);
+}
+
+ReplayOptions options(std::uint32_t mds = 3, std::uint32_t clients = 48) {
+  ReplayOptions opt;
+  opt.mds_count = mds;
+  opt.clients = clients;
+  opt.epoch_length = sim::millis(250);
+  opt.warmup_epochs = 3;
+  opt.lookahead_ops = 20'000;
+  return opt;
+}
+
+core::LabelGenOptions label_options(const ReplayOptions& replay) {
+  core::LabelGenOptions opt;
+  opt.replay = replay;
+  opt.meta_opt.min_subtree_ops = 8;
+  opt.meta_opt.stop_threshold = sim::micros(500);
+  opt.meta_opt.cache_depth = replay.cache_depth;
+  opt.meta_opt.cache_enabled = replay.cache_enabled;
+  opt.min_feature_ops = 4;
+  return opt;
+}
+
+TEST(Integration, LabelGenerationProducesTrainingData) {
+  const wl::Trace trace = small_rw();
+  const auto labels = core::generate_labels(trace, label_options(options()));
+  EXPECT_GT(labels.benefit_data.size(), 50u);
+  EXPECT_GT(labels.popularity_data.size(), 50u);
+  EXPECT_EQ(labels.benefit_data.num_features(), core::kFeatureCount);
+  EXPECT_EQ(labels.run.completed_ops, trace.ops.size());
+  // Meta-OPT must have actually migrated something during label gen.
+  EXPECT_GT(labels.run.migrations, 0u);
+  // Some labels must be positive (profitable migrations exist).
+  bool positive = false;
+  for (std::size_t i = 0; i < labels.benefit_data.size(); ++i) {
+    if (labels.benefit_data.label(i) > 0) positive = true;
+  }
+  EXPECT_TRUE(positive);
+}
+
+TEST(Integration, TrainedModelRanksBenefitsUsefully) {
+  // §4.3's iterative enrichment: pool label-gen data from two runs of the
+  // workload family before training.
+  auto labels = core::generate_labels(small_rw(), label_options(options()));
+  wl::TraceRwConfig cfg2;
+  cfg2.ops = 90'000;
+  cfg2.projects = 8;
+  cfg2.modules_per_project = 5;
+  cfg2.sources_per_module = 12;
+  cfg2.headers_shared = 150;
+  cfg2.seed = 55;
+  const auto labels2 =
+      core::generate_labels(wl::make_trace_rw(cfg2), label_options(options()));
+  labels.benefit_data.append(labels2.benefit_data);
+  labels.popularity_data.append(labels2.popularity_data);
+
+  ml::GbdtParams params;
+  params.rounds = 150;
+  const auto models = core::train_models(labels, params);
+  ASSERT_NE(models.benefit, nullptr);
+  EXPECT_GT(models.benefit->num_trees(), 0);
+  // §4.3: what matters operationally is that the model puts genuinely
+  // high-benefit subtrees on top — the greedy migrator discards the rest.
+  EXPECT_GT(models.benefit_top_lift, 2.0);
+  EXPECT_GT(models.benefit_spearman, 0.0);
+  EXPECT_GT(labels.benefit_data.size(), 200u);
+}
+
+TEST(Integration, OrigamiBeatsSingleMdsAndStaysLocal) {
+  const wl::Trace trace = small_rw();
+  const ReplayOptions opt = options();
+
+  // Train on a differently-seeded run of the same workload family.
+  wl::TraceRwConfig train_cfg;
+  train_cfg.ops = 90'000;
+  train_cfg.projects = 8;
+  train_cfg.modules_per_project = 5;
+  train_cfg.sources_per_module = 12;
+  train_cfg.headers_shared = 150;
+  train_cfg.seed = 77;
+  const wl::Trace train_trace = wl::make_trace_rw(train_cfg);
+  ml::GbdtParams gbdt;
+  gbdt.rounds = 120;
+  const auto models =
+      core::train_from_trace(train_trace, label_options(opt), gbdt);
+
+  // Single-MDS baseline.
+  ReplayOptions single_opt = opt;
+  single_opt.mds_count = 1;
+  StaticBalancer single(StaticBalancer::Kind::kSingle);
+  const RunResult r_single = replay_trace(trace, single_opt, single);
+
+  // Origami on 3 MDSs.
+  core::OrigamiBalancer::Params ob;
+  ob.min_subtree_ops = 8;
+  core::OrigamiBalancer origami(models.benefit, cost::CostModel{opt.cost_params},
+                                ob, core::RebalanceTrigger{0.05});
+  const RunResult r_origami = replay_trace(trace, opt, origami);
+
+  EXPECT_GT(r_origami.steady_throughput_ops, r_single.steady_throughput_ops);
+  EXPECT_GT(r_origami.migrations, 0u);
+  // Locality: forwarding stays modest thanks to benefit-aware migration +
+  // the near-root cache (§5.4: ~1.04 RPC/request with cache).
+  EXPECT_LT(r_origami.rpc_per_request, 1.8);
+}
+
+TEST(Integration, MetaOptOracleImprovesOverNoBalancing) {
+  const wl::Trace trace = small_rw();
+  const ReplayOptions opt = options();
+
+  // "no balancing" on the same 3-MDS cluster: everything stays on MDS-0.
+  StaticBalancer none(StaticBalancer::Kind::kSingle);
+  const RunResult r_none = replay_trace(trace, opt, none);
+
+  core::MetaOptParams mp;
+  mp.min_subtree_ops = 8;
+  mp.stop_threshold = sim::micros(500);
+  core::MetaOptOracleBalancer oracle(cost::CostModel{opt.cost_params}, mp,
+                                     core::RebalanceTrigger{0.05});
+  const RunResult r_oracle = replay_trace(trace, opt, oracle);
+
+  EXPECT_GT(r_oracle.migrations, 0u);
+  EXPECT_GT(r_oracle.steady_throughput_ops,
+            r_none.steady_throughput_ops * 1.3);
+}
+
+TEST(Integration, FullComparisonOrderingOnTraceRw) {
+  // A scaled-down Fig. 5a: Origami should lead, and single-MDS trail.
+  const wl::Trace trace = small_rw(80'000);
+  const ReplayOptions opt = options(3, 24);
+
+  const auto models = core::train_from_trace(small_rw(), label_options(opt),
+                                             [] {
+                                               ml::GbdtParams p;
+                                               p.rounds = 120;
+                                               return p;
+                                             }());
+
+  ReplayOptions single_opt = opt;
+  single_opt.mds_count = 1;
+  StaticBalancer single(StaticBalancer::Kind::kSingle);
+  StaticBalancer chash(StaticBalancer::Kind::kCoarseHash);
+  StaticBalancer fhash(StaticBalancer::Kind::kFineHash);
+  core::OrigamiBalancer::Params ob;
+  ob.min_subtree_ops = 8;
+  core::OrigamiBalancer origami(models.benefit, cost::CostModel{opt.cost_params},
+                                ob, core::RebalanceTrigger{0.05});
+
+  const double t_single =
+      replay_trace(trace, single_opt, single).steady_throughput_ops;
+  const double t_chash = replay_trace(trace, opt, chash).steady_throughput_ops;
+  const double t_fhash = replay_trace(trace, opt, fhash).steady_throughput_ops;
+  const double t_origami =
+      replay_trace(trace, opt, origami).steady_throughput_ops;
+
+  // The paper's qualitative ordering (§5.2).
+  EXPECT_GT(t_origami, t_chash);
+  EXPECT_GT(t_origami, t_fhash);
+  EXPECT_GT(t_origami, t_single);
+  EXPECT_GT(t_chash, t_single);
+}
+
+TEST(Integration, KvBackedOrigamiRunMatchesUnbacked) {
+  // kv_backing changes host-side work only, never virtual-time results.
+  const wl::Trace trace = small_rw(20'000);
+  ReplayOptions opt = options();
+  ReplayOptions opt_kv = opt;
+  opt_kv.kv_backing = true;
+  StaticBalancer b1(StaticBalancer::Kind::kCoarseHash);
+  StaticBalancer b2(StaticBalancer::Kind::kCoarseHash);
+  const RunResult a = replay_trace(trace, opt, b1);
+  const RunResult b = replay_trace(trace, opt_kv, b2);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_rpcs, b.total_rpcs);
+}
+
+}  // namespace
+}  // namespace origami

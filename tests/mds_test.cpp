@@ -1,0 +1,335 @@
+// Tests for the MDS substrate: partition map + partitioners, the queueing
+// server, the inode store, the near-root client cache and the data cluster.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "origami/mds/client_cache.hpp"
+#include "origami/mds/data_cluster.hpp"
+#include "origami/mds/inode_store.hpp"
+#include "origami/mds/mds_server.hpp"
+#include "origami/mds/partition.hpp"
+
+namespace origami::mds {
+namespace {
+
+using fsns::DirTree;
+using fsns::NodeId;
+
+DirTree small_tree(NodeId* a_out = nullptr, NodeId* b_out = nullptr,
+                   NodeId* a1_out = nullptr) {
+  DirTree tree;
+  const NodeId a = tree.add_dir(fsns::kRootNode, "a");
+  const NodeId b = tree.add_dir(fsns::kRootNode, "b");
+  const NodeId a1 = tree.add_dir(a, "a1");
+  tree.add_file(a, "fa");
+  tree.add_file(a1, "fa1");
+  tree.add_file(b, "fb");
+  tree.finalize();
+  if (a_out) *a_out = a;
+  if (b_out) *b_out = b;
+  if (a1_out) *a1_out = a1;
+  return tree;
+}
+
+// ----------------------------------------------------------- PartitionMap --
+
+TEST(PartitionMap, InitialStateAllOnMdsZero) {
+  const DirTree tree = small_tree();
+  PartitionMap map(tree, 3);
+  for (NodeId d : tree.directories()) EXPECT_EQ(map.dir_owner(d), 0u);
+  EXPECT_EQ(map.inode_counts()[0], tree.size());
+  EXPECT_EQ(map.inode_counts()[1], 0u);
+}
+
+TEST(PartitionMap, FilesFollowParentOwner) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  PartitionMap map(tree, 3);
+  map.set_dir_owner(a, 2);
+  const NodeId fa = tree.node(a).children[1];  // "fa" file
+  ASSERT_FALSE(tree.is_dir(fa));
+  EXPECT_EQ(map.node_owner(fa), 2u);
+  EXPECT_EQ(map.node_owner(a), 2u);
+  EXPECT_EQ(map.node_owner(a1), 0u);  // dir not moved by set_dir_owner
+}
+
+TEST(PartitionMap, MigrateMovesUniformSubtree) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  PartitionMap map(tree, 3);
+  const std::uint64_t moved = map.migrate(a, 0, 1);
+  // dirs a (+1 file) and a1 (+1 file) => 4 inodes.
+  EXPECT_EQ(moved, 4u);
+  EXPECT_EQ(map.dir_owner(a), 1u);
+  EXPECT_EQ(map.dir_owner(a1), 1u);
+  EXPECT_EQ(map.dir_owner(b), 0u);
+  EXPECT_TRUE(map.subtree_uniform(a));
+  EXPECT_EQ(map.prev_owner(a), 0u);
+  EXPECT_EQ(map.dir_version(a), 1u);
+}
+
+TEST(PartitionMap, MigrateOnlyMovesSourceOwnedDirs) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  PartitionMap map(tree, 3);
+  map.set_dir_owner(a1, 2);  // nested dir already elsewhere
+  const std::uint64_t moved = map.migrate(a, 0, 1);
+  EXPECT_EQ(moved, 2u);  // only dir a + its file
+  EXPECT_EQ(map.dir_owner(a1), 2u);
+  EXPECT_FALSE(map.subtree_uniform(a));
+}
+
+TEST(PartitionMap, InodeCountsConserved) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  PartitionMap map(tree, 4);
+  map.migrate(a, 0, 2);
+  map.migrate(b, 0, 3);
+  std::uint64_t total = 0;
+  for (auto c : map.inode_counts()) total += c;
+  EXPECT_EQ(total, tree.size());
+}
+
+TEST(PartitionMap, MigrateNoopWhenSourceWrong) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  PartitionMap map(tree, 3);
+  EXPECT_EQ(map.migrate(a, 2, 1), 0u);  // nothing owned by 2
+  EXPECT_EQ(map.dir_owner(a), 0u);
+}
+
+// ----------------------------------------------------------- partitioners --
+
+fsns::DirTree deeper_tree() {
+  DirTree tree;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId top = tree.add_dir(fsns::kRootNode, "top" + std::to_string(i));
+    for (int j = 0; j < 6; ++j) {
+      const NodeId mid = tree.add_dir(top, "mid" + std::to_string(j));
+      for (int k = 0; k < 4; ++k) {
+        const NodeId leaf = tree.add_dir(mid, "leaf" + std::to_string(k));
+        tree.add_file(leaf, "f");
+      }
+    }
+  }
+  tree.finalize();
+  return tree;
+}
+
+TEST(Partitioner, CoarseHashKeepsSubtreesTogether) {
+  const DirTree tree = deeper_tree();
+  PartitionMap map(tree, 5);
+  partitioner::coarse_hash(map, 1);
+  // Every directory below depth 1 shares its depth-1 ancestor's owner.
+  for (NodeId d : tree.directories()) {
+    if (tree.depth(d) <= 1) continue;
+    NodeId anchor = d;
+    while (tree.depth(anchor) > 1) anchor = tree.parent(anchor);
+    EXPECT_EQ(map.dir_owner(d), map.dir_owner(anchor));
+  }
+}
+
+TEST(Partitioner, CoarseHashUsesMultipleMds) {
+  const DirTree tree = deeper_tree();
+  PartitionMap map(tree, 5);
+  partitioner::coarse_hash(map, 1);
+  std::set<cost::MdsId> owners;
+  for (NodeId d : tree.directories()) owners.insert(map.dir_owner(d));
+  EXPECT_GT(owners.size(), 1u);
+}
+
+TEST(Partitioner, FineHashSpreadsSiblingSubdirs) {
+  const DirTree tree = deeper_tree();
+  PartitionMap map(tree, 5);
+  partitioner::fine_hash(map);
+  // With independent hashing, inode spread must be much more even than
+  // coarse: check all MDSs own something and no MDS owns > 50%.
+  std::uint64_t max_count = 0;
+  for (auto c : map.inode_counts()) {
+    EXPECT_GT(c, 0u);
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LT(max_count, tree.size() / 2);
+}
+
+TEST(Partitioner, SingleResetsEverythingToZero) {
+  const DirTree tree = deeper_tree();
+  PartitionMap map(tree, 5);
+  partitioner::fine_hash(map);
+  partitioner::single(map);
+  for (NodeId d : tree.directories()) EXPECT_EQ(map.dir_owner(d), 0u);
+  EXPECT_EQ(map.inode_counts()[0], tree.size());
+}
+
+// -------------------------------------------------------------- MdsServer --
+
+TEST(MdsServer, SingleSlotQueuesFcfs) {
+  MdsServerParams p;
+  p.service_slots = 1;
+  MdsServer s(0, p);
+  EXPECT_EQ(s.serve(0, 100), 100);
+  EXPECT_EQ(s.serve(10, 100), 200);   // waits for slot
+  EXPECT_EQ(s.serve(500, 100), 600);  // idle gap
+  EXPECT_EQ(s.counters().busy, 300);
+  EXPECT_EQ(s.counters().queue_wait, 90);
+}
+
+TEST(MdsServer, MultiSlotServesInParallel) {
+  MdsServerParams p;
+  p.service_slots = 2;
+  MdsServer s(0, p);
+  EXPECT_EQ(s.serve(0, 100), 100);
+  EXPECT_EQ(s.serve(0, 100), 100);  // second slot
+  EXPECT_EQ(s.serve(0, 100), 200);  // queued
+  EXPECT_EQ(s.counters().queue_wait, 100);
+}
+
+TEST(MdsServer, BacklogAndEarliestStart) {
+  MdsServerParams p;
+  p.service_slots = 1;
+  MdsServer s(3, p);
+  EXPECT_EQ(s.id(), 3u);
+  s.serve(0, 1000);
+  EXPECT_EQ(s.earliest_start(0), 1000);
+  EXPECT_EQ(s.earliest_start(2000), 2000);
+  EXPECT_EQ(s.backlog(400), 600);
+}
+
+TEST(MdsServer, DrainCountersResets) {
+  MdsServer s(0, {});
+  s.serve(0, 50);
+  s.counters().ops_executed = 7;
+  const auto drained = s.drain_counters();
+  EXPECT_EQ(drained.ops_executed, 7u);
+  EXPECT_EQ(drained.busy, 50);
+  EXPECT_EQ(s.counters().ops_executed, 0u);
+  EXPECT_EQ(s.counters().busy, 0);
+}
+
+// ------------------------------------------------------------- InodeStore --
+
+TEST(InodeStore, KeyEncodingGroupsSiblings) {
+  const std::string k1 = inode_key(5, "aaa");
+  const std::string k2 = inode_key(5, "zzz");
+  const std::string k3 = inode_key(6, "aaa");
+  EXPECT_LT(k1, k2);
+  EXPECT_LT(k2, k3);  // big-endian parent dominates ordering
+}
+
+TEST(InodeStore, EncodeDecodeRoundtrip) {
+  fsns::InodeAttr attr;
+  attr.mode = 0755;
+  attr.size = 123456;
+  attr.nlink = 3;
+  const std::string data = encode_inode(attr, true);
+  fsns::InodeAttr back;
+  bool is_dir = false;
+  ASSERT_TRUE(decode_inode(data, back, is_dir));
+  EXPECT_TRUE(is_dir);
+  EXPECT_EQ(back.mode, 0755u);
+  EXPECT_EQ(back.size, 123456u);
+  EXPECT_EQ(back.nlink, 3u);
+  EXPECT_FALSE(decode_inode("garbage", back, is_dir));
+}
+
+TEST(InodeStore, PutLookupEraseListDir) {
+  NodeId a, b, a1;
+  const DirTree tree = small_tree(&a, &b, &a1);
+  InodeStore store;
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    ASSERT_TRUE(store.put(tree, id).is_ok());
+  }
+  fsns::InodeAttr attr;
+  EXPECT_TRUE(store.lookup(tree, a, &attr));
+  EXPECT_TRUE(store.lookup(tree, fsns::kRootNode));
+
+  std::set<std::string> names;
+  store.list_dir(a, [&](std::string_view name) {
+    names.insert(std::string(name));
+    return true;
+  });
+  EXPECT_EQ(names, (std::set<std::string>{"a1", "fa"}));
+
+  ASSERT_TRUE(store.erase(tree, a1).is_ok());
+  EXPECT_FALSE(store.lookup(tree, a1));
+}
+
+// ---------------------------------------------------------- NearRootCache --
+
+TEST(NearRootCache, DisabledAlwaysSaysDisabled) {
+  NearRootCache cache(100, 3, /*enabled=*/false);
+  EXPECT_EQ(cache.access(1, 0, 0), NearRootCache::Outcome::kDisabled);
+  EXPECT_FALSE(cache.enabled());
+}
+
+TEST(NearRootCache, MissThenHit) {
+  NearRootCache cache(100, 3, true);
+  EXPECT_EQ(cache.access(5, 1, 0), NearRootCache::Outcome::kMiss);
+  EXPECT_EQ(cache.access(5, 1, 0), NearRootCache::Outcome::kHit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(NearRootCache, DepthThresholdExcludesDeepEntries) {
+  NearRootCache cache(100, 3, true);
+  EXPECT_EQ(cache.access(5, 3, 0), NearRootCache::Outcome::kBeyondDepth);
+  EXPECT_EQ(cache.access(5, 7, 0), NearRootCache::Outcome::kBeyondDepth);
+  EXPECT_EQ(cache.access(5, 2, 0), NearRootCache::Outcome::kMiss);
+}
+
+TEST(NearRootCache, MigrationMakesEntryStaleOnce) {
+  NearRootCache cache(100, 3, true);
+  EXPECT_EQ(cache.access(5, 1, 0), NearRootCache::Outcome::kMiss);
+  // Version bump (a migration happened) -> one stale access, then hits.
+  EXPECT_EQ(cache.access(5, 1, 1), NearRootCache::Outcome::kStale);
+  EXPECT_EQ(cache.access(5, 1, 1), NearRootCache::Outcome::kHit);
+  EXPECT_EQ(cache.stats().stale, 1u);
+}
+
+// ------------------------------------------------------------ DataCluster --
+
+TEST(DataCluster, TransferTimeScalesWithBytes) {
+  DataClusterParams p;
+  p.servers = 1;
+  p.slots_per_server = 1;
+  p.base_latency = sim::micros(100);
+  p.bytes_per_second = 1e9;
+  DataCluster d(p);
+  const auto t_small = d.serve(1, 0, 1'000);
+  DataCluster d2(p);
+  const auto t_big = d2.serve(1, 0, 100'000'000);
+  EXPECT_GT(t_big, t_small * 100);
+}
+
+TEST(DataCluster, QueuesWhenSaturated) {
+  DataClusterParams p;
+  p.servers = 1;
+  p.slots_per_server = 1;
+  p.base_latency = sim::micros(100);
+  p.bytes_per_second = 1e9;
+  DataCluster d(p);
+  const auto first = d.serve(1, 0, 0);
+  const auto second = d.serve(1, 0, 0);
+  EXPECT_EQ(first, sim::micros(100));
+  EXPECT_EQ(second, sim::micros(200));
+  EXPECT_EQ(d.requests(), 2u);
+}
+
+TEST(DataCluster, HashSpreadsAcrossServers) {
+  DataClusterParams p;
+  p.servers = 4;
+  p.slots_per_server = 1;
+  p.base_latency = sim::micros(100);
+  DataCluster d(p);
+  // Many distinct files at t=0: with 4 servers, average completion must be
+  // well below the single-server serial schedule.
+  sim::SimTime max_done = 0;
+  for (fsns::NodeId f = 0; f < 64; ++f) {
+    max_done = std::max(max_done, d.serve(f, 0, 0));
+  }
+  EXPECT_LT(max_done, sim::micros(100) * 40);
+}
+
+}  // namespace
+}  // namespace origami::mds

@@ -1,0 +1,176 @@
+// Tests for the ML extensions: linear (ridge) model, k-fold cross
+// validation, ranking metrics, and MLP serialisation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "origami/common/rng.hpp"
+#include "origami/ml/gbdt.hpp"
+#include "origami/ml/linear.hpp"
+#include "origami/ml/metrics.hpp"
+#include "origami/ml/mlp.hpp"
+#include "origami/ml/validation.hpp"
+
+namespace origami::ml {
+namespace {
+
+Dataset linear_data(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Dataset data;
+  common::Xoshiro256 rng(seed);
+  std::vector<float> row(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : row) x = static_cast<float>(rng.uniform_double());
+    data.add_row(row, static_cast<float>(2.0 * row[0] - row[1] + 0.5 +
+                                         noise * rng.normal()));
+  }
+  return data;
+}
+
+// ------------------------------------------------------------ LinearModel --
+
+TEST(LinearModel, RecoversExactLinearRelation) {
+  const Dataset data = linear_data(500, 1);
+  const LinearModel model = LinearModel::train(data);
+  ASSERT_EQ(model.weights().size(), 3u);
+  EXPECT_NEAR(model.weights()[0], 2.0, 0.02);
+  EXPECT_NEAR(model.weights()[1], -1.0, 0.02);
+  EXPECT_NEAR(model.weights()[2], 0.0, 0.02);
+  EXPECT_NEAR(model.intercept(), 0.5, 0.02);
+  const auto pred = model.predict_batch(data);
+  EXPECT_LT(rmse(pred, data.labels()), 0.02);
+}
+
+TEST(LinearModel, NoisyDataStillCloses) {
+  const Dataset data = linear_data(4000, 2, 0.1);
+  const LinearModel model = LinearModel::train(data);
+  const auto pred = model.predict_batch(data);
+  EXPECT_GT(r2(pred, data.labels()), 0.9);
+}
+
+TEST(LinearModel, RegularisationShrinksWeights) {
+  const Dataset data = linear_data(200, 3, 0.05);
+  LinearModel::Params heavy;
+  heavy.l2 = 1e4;
+  const LinearModel shrunk = LinearModel::train(data, heavy);
+  const LinearModel free = LinearModel::train(data);
+  EXPECT_LT(std::abs(shrunk.weights()[0]), std::abs(free.weights()[0]));
+}
+
+TEST(LinearModel, EmptyDataset) {
+  Dataset empty({"a"});
+  const LinearModel model = LinearModel::train(empty);
+  EXPECT_DOUBLE_EQ(model.predict(std::array<float, 1>{1.f}), 0.0);
+}
+
+// --------------------------------------------------------- cross_validate --
+
+TEST(CrossValidate, LinearFitsLinearData) {
+  const Dataset data = linear_data(600, 4, 0.05);
+  const CvResult cv = cross_validate(data, 5, 7, [](const Dataset& train) {
+    auto model = std::make_shared<LinearModel>(LinearModel::train(train));
+    return Predictor([model](std::span<const float> x) {
+      return model->predict(x);
+    });
+  });
+  ASSERT_EQ(cv.fold_rmse.size(), 5u);
+  EXPECT_NEAR(cv.mean_rmse, 0.05, 0.02);
+  EXPECT_GT(cv.mean_spearman, 0.9);
+  for (double r : cv.fold_rmse) EXPECT_LT(r, 0.1);
+}
+
+TEST(CrossValidate, GbdtHookWorks) {
+  const Dataset data = linear_data(800, 5, 0.05);
+  GbdtParams params;
+  params.rounds = 60;
+  const CvResult cv =
+      cross_validate(data, 3, 11, [&params](const Dataset& train) {
+        auto model =
+            std::make_shared<GbdtModel>(GbdtModel::train(train, params));
+        return Predictor([model](std::span<const float> x) {
+          return model->predict(x);
+        });
+      });
+  EXPECT_LT(cv.mean_rmse, 0.25);
+}
+
+TEST(CrossValidate, DeterministicBySeed) {
+  const Dataset data = linear_data(300, 6, 0.1);
+  auto trainer = [](const Dataset& train) {
+    auto model = std::make_shared<LinearModel>(LinearModel::train(train));
+    return Predictor([model](std::span<const float> x) {
+      return model->predict(x);
+    });
+  };
+  const CvResult a = cross_validate(data, 4, 9, trainer);
+  const CvResult b = cross_validate(data, 4, 9, trainer);
+  EXPECT_EQ(a.fold_rmse, b.fold_rmse);
+}
+
+TEST(CrossValidate, TooFewRowsIsEmpty) {
+  Dataset tiny({"x"});
+  tiny.add_row(std::array<float, 1>{1.f}, 1.f);
+  const CvResult cv = cross_validate(tiny, 5, 1, [](const Dataset&) {
+    return Predictor([](std::span<const float>) { return 0.0; });
+  });
+  EXPECT_TRUE(cv.fold_rmse.empty());
+}
+
+// --------------------------------------------------------- ranking metrics --
+
+TEST(RankingMetrics, PerfectRankingScoresOne) {
+  const std::vector<float> truth{5.f, 4.f, 3.f, 2.f, 1.f};
+  const std::vector<double> pred{50, 40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(ndcg_at_k(pred, truth, 3), 1.0);
+  EXPECT_DOUBLE_EQ(precision_at_k(pred, truth, 3), 1.0);
+}
+
+TEST(RankingMetrics, InvertedRankingScoresLow) {
+  const std::vector<float> truth{5.f, 4.f, 3.f, 2.f, 1.f};
+  const std::vector<double> pred{10, 20, 30, 40, 50};
+  EXPECT_LT(ndcg_at_k(pred, truth, 2), 0.6);
+  EXPECT_DOUBLE_EQ(precision_at_k(pred, truth, 2), 0.0);
+}
+
+TEST(RankingMetrics, PartialOverlap) {
+  const std::vector<float> truth{10.f, 9.f, 1.f, 0.f};
+  const std::vector<double> pred{100, 1, 90, 2};  // places {0,2} on top
+  EXPECT_DOUBLE_EQ(precision_at_k(pred, truth, 2), 0.5);
+  const double g = ndcg_at_k(pred, truth, 2);
+  EXPECT_GT(g, 0.5);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(RankingMetrics, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ndcg_at_k({}, {}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(precision_at_k({}, {}, 3), 0.0);
+  const std::vector<float> zeros{0.f, 0.f};
+  EXPECT_DOUBLE_EQ(ndcg_at_k({1.0, 2.0}, zeros, 2), 0.0);
+}
+
+// -------------------------------------------------------------- MLP (de)ser --
+
+TEST(MlpSerialisation, RoundtripPredictsIdentically) {
+  const Dataset data = linear_data(800, 8, 0.05);
+  MlpParams params;
+  params.epochs = 10;
+  params.hidden = {16, 16, 8, 8};
+  const MlpModel model = MlpModel::train(data, params);
+  std::stringstream buf;
+  model.save(buf);
+  const MlpModel loaded = MlpModel::load(buf);
+  EXPECT_EQ(loaded.num_layers(), model.num_layers());
+  EXPECT_EQ(loaded.num_features(), model.num_features());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(loaded.predict(data.row(i)), model.predict(data.row(i)), 1e-12);
+  }
+}
+
+TEST(MlpSerialisation, RejectsGarbage) {
+  std::stringstream buf("not a model at all");
+  const MlpModel model = MlpModel::load(buf);
+  EXPECT_EQ(model.num_layers(), 0u);
+}
+
+}  // namespace
+}  // namespace origami::ml

@@ -1,0 +1,199 @@
+// Parameterised property sweeps across substrates: Eq. 2 identities for
+// every op type, random-tree DirTree invariants, histogram-vs-exact
+// quantiles, and partition-map conservation under random migrations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "origami/common/histogram.hpp"
+#include "origami/common/rng.hpp"
+#include "origami/cost/cost_model.hpp"
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/mds/partition.hpp"
+
+namespace origami {
+namespace {
+
+// ------------------------------------------------------- Eq. 2 identities --
+
+class CostSweep : public ::testing::TestWithParam<fsns::OpType> {};
+
+TEST_P(CostSweep, Eq2StructureHoldsForEveryOpType) {
+  const fsns::OpType op = GetParam();
+  cost::CostModel m;
+  const auto& p = m.params();
+
+  // Baseline: k and m enter linearly through T_inode (+T_rpc per partition).
+  const auto base = m.t_meta(op, 3, 1, 0, false);
+  EXPECT_EQ(m.t_meta(op, 4, 1, 0, false) - base, p.t_inode);
+  EXPECT_EQ(m.t_meta(op, 3, 2, 0, false) - base, p.t_inode + p.t_rpc_handle);
+
+  // Surcharges apply only to their own class.
+  const auto spread = m.t_meta(op, 3, 1, 2, false) - base;
+  const auto coor = m.t_meta(op, 3, 1, 0, true) - base;
+  switch (fsns::classify(op)) {
+    case fsns::OpClass::kLsdir:
+      EXPECT_EQ(spread, 2 * p.rtt);
+      EXPECT_EQ(coor, 0);
+      break;
+    case fsns::OpClass::kNsMutation:
+      EXPECT_EQ(spread, 0);
+      EXPECT_EQ(coor, p.t_coor);
+      break;
+    case fsns::OpClass::kOther:
+      EXPECT_EQ(spread, 0);
+      EXPECT_EQ(coor, 0);
+      break;
+  }
+
+  // Eq. 1: network term is m * RTT; total is the sum of the parts.
+  const auto b = m.rct(op, 5, 3, 0, false);
+  EXPECT_EQ(b.network, 3 * p.rtt);
+  EXPECT_EQ(b.total(), b.t_meta + b.network);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CostSweep,
+    ::testing::Values(fsns::OpType::kStat, fsns::OpType::kOpen,
+                      fsns::OpType::kReaddir, fsns::OpType::kCreate,
+                      fsns::OpType::kMkdir, fsns::OpType::kUnlink,
+                      fsns::OpType::kRmdir, fsns::OpType::kRename,
+                      fsns::OpType::kSetattr),
+    [](const ::testing::TestParamInfo<fsns::OpType>& param_info) {
+      return std::string(fsns::to_string(param_info.param));
+    });
+
+// --------------------------------------------------- random tree invariants --
+
+class RandomTree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTree, StructuralInvariants) {
+  common::Xoshiro256 rng(GetParam());
+  fsns::DirTree tree;
+  std::vector<fsns::NodeId> dirs{fsns::kRootNode};
+  for (int i = 0; i < 2'000; ++i) {
+    const fsns::NodeId parent = dirs[rng.uniform(dirs.size())];
+    if (rng.chance(0.3)) {
+      dirs.push_back(tree.add_dir(parent, "d" + std::to_string(i)));
+    } else {
+      tree.add_file(parent, "f" + std::to_string(i));
+    }
+  }
+  tree.finalize();
+
+  EXPECT_EQ(tree.dir_count() + tree.file_count(), tree.size());
+
+  // Subtree sizes: root covers everything; each node's subtree equals
+  // 1 + sum over children.
+  EXPECT_EQ(tree.node(fsns::kRootNode).subtree_nodes, tree.size());
+  for (fsns::NodeId d : dirs) {
+    std::uint32_t sum = 1;
+    for (fsns::NodeId c : tree.node(d).children) {
+      sum += tree.node(c).subtree_nodes;
+    }
+    EXPECT_EQ(tree.node(d).subtree_nodes, sum);
+  }
+
+  // visit_subtree visits exactly subtree_nodes nodes, all within subtree.
+  const fsns::NodeId probe = dirs[rng.uniform(dirs.size())];
+  std::size_t visited = 0;
+  tree.visit_subtree(probe, [&](fsns::NodeId id) {
+    ++visited;
+    EXPECT_TRUE(tree.in_subtree(id, probe));
+  });
+  EXPECT_EQ(visited, tree.node(probe).subtree_nodes);
+
+  // ancestors(id) is consistent with depth and parent links.
+  for (int i = 0; i < 50; ++i) {
+    const auto id = static_cast<fsns::NodeId>(rng.uniform(tree.size()));
+    const auto chain = tree.ancestors(id);
+    EXPECT_EQ(chain.size(), tree.depth(id) + 1);
+    EXPECT_EQ(chain.front(), fsns::kRootNode);
+    EXPECT_EQ(chain.back(), id);
+    for (std::size_t j = 1; j < chain.size(); ++j) {
+      EXPECT_EQ(tree.parent(chain[j]), chain[j - 1]);
+    }
+  }
+}
+
+TEST_P(RandomTree, PartitionConservationUnderRandomMigrations) {
+  common::Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  fsns::DirTree tree;
+  std::vector<fsns::NodeId> dirs{fsns::kRootNode};
+  for (int i = 0; i < 800; ++i) {
+    const fsns::NodeId parent = dirs[rng.uniform(dirs.size())];
+    if (rng.chance(0.4)) {
+      dirs.push_back(tree.add_dir(parent, "d" + std::to_string(i)));
+    } else {
+      tree.add_file(parent, "f" + std::to_string(i));
+    }
+  }
+  tree.finalize();
+
+  constexpr std::uint32_t kMds = 4;
+  mds::PartitionMap map(tree, kMds);
+  for (int step = 0; step < 200; ++step) {
+    const fsns::NodeId subtree = dirs[rng.uniform(dirs.size())];
+    const auto from = map.dir_owner(subtree);
+    const auto to = static_cast<cost::MdsId>(rng.uniform(kMds));
+    map.migrate(subtree, from, to);
+
+    // Invariant 1: inode counts always sum to the namespace size.
+    std::uint64_t total = 0;
+    for (auto c : map.inode_counts()) total += c;
+    ASSERT_EQ(total, tree.size());
+    // Invariant 2: the migrated root now belongs to `to`.
+    if (from != to) {
+      ASSERT_EQ(map.dir_owner(subtree), to);
+    }
+  }
+  // Invariant 3: recomputing counts from scratch matches the increments.
+  std::vector<std::uint64_t> recount(kMds, 0);
+  for (fsns::NodeId id = 0; id < tree.size(); ++id) {
+    recount[map.node_owner(id)] += 1;
+  }
+  for (std::uint32_t m = 0; m < kMds; ++m) {
+    EXPECT_EQ(recount[m], map.inode_counts()[m]) << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTree,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ----------------------------------------------- histogram quantile fuzz --
+
+class HistogramFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramFuzz, QuantilesTrackExactWithinRelativeError) {
+  common::Xoshiro256 rng(GetParam());
+  common::LatencyHistogram hist;
+  std::vector<std::uint64_t> values;
+  // Mixed distribution: uniform + heavy tail.
+  for (int i = 0; i < 50'000; ++i) {
+    std::uint64_t v;
+    if (rng.chance(0.9)) {
+      v = 100 + rng.uniform(10'000);
+    } else {
+      v = 100'000 + rng.uniform(10'000'000);
+    }
+    values.push_back(v);
+    hist.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const auto exact = values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const auto approx = hist.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05 + 2.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(hist.min(), values.front());
+  EXPECT_EQ(hist.max(), values.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramFuzz, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace origami

@@ -1,0 +1,199 @@
+// Property tests over the replay engine: conservation, metric sanity and
+// determinism invariants that must hold for every (workload, strategy)
+// combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami {
+namespace {
+
+using cluster::ReplayOptions;
+using cluster::RunResult;
+
+enum class Wl { kRw, kRo, kWi };
+enum class St { kSingle, kCHash, kFHash, kMetaOpt };
+
+wl::Trace make_workload(Wl which, std::uint64_t seed) {
+  constexpr std::uint64_t kOps = 30'000;
+  switch (which) {
+    case Wl::kRw: {
+      wl::TraceRwConfig cfg;
+      cfg.ops = kOps;
+      cfg.seed = seed;
+      cfg.projects = 6;
+      cfg.modules_per_project = 4;
+      cfg.sources_per_module = 8;
+      cfg.headers_shared = 60;
+      return wl::make_trace_rw(cfg);
+    }
+    case Wl::kRo: {
+      wl::TraceRoConfig cfg;
+      cfg.ops = kOps;
+      cfg.seed = seed;
+      cfg.dirs = 3'000;
+      cfg.files = 12'000;
+      return wl::make_trace_ro(cfg);
+    }
+    case Wl::kWi: {
+      wl::TraceWiConfig cfg;
+      cfg.ops = kOps;
+      cfg.seed = seed;
+      cfg.tenants = 8;
+      cfg.dirs_per_tenant = 80;
+      return wl::make_trace_wi(cfg);
+    }
+  }
+  return {};
+}
+
+RunResult run(const wl::Trace& trace, St strategy, const ReplayOptions& opt) {
+  switch (strategy) {
+    case St::kSingle: {
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case St::kCHash: {
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case St::kFHash: {
+      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kFineHash);
+      return cluster::replay_trace(trace, opt, b);
+    }
+    case St::kMetaOpt: {
+      core::MetaOptParams p;
+      p.min_subtree_ops = 8;
+      p.stop_threshold = sim::micros(500);
+      core::MetaOptOracleBalancer b(cost::CostModel{opt.cost_params}, p,
+                                    core::RebalanceTrigger{0.05});
+      return cluster::replay_trace(trace, opt, b);
+    }
+  }
+  cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
+  return cluster::replay_trace(trace, opt, b);
+}
+
+class ReplayInvariants : public ::testing::TestWithParam<std::tuple<Wl, St>> {};
+
+TEST_P(ReplayInvariants, Hold) {
+  const auto [which, strategy] = GetParam();
+  const wl::Trace trace = make_workload(which, 5);
+  ReplayOptions opt;
+  opt.mds_count = 4;
+  opt.clients = 24;
+  opt.epoch_length = sim::millis(200);
+  opt.warmup_epochs = 2;
+  const RunResult r = run(trace, strategy, opt);
+
+  // 1. No operation is lost or duplicated.
+  EXPECT_EQ(r.completed_ops, trace.ops.size());
+
+  // 2. Every executed op landed in some epoch or the post-final remainder.
+  std::uint64_t epoch_ops = 0;
+  std::uint64_t epoch_rpcs = 0;
+  for (const auto& em : r.epochs) {
+    ASSERT_EQ(em.mds.size(), opt.mds_count);
+    EXPECT_GE(em.end, em.start);
+    std::uint64_t inode_total = 0;
+    for (const auto& m : em.mds) {
+      epoch_ops += m.ops;
+      epoch_rpcs += m.rpcs;
+      inode_total += m.inodes;
+    }
+    // 3. Inode ownership is conserved within every epoch snapshot.
+    EXPECT_EQ(inode_total, trace.tree.size());
+  }
+  EXPECT_LE(epoch_ops, r.completed_ops);
+  EXPECT_LE(epoch_rpcs, r.total_rpcs);
+
+  // 4. RPC accounting: at least one visit per request; forwarded requests
+  //    are a subset of all requests.
+  EXPECT_GE(r.total_rpcs, r.completed_ops);
+  EXPECT_LE(r.forwarded_requests, r.completed_ops);
+  EXPECT_GE(r.rpc_per_request, 1.0);
+
+  // 5. Latency metrics are ordered and positive.
+  EXPECT_GT(r.mean_latency_us, 0.0);
+  EXPECT_LE(r.p50_latency_us, r.p99_latency_us + 1e-9);
+  EXPECT_GT(r.makespan, 0);
+
+  // 6. Imbalance factors stay within [0, 1].
+  for (double f : {r.imf_qps, r.imf_rpc, r.imf_inodes, r.imf_busy}) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+
+  // 7. Migration accounting is consistent.
+  if (r.migrations == 0) {
+    EXPECT_EQ(r.inodes_migrated, 0u);
+  } else {
+    EXPECT_GT(r.inodes_migrated, 0u);
+  }
+
+  // 8. The captured final partition is well-formed.
+  ASSERT_EQ(r.final_dir_owner.size(), trace.tree.size());
+  for (auto owner : r.final_dir_owner) EXPECT_LT(owner, opt.mds_count);
+
+  // 9. Replaying the captured partition (frozen) also completes everything.
+  cluster::FixedPartitionBalancer frozen(r);
+  ReplayOptions probe = opt;
+  probe.clients = 4;
+  const RunResult rp = cluster::replay_trace(trace, probe, frozen);
+  EXPECT_EQ(rp.completed_ops, trace.ops.size());
+  EXPECT_EQ(rp.migrations, 0u);
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::tuple<Wl, St>>& info) {
+  static constexpr const char* kWl[] = {"Rw", "Ro", "Wi"};
+  static constexpr const char* kSt[] = {"Single", "CHash", "FHash", "MetaOpt"};
+  return std::string(kWl[static_cast<int>(std::get<0>(info.param))]) +
+         kSt[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ReplayInvariants,
+    ::testing::Combine(::testing::Values(Wl::kRw, Wl::kRo, Wl::kWi),
+                       ::testing::Values(St::kSingle, St::kCHash, St::kFHash,
+                                         St::kMetaOpt)),
+    param_name);
+
+TEST(ReplayDeterminism, IdenticalAcrossRepeats) {
+  const wl::Trace trace = make_workload(Wl::kWi, 9);
+  ReplayOptions opt;
+  opt.mds_count = 3;
+  opt.clients = 16;
+  opt.epoch_length = sim::millis(200);
+  for (St strategy : {St::kCHash, St::kMetaOpt}) {
+    const RunResult a = run(trace, strategy, opt);
+    const RunResult b = run(trace, strategy, opt);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.total_rpcs, b.total_rpcs);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.final_dir_owner, b.final_dir_owner);
+  }
+}
+
+TEST(ReplayLatencyProbe, FHashProbeKeepsHashedFileInodes) {
+  const wl::Trace trace = make_workload(Wl::kRw, 3);
+  ReplayOptions opt;
+  opt.mds_count = 4;
+  opt.clients = 16;
+  opt.epoch_length = sim::millis(200);
+  const RunResult hot = run(trace, St::kFHash, opt);
+  EXPECT_TRUE(hot.hash_file_inodes);
+
+  cluster::FixedPartitionBalancer frozen(hot);
+  ReplayOptions probe = opt;
+  probe.clients = 1;
+  const RunResult cold = cluster::replay_trace(trace, probe, frozen);
+  // The probe must reproduce fine-grained routing: forwarding persists.
+  EXPECT_GT(cold.rpc_per_request, 1.2);
+}
+
+}  // namespace
+}  // namespace origami

@@ -1,0 +1,142 @@
+// Tests for the textual path resolver and the CLI flags parser.
+#include <gtest/gtest.h>
+
+#include "origami/common/flags.hpp"
+#include "origami/fsns/path_resolver.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami {
+namespace {
+
+using fsns::NodeId;
+using fsns::PathResolver;
+using fsns::split_path;
+
+// -------------------------------------------------------------- split_path --
+
+TEST(SplitPath, Basics) {
+  EXPECT_TRUE(split_path("").empty());
+  EXPECT_TRUE(split_path("/").empty());
+  const auto parts = split_path("/usr/bin/ls");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "usr");
+  EXPECT_EQ(parts[2], "ls");
+}
+
+TEST(SplitPath, ToleratesRedundantSlashesAndDots) {
+  const auto parts = split_path("//a///b/./c/");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+// ------------------------------------------------------------ PathResolver --
+
+class ResolverFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    usr = tree.add_dir(fsns::kRootNode, "usr");
+    bin = tree.add_dir(usr, "bin");
+    ls = tree.add_file(bin, "ls");
+    tree.add_file(usr, "README");
+    tree.finalize();
+    resolver = std::make_unique<PathResolver>(tree);
+  }
+  fsns::DirTree tree;
+  NodeId usr{}, bin{}, ls{};
+  std::unique_ptr<PathResolver> resolver;
+};
+
+TEST_F(ResolverFixture, ResolvesExistingPaths) {
+  EXPECT_EQ(resolver->resolve("/"), fsns::kRootNode);
+  EXPECT_EQ(resolver->resolve(""), fsns::kRootNode);
+  EXPECT_EQ(resolver->resolve("/usr"), usr);
+  EXPECT_EQ(resolver->resolve("/usr/bin"), bin);
+  EXPECT_EQ(resolver->resolve("/usr/bin/ls"), ls);
+  EXPECT_EQ(resolver->resolve("//usr//bin/./ls"), ls);
+}
+
+TEST_F(ResolverFixture, RejectsMissingAndFileDescent) {
+  EXPECT_FALSE(resolver->resolve("/usr/sbin").has_value());
+  EXPECT_FALSE(resolver->resolve("/usr/bin/ls/too-deep").has_value());
+  EXPECT_FALSE(resolver->resolve("/usr/README/x").has_value());
+}
+
+TEST_F(ResolverFixture, ChildLookup) {
+  EXPECT_EQ(resolver->child(fsns::kRootNode, "usr"), usr);
+  EXPECT_FALSE(resolver->child(fsns::kRootNode, "var").has_value());
+  EXPECT_EQ(resolver->index_size(), tree.size() - 1);
+}
+
+TEST_F(ResolverFixture, ResolutionChainRootFirst) {
+  const auto chain = resolver->resolution_chain("/usr/bin/ls");
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->size(), 4u);
+  EXPECT_EQ((*chain)[0], fsns::kRootNode);
+  EXPECT_EQ((*chain)[3], ls);
+  EXPECT_FALSE(resolver->resolution_chain("/nope").has_value());
+}
+
+TEST(PathResolver, AgreesWithFullPathOnGeneratedNamespace) {
+  // Round-trip property: resolve(full_path(id)) == id for every node.
+  wl::TraceRwConfig cfg;
+  cfg.ops = 1;
+  cfg.projects = 4;
+  cfg.modules_per_project = 3;
+  cfg.sources_per_module = 6;
+  cfg.headers_shared = 30;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+  const PathResolver resolver(trace.tree);
+  for (NodeId id = 0; id < trace.tree.size(); ++id) {
+    const auto resolved = resolver.resolve(trace.tree.full_path(id));
+    ASSERT_TRUE(resolved.has_value()) << trace.tree.full_path(id);
+    EXPECT_EQ(*resolved, id);
+  }
+}
+
+// ------------------------------------------------------------------- Flags --
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog",     "gen",          "--ops",  "5000",
+                        "--seed=9", "--data-path",  "--rate", "2.5",
+                        "--cache",  "off",          "file.bin"};
+  common::Flags flags(static_cast<int>(std::size(argv)), argv);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "gen");
+  EXPECT_EQ(flags.positional()[1], "file.bin");
+  EXPECT_EQ(flags.get_int("ops", 0), 5000);
+  EXPECT_EQ(flags.get_int("seed", 0), 9);
+  EXPECT_TRUE(flags.get_bool("data-path", false));
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  EXPECT_FALSE(flags.get_bool("cache", true));
+  EXPECT_TRUE(flags.has("ops"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  common::Flags flags(1, argv);
+  EXPECT_EQ(flags.get("name", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("n", 42), 42);
+  EXPECT_TRUE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, TrailingBooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  common::Flags flags(2, argv);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, NamesListsSeenFlags) {
+  const char* argv[] = {"prog", "--a", "1", "--b=2"};
+  common::Flags flags(4, argv);
+  const auto names = flags.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace origami

@@ -1,0 +1,305 @@
+// Tests pinning each workload generator to its paper-described shape
+// (§5.1) plus trace (de)serialisation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "origami/wl/generators.hpp"
+#include "origami/wl/trace.hpp"
+
+namespace origami::wl {
+namespace {
+
+using fsns::OpType;
+
+TEST(TraceRw, ShapeMatchesCompileWorkload) {
+  TraceRwConfig cfg;
+  cfg.ops = 60'000;
+  const Trace t = make_trace_rw(cfg);
+  EXPECT_EQ(t.name, "trace-rw");
+  EXPECT_EQ(t.ops.size(), cfg.ops);
+  const TraceSummary s = summarize(t);
+  // Read-write mix: creates and unlinks present but reads dominate.
+  EXPECT_GT(s.write_fraction, 0.10);
+  EXPECT_LT(s.write_fraction, 0.50);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kCreate)], 0u);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kStat)], 0u);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kReaddir)], 0u);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kRename)], 0u);
+}
+
+TEST(TraceRw, TargetsAreValidAndFilesHaveDirParents) {
+  TraceRwConfig cfg;
+  cfg.ops = 20'000;
+  const Trace t = make_trace_rw(cfg);
+  for (const MetaOp& op : t.ops) {
+    ASSERT_LT(op.target, t.tree.size());
+    if (op.type == OpType::kReaddir) {
+      EXPECT_TRUE(t.tree.is_dir(op.target));
+    }
+    if (op.type == OpType::kRename) {
+      ASSERT_NE(op.aux, fsns::kInvalidNode);
+      EXPECT_TRUE(t.tree.is_dir(op.aux));
+    }
+  }
+}
+
+TEST(TraceRo, ReadOnlySkewedAndDeep) {
+  TraceRoConfig cfg;
+  cfg.ops = 60'000;
+  const Trace t = make_trace_ro(cfg);
+  const TraceSummary s = summarize(t);
+  // "only includes read-type operations"
+  EXPECT_DOUBLE_EQ(s.write_fraction, 0.0);
+  // "extends to a considerable depth" — deeper than ten levels.
+  EXPECT_GE(s.max_depth, 11u);
+  EXPECT_GT(s.mean_depth, 3.0);
+  // "exhibits a significant skew" — top 1% of targets take a large share.
+  EXPECT_GT(s.top1pct_share, 0.25);
+}
+
+TEST(TraceWi, WriteIntensiveAndDynamic) {
+  TraceWiConfig cfg;
+  cfg.ops = 60'000;
+  const Trace t = make_trace_wi(cfg);
+  const TraceSummary s = summarize(t);
+  EXPECT_GT(s.write_fraction, 0.60);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kCreate)],
+            s.op_counts[static_cast<int>(OpType::kStat)]);
+
+  // Dynamism: the hot tenant set rotates per phase, so the most-hit tenant
+  // of the first phase should lose its dominance in a later phase.
+  const std::size_t phase_len = t.ops.size() / cfg.phases;
+  auto tenant_of = [&](fsns::NodeId node) {
+    // /volumes/tenantX/... -> ancestor at depth 2
+    auto chain = t.tree.ancestors(node);
+    return chain.size() > 2 ? chain[2] : chain.back();
+  };
+  std::map<fsns::NodeId, int> first_phase;
+  std::map<fsns::NodeId, int> later_phase;
+  for (std::size_t i = 0; i < phase_len; ++i) {
+    ++first_phase[tenant_of(t.ops[i].target)];
+  }
+  for (std::size_t i = 2 * phase_len; i < 3 * phase_len; ++i) {
+    ++later_phase[tenant_of(t.ops[i].target)];
+  }
+  auto hottest = [](const std::map<fsns::NodeId, int>& m) {
+    fsns::NodeId best = 0;
+    int n = -1;
+    for (auto& [k, v] : m) {
+      if (v > n) {
+        n = v;
+        best = k;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(hottest(first_phase), hottest(later_phase));
+}
+
+TEST(Generators, DeterministicBySeed) {
+  TraceRwConfig cfg;
+  cfg.ops = 5'000;
+  const Trace a = make_trace_rw(cfg);
+  const Trace b = make_trace_rw(cfg);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  ASSERT_EQ(a.tree.size(), b.tree.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].target, b.ops[i].target);
+    EXPECT_EQ(a.ops[i].type, b.ops[i].type);
+  }
+  cfg.seed = 999;
+  const Trace c = make_trace_rw(cfg);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    if (a.ops[i].target != c.ops[i].target) ++diff;
+  }
+  EXPECT_GT(diff, a.ops.size() / 10);
+}
+
+TEST(Generators, MotivationTraceIsReadMostly) {
+  const Trace t = make_trace_web_motivation(7, 20'000);
+  const TraceSummary s = summarize(t);
+  EXPECT_DOUBLE_EQ(s.write_fraction, 0.0);
+  EXPECT_GT(s.top1pct_share, 0.2);
+}
+
+TEST(Summary, CountsAreConsistent) {
+  TraceRwConfig cfg;
+  cfg.ops = 10'000;
+  const Trace t = make_trace_rw(cfg);
+  const TraceSummary s = summarize(t);
+  std::uint64_t total = 0;
+  for (auto c : s.op_counts) total += c;
+  EXPECT_EQ(total, s.total_ops);
+  EXPECT_EQ(s.total_ops, t.ops.size());
+  EXPECT_GT(s.unique_targets, 100u);
+  EXPECT_LE(s.unique_targets, t.tree.size());
+}
+
+TEST(TraceIo, SaveLoadRoundtrip) {
+  TraceWiConfig cfg;
+  cfg.ops = 8'000;
+  cfg.tenants = 4;
+  cfg.dirs_per_tenant = 40;
+  const Trace original = make_trace_wi(cfg);
+  const std::string path = ::testing::TempDir() + "/origami_trace_rt.bin";
+  ASSERT_TRUE(save_trace(original, path).is_ok());
+
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const Trace& t = loaded.value();
+  EXPECT_EQ(t.name, original.name);
+  ASSERT_EQ(t.tree.size(), original.tree.size());
+  ASSERT_EQ(t.ops.size(), original.ops.size());
+  for (std::size_t i = 0; i < t.tree.size(); ++i) {
+    const auto id = static_cast<fsns::NodeId>(i);
+    EXPECT_EQ(t.tree.node(id).parent, original.tree.node(id).parent);
+    EXPECT_EQ(t.tree.node(id).name, original.tree.node(id).name);
+    EXPECT_EQ(t.tree.is_dir(id), original.tree.is_dir(id));
+  }
+  for (std::size_t i = 0; i < t.ops.size(); ++i) {
+    EXPECT_EQ(t.ops[i].type, original.ops[i].type);
+    EXPECT_EQ(t.ops[i].target, original.ops[i].target);
+    EXPECT_EQ(t.ops[i].aux, original.ops[i].aux);
+    EXPECT_EQ(t.ops[i].data_bytes, original.ops[i].data_bytes);
+  }
+  // Subtree metadata is rebuilt by finalize() on load.
+  EXPECT_EQ(t.tree.node(fsns::kRootNode).subtree_nodes,
+            original.tree.node(fsns::kRootNode).subtree_nodes);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMissingAndGarbage) {
+  EXPECT_FALSE(load_trace("/nonexistent/path.bin").is_ok());
+  const std::string path = ::testing::TempDir() + "/origami_trace_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace";
+  }
+  auto r = load_trace(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+class TraceSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceSizes, GeneratorsHonorOpsBudget) {
+  const std::uint64_t ops = GetParam();
+  TraceRwConfig rw;
+  rw.ops = ops;
+  EXPECT_EQ(make_trace_rw(rw).ops.size(), ops);
+  TraceRoConfig ro;
+  ro.ops = ops;
+  ro.dirs = 2'000;
+  ro.files = 8'000;
+  EXPECT_EQ(make_trace_ro(ro).ops.size(), ops);
+  TraceWiConfig wi;
+  wi.ops = ops;
+  wi.tenants = 4;
+  wi.dirs_per_tenant = 50;
+  EXPECT_EQ(make_trace_wi(wi).ops.size(), ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TraceSizes,
+                         ::testing::Values(1'000, 10'000, 50'000));
+
+}  // namespace
+}  // namespace origami::wl
+
+namespace origami::wl {
+namespace {
+
+TEST(TraceMdtest, PhasesAndShape) {
+  TraceMdtestConfig cfg;
+  cfg.ranks = 8;
+  cfg.files_per_rank = 50;
+  cfg.iterations = 2;
+  const Trace t = make_trace_mdtest(cfg);
+  EXPECT_EQ(t.ops.size(), 8u * 50u * 3u * 2u);
+  const TraceSummary s = summarize(t);
+  // create + unlink = 2/3 of ops.
+  EXPECT_NEAR(s.write_fraction, 2.0 / 3.0, 0.01);
+  // Flat: every target at depth 3 (/mdtest/rankR/fileF).
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_NEAR(s.mean_depth, 3.0, 0.01);
+  // Perfectly even: top-1% share is ~1% of accesses.
+  EXPECT_LT(s.top1pct_share, 0.03);
+
+  // Phase structure: the first ranks*files ops are all creates.
+  for (std::size_t i = 0; i < 8u * 50u; ++i) {
+    EXPECT_EQ(t.ops[i].type, fsns::OpType::kCreate);
+  }
+}
+
+}  // namespace
+}  // namespace origami::wl
+
+namespace origami::wl {
+namespace {
+
+TEST(TraceMixer, GraftsNamespacesAndPreservesOps) {
+  TraceMdtestConfig md;
+  md.ranks = 4;
+  md.files_per_rank = 10;
+  md.iterations = 1;
+  const Trace a = make_trace_mdtest(md);
+  TraceRwConfig rw;
+  rw.ops = 500;
+  rw.projects = 2;
+  rw.modules_per_project = 2;
+  rw.sources_per_module = 4;
+  rw.headers_shared = 10;
+  const Trace b = make_trace_rw(rw);
+
+  const Trace mixed = interleave_traces({&a, &b}, 7, "combo");
+  EXPECT_EQ(mixed.name, "combo");
+  EXPECT_EQ(mixed.ops.size(), a.ops.size() + b.ops.size());
+  // Namespace: both trees plus the two graft points.
+  EXPECT_EQ(mixed.tree.size(), a.tree.size() + b.tree.size() + 1);
+  // Every op's path is prefixed by its graft dir.
+  std::size_t from_a = 0;
+  for (const MetaOp& op : mixed.ops) {
+    const std::string path = mixed.tree.full_path(op.target);
+    ASSERT_TRUE(path.rfind("/mix0/", 0) == 0 || path.rfind("/mix1/", 0) == 0)
+        << path;
+    if (path.rfind("/mix0/", 0) == 0) ++from_a;
+  }
+  EXPECT_EQ(from_a, a.ops.size());
+  // Per-stream op order is preserved.
+  std::vector<fsns::OpType> a_types;
+  for (const MetaOp& op : mixed.ops) {
+    if (mixed.tree.full_path(op.target).rfind("/mix0/", 0) == 0) {
+      a_types.push_back(op.type);
+    }
+  }
+  ASSERT_EQ(a_types.size(), a.ops.size());
+  for (std::size_t i = 0; i < a_types.size(); ++i) {
+    EXPECT_EQ(a_types[i], a.ops[i].type);
+  }
+}
+
+TEST(TraceMixer, DeterministicAndHandlesEmpty) {
+  TraceRwConfig rw;
+  rw.ops = 300;
+  rw.projects = 2;
+  rw.modules_per_project = 2;
+  rw.sources_per_module = 4;
+  rw.headers_shared = 10;
+  const Trace a = make_trace_rw(rw);
+  const Trace m1 = interleave_traces({&a, &a}, 5);
+  const Trace m2 = interleave_traces({&a, &a}, 5);
+  ASSERT_EQ(m1.ops.size(), m2.ops.size());
+  for (std::size_t i = 0; i < m1.ops.size(); ++i) {
+    EXPECT_EQ(m1.ops[i].target, m2.ops[i].target);
+  }
+  const Trace empty = interleave_traces({});
+  EXPECT_TRUE(empty.ops.empty());
+  EXPECT_EQ(empty.tree.size(), 1u);
+}
+
+}  // namespace
+}  // namespace origami::wl

@@ -1,0 +1,237 @@
+// origami_sim — command-line driver for the simulated metadata cluster.
+//
+//   origami_sim --trace rw --ops 300000 --strategy origami --mds 5
+//   origami_sim --trace ro --strategy all --csv results.csv
+//   origami_sim --trace-file my.trace --strategy meta-opt --epoch-ms 250
+//
+// Strategies: single | c-hash | f-hash | ml-tree | origami | meta-opt | all.
+// ml-tree/origami train their model on a sibling run (seed+98) first.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/common/csv.hpp"
+#include "origami/common/flags.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/core/pipeline.hpp"
+#include "origami/wl/generators.hpp"
+
+using namespace origami;
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: origami_sim [options]
+  --trace rw|ro|wi|web     workload family (default rw)
+  --trace-file PATH        load a saved trace instead of generating one
+  --ops N                  operations to generate (default 300000)
+  --seed N                 workload seed (default 1)
+  --strategy NAME          single|c-hash|f-hash|ml-tree|origami|meta-opt|all
+  --mds N                  metadata servers (default 5)
+  --clients N              closed-loop clients (default 50)
+  --epoch-ms N             balancing epoch (default 500)
+  --cache on|off           near-root client cache (default on)
+  --cache-depth N          cache depth threshold (default 3)
+  --data-path              enable the file-data cluster (end-to-end mode)
+  --kv-backing             execute real LSM-store ops on each MDS
+  --csv PATH               append one row per run to a CSV file
+  --epochs-csv PREFIX      dump per-epoch per-MDS series to PREFIX_<strategy>.csv
+)";
+
+wl::Trace build_trace(const common::Flags& flags) {
+  const std::string file = flags.get("trace-file");
+  if (!file.empty()) {
+    auto loaded = wl::load_trace(file);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
+      std::exit(1);
+    }
+    return std::move(loaded).value();
+  }
+  const std::string family = flags.get("trace", "rw");
+  const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 300'000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  if (family == "rw") {
+    wl::TraceRwConfig cfg;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    return wl::make_trace_rw(cfg);
+  }
+  if (family == "ro") {
+    wl::TraceRoConfig cfg;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    return wl::make_trace_ro(cfg);
+  }
+  if (family == "wi") {
+    wl::TraceWiConfig cfg;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    return wl::make_trace_wi(cfg);
+  }
+  if (family == "web") return wl::make_trace_web_motivation(seed, ops);
+  std::fprintf(stderr, "error: unknown trace family '%s'\n%s", family.c_str(),
+               kUsage);
+  std::exit(1);
+}
+
+void print_result(const cluster::RunResult& r) {
+  std::printf("%-9s %4u MDS  %9.0f ops/s (steady %9.0f)  lat %7.1f us "
+              "(p99 %8.1f)  RPC/req %.3f  IF busy/qps %.2f/%.2f  "
+              "migr %lu (%lu inodes)\n",
+              r.balancer_name.c_str(), r.mds_count, r.throughput_ops,
+              r.steady_throughput_ops, r.mean_latency_us, r.p99_latency_us,
+              r.rpc_per_request, r.imf_busy, r.imf_qps,
+              static_cast<unsigned long>(r.migrations),
+              static_cast<unsigned long>(r.inodes_migrated));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const wl::Trace trace = build_trace(flags);
+  const auto summary = wl::summarize(trace);
+  std::printf("trace %s: %lu ops, %zu dirs / %zu files, depth<=%u, "
+              "writes %.0f%%\n\n",
+              trace.name.c_str(), static_cast<unsigned long>(summary.total_ops),
+              trace.tree.dir_count(), trace.tree.file_count(),
+              summary.max_depth, summary.write_fraction * 100);
+
+  cluster::ReplayOptions opt;
+  opt.mds_count = static_cast<std::uint32_t>(flags.get_int("mds", 5));
+  opt.clients = static_cast<std::uint32_t>(flags.get_int("clients", 50));
+  opt.epoch_length = sim::millis(static_cast<double>(flags.get_int("epoch-ms", 500)));
+  opt.cache_enabled = flags.get_bool("cache", true);
+  opt.cache_depth = static_cast<std::uint32_t>(flags.get_int("cache-depth", 3));
+  opt.data_path = flags.get_bool("data-path", false);
+  opt.kv_backing = flags.get_bool("kv-backing", false);
+  opt.warmup_epochs = 4;
+
+  const std::string strategy = flags.get("strategy", "all");
+  std::vector<std::string> todo;
+  if (strategy == "all") {
+    todo = {"single", "c-hash", "f-hash", "ml-tree", "origami", "meta-opt"};
+  } else {
+    todo = {strategy};
+  }
+
+  // Train once if any ML strategy is requested.
+  core::TrainedModels models;
+  const bool needs_models =
+      strategy == "all" || strategy == "ml-tree" || strategy == "origami";
+  if (needs_models) {
+    std::printf("training models on a sibling run (seed+98)...\n");
+    wl::Trace train_trace = [&] {
+      const std::string file = flags.get("trace-file");
+      if (!file.empty()) return build_trace(flags);  // train on same trace
+      const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+      const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 300'000));
+      const std::string family = flags.get("trace", "rw");
+      if (family == "ro") {
+        wl::TraceRoConfig cfg;
+        cfg.ops = ops;
+        cfg.seed = seed + 98;
+        return wl::make_trace_ro(cfg);
+      }
+      if (family == "wi") {
+        wl::TraceWiConfig cfg;
+        cfg.ops = ops;
+        cfg.seed = seed + 98;
+        return wl::make_trace_wi(cfg);
+      }
+      if (family == "web") return wl::make_trace_web_motivation(seed + 98, ops);
+      wl::TraceRwConfig cfg;
+      cfg.ops = ops;
+      cfg.seed = seed + 98;
+      return wl::make_trace_rw(cfg);
+    }();
+    core::LabelGenOptions lg;
+    lg.replay = opt;
+    lg.meta_opt.cache_enabled = opt.cache_enabled;
+    lg.meta_opt.cache_depth = opt.cache_depth;
+    ml::GbdtParams gbdt;
+    gbdt.rounds = 200;
+    gbdt.early_stopping_rounds = 30;
+    models = core::train_models(core::generate_labels(train_trace, lg), gbdt);
+    std::printf("  benefit model: %d trees, spearman %.2f, top-decile lift "
+                "%.1fx\n\n",
+                models.benefit->num_trees(), models.benefit_spearman,
+                models.benefit_top_lift);
+  }
+
+  std::unique_ptr<common::CsvWriter> csv;
+  if (flags.has("csv")) {
+    csv = std::make_unique<common::CsvWriter>(flags.get("csv"));
+    csv->header({"strategy", "mds", "throughput", "steady_throughput",
+                 "mean_latency_us", "p99_latency_us", "rpc_per_request",
+                 "imf_busy", "imf_qps", "migrations"});
+  }
+
+  const cost::CostModel cost_model(opt.cost_params);
+  const core::RebalanceTrigger trigger{0.05};
+  for (const std::string& name : todo) {
+    cluster::ReplayOptions run_opt = opt;
+    std::unique_ptr<cluster::Balancer> balancer;
+    if (name == "single") {
+      run_opt.mds_count = strategy == "all" ? 1 : opt.mds_count;
+      balancer = std::make_unique<cluster::StaticBalancer>(
+          cluster::StaticBalancer::Kind::kSingle);
+    } else if (name == "c-hash") {
+      balancer = std::make_unique<cluster::StaticBalancer>(
+          cluster::StaticBalancer::Kind::kCoarseHash);
+    } else if (name == "f-hash") {
+      balancer = std::make_unique<cluster::StaticBalancer>(
+          cluster::StaticBalancer::Kind::kFineHash);
+    } else if (name == "ml-tree") {
+      core::MlTreeBalancer::Params p;
+      balancer = std::make_unique<core::MlTreeBalancer>(models.popularity, p,
+                                                        trigger);
+    } else if (name == "origami") {
+      core::OrigamiBalancer::Params p;
+      p.cache_enabled = opt.cache_enabled;
+      p.cache_depth = opt.cache_depth;
+      balancer = std::make_unique<core::OrigamiBalancer>(models.benefit,
+                                                         cost_model, p, trigger);
+    } else if (name == "meta-opt") {
+      core::MetaOptParams p;
+      p.cache_enabled = opt.cache_enabled;
+      p.cache_depth = opt.cache_depth;
+      balancer = std::make_unique<core::MetaOptOracleBalancer>(cost_model, p,
+                                                               trigger);
+    } else {
+      std::fprintf(stderr, "error: unknown strategy '%s'\n%s", name.c_str(),
+                   kUsage);
+      return 1;
+    }
+    const auto r = cluster::replay_trace(trace, run_opt, *balancer);
+    print_result(r);
+    if (flags.has("epochs-csv")) {
+      const std::string path =
+          flags.get("epochs-csv") + "_" + r.balancer_name + ".csv";
+      if (auto s = cluster::write_epoch_csv(r, path); !s.is_ok()) {
+        std::fprintf(stderr, "warning: %s\n", s.to_string().c_str());
+      }
+    }
+    if (csv) {
+      csv->field(r.balancer_name)
+          .field(static_cast<std::uint64_t>(r.mds_count))
+          .field(r.throughput_ops)
+          .field(r.steady_throughput_ops)
+          .field(r.mean_latency_us)
+          .field(r.p99_latency_us)
+          .field(r.rpc_per_request)
+          .field(r.imf_busy)
+          .field(r.imf_qps)
+          .field(r.migrations);
+      csv->endrow();
+    }
+  }
+  return 0;
+}
