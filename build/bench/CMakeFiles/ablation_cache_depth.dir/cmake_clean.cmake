@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_depth.dir/ablation_cache_depth.cpp.o"
+  "CMakeFiles/ablation_cache_depth.dir/ablation_cache_depth.cpp.o.d"
+  "ablation_cache_depth"
+  "ablation_cache_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

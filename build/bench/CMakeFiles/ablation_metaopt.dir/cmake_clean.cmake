@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metaopt.dir/ablation_metaopt.cpp.o"
+  "CMakeFiles/ablation_metaopt.dir/ablation_metaopt.cpp.o.d"
+  "ablation_metaopt"
+  "ablation_metaopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metaopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

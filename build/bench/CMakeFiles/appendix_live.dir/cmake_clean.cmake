@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_live.dir/appendix_live.cpp.o"
+  "CMakeFiles/appendix_live.dir/appendix_live.cpp.o.d"
+  "appendix_live"
+  "appendix_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

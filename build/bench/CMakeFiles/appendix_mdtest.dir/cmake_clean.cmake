@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_mdtest.dir/appendix_mdtest.cpp.o"
+  "CMakeFiles/appendix_mdtest.dir/appendix_mdtest.cpp.o.d"
+  "appendix_mdtest"
+  "appendix_mdtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_mdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_mixed.dir/appendix_mixed.cpp.o"
+  "CMakeFiles/appendix_mixed.dir/appendix_mixed.cpp.o.d"
+  "appendix_mixed"
+  "appendix_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_imbalance.dir/fig6_imbalance.cpp.o"
+  "CMakeFiles/fig6_imbalance.dir/fig6_imbalance.cpp.o.d"
+  "fig6_imbalance"
+  "fig6_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

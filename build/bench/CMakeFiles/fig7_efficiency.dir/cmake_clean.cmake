@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cpp.o"
+  "CMakeFiles/fig7_efficiency.dir/fig7_efficiency.cpp.o.d"
+  "fig7_efficiency"
+  "fig7_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_scalability.cpp" "bench/CMakeFiles/fig8_scalability.dir/fig8_scalability.cpp.o" "gcc" "bench/CMakeFiles/fig8_scalability.dir/fig8_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/origami_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/origami_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/origami_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/origami_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/origami_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/origami_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/origami_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/origami_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/origami_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/origami_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsns/CMakeFiles/origami_fsns.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/origami_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/origami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_realworld.dir/fig9_realworld.cpp.o"
+  "CMakeFiles/fig9_realworld.dir/fig9_realworld.cpp.o.d"
+  "fig9_realworld"
+  "fig9_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

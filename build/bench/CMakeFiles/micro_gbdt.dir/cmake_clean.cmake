@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gbdt.dir/micro_gbdt.cpp.o"
+  "CMakeFiles/micro_gbdt.dir/micro_gbdt.cpp.o.d"
+  "micro_gbdt"
+  "micro_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kvstore.dir/micro_kvstore.cpp.o"
+  "CMakeFiles/micro_kvstore.dir/micro_kvstore.cpp.o.d"
+  "micro_kvstore"
+  "micro_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

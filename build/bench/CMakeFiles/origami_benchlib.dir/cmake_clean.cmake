@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/origami_benchlib.dir/bench_common.cpp.o.d"
+  "liborigami_benchlib.a"
+  "liborigami_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

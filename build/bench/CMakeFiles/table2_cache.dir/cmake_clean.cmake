@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cache.dir/table2_cache.cpp.o"
+  "CMakeFiles/table2_cache.dir/table2_cache.cpp.o.d"
+  "table2_cache"
+  "table2_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

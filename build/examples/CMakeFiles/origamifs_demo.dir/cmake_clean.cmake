@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origamifs_demo.dir/origamifs_demo.cpp.o"
+  "CMakeFiles/origamifs_demo.dir/origamifs_demo.cpp.o.d"
+  "origamifs_demo"
+  "origamifs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origamifs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

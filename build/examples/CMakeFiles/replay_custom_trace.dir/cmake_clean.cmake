@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_custom_trace.dir/replay_custom_trace.cpp.o"
+  "CMakeFiles/replay_custom_trace.dir/replay_custom_trace.cpp.o.d"
+  "replay_custom_trace"
+  "replay_custom_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_custom_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

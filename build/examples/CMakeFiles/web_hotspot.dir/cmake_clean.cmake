@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_hotspot.dir/web_hotspot.cpp.o"
+  "CMakeFiles/web_hotspot.dir/web_hotspot.cpp.o.d"
+  "web_hotspot"
+  "web_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

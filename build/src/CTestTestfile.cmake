@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("kvstore")
+subdirs("fsns")
+subdirs("sim")
+subdirs("net")
+subdirs("cost")
+subdirs("wl")
+subdirs("mds")
+subdirs("fs")
+subdirs("cluster")
+subdirs("ml")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_cluster.dir/replay.cpp.o"
+  "CMakeFiles/origami_cluster.dir/replay.cpp.o.d"
+  "liborigami_cluster.a"
+  "liborigami_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

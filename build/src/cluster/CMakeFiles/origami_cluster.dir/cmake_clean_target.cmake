@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborigami_cluster.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_common.dir/csv.cpp.o"
+  "CMakeFiles/origami_common.dir/csv.cpp.o.d"
+  "CMakeFiles/origami_common.dir/flags.cpp.o"
+  "CMakeFiles/origami_common.dir/flags.cpp.o.d"
+  "CMakeFiles/origami_common.dir/histogram.cpp.o"
+  "CMakeFiles/origami_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/origami_common.dir/log.cpp.o"
+  "CMakeFiles/origami_common.dir/log.cpp.o.d"
+  "CMakeFiles/origami_common.dir/rng.cpp.o"
+  "CMakeFiles/origami_common.dir/rng.cpp.o.d"
+  "CMakeFiles/origami_common.dir/status.cpp.o"
+  "CMakeFiles/origami_common.dir/status.cpp.o.d"
+  "CMakeFiles/origami_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/origami_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/origami_common.dir/zipf.cpp.o"
+  "CMakeFiles/origami_common.dir/zipf.cpp.o.d"
+  "liborigami_common.a"
+  "liborigami_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_core.dir/balancers.cpp.o"
+  "CMakeFiles/origami_core.dir/balancers.cpp.o.d"
+  "CMakeFiles/origami_core.dir/features.cpp.o"
+  "CMakeFiles/origami_core.dir/features.cpp.o.d"
+  "CMakeFiles/origami_core.dir/live_balancer.cpp.o"
+  "CMakeFiles/origami_core.dir/live_balancer.cpp.o.d"
+  "CMakeFiles/origami_core.dir/meta_opt.cpp.o"
+  "CMakeFiles/origami_core.dir/meta_opt.cpp.o.d"
+  "CMakeFiles/origami_core.dir/pipeline.cpp.o"
+  "CMakeFiles/origami_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/origami_core.dir/subtree.cpp.o"
+  "CMakeFiles/origami_core.dir/subtree.cpp.o.d"
+  "liborigami_core.a"
+  "liborigami_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

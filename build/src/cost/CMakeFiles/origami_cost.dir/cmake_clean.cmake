@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/origami_cost.dir/cost_model.cpp.o.d"
+  "liborigami_cost.a"
+  "liborigami_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_fs.dir/live_replay.cpp.o"
+  "CMakeFiles/origami_fs.dir/live_replay.cpp.o.d"
+  "CMakeFiles/origami_fs.dir/origami_fs.cpp.o"
+  "CMakeFiles/origami_fs.dir/origami_fs.cpp.o.d"
+  "liborigami_fs.a"
+  "liborigami_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsns/dir_tree.cpp" "src/fsns/CMakeFiles/origami_fsns.dir/dir_tree.cpp.o" "gcc" "src/fsns/CMakeFiles/origami_fsns.dir/dir_tree.cpp.o.d"
+  "/root/repo/src/fsns/path_resolver.cpp" "src/fsns/CMakeFiles/origami_fsns.dir/path_resolver.cpp.o" "gcc" "src/fsns/CMakeFiles/origami_fsns.dir/path_resolver.cpp.o.d"
+  "/root/repo/src/fsns/types.cpp" "src/fsns/CMakeFiles/origami_fsns.dir/types.cpp.o" "gcc" "src/fsns/CMakeFiles/origami_fsns.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/origami_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

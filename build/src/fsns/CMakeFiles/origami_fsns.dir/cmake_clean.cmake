@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_fsns.dir/dir_tree.cpp.o"
+  "CMakeFiles/origami_fsns.dir/dir_tree.cpp.o.d"
+  "CMakeFiles/origami_fsns.dir/path_resolver.cpp.o"
+  "CMakeFiles/origami_fsns.dir/path_resolver.cpp.o.d"
+  "CMakeFiles/origami_fsns.dir/types.cpp.o"
+  "CMakeFiles/origami_fsns.dir/types.cpp.o.d"
+  "liborigami_fsns.a"
+  "liborigami_fsns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_fsns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_kv.dir/bloom.cpp.o"
+  "CMakeFiles/origami_kv.dir/bloom.cpp.o.d"
+  "CMakeFiles/origami_kv.dir/db.cpp.o"
+  "CMakeFiles/origami_kv.dir/db.cpp.o.d"
+  "CMakeFiles/origami_kv.dir/memtable.cpp.o"
+  "CMakeFiles/origami_kv.dir/memtable.cpp.o.d"
+  "CMakeFiles/origami_kv.dir/sorted_run.cpp.o"
+  "CMakeFiles/origami_kv.dir/sorted_run.cpp.o.d"
+  "CMakeFiles/origami_kv.dir/wal.cpp.o"
+  "CMakeFiles/origami_kv.dir/wal.cpp.o.d"
+  "liborigami_kv.a"
+  "liborigami_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

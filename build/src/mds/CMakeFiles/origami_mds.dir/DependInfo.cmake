@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mds/client_cache.cpp" "src/mds/CMakeFiles/origami_mds.dir/client_cache.cpp.o" "gcc" "src/mds/CMakeFiles/origami_mds.dir/client_cache.cpp.o.d"
+  "/root/repo/src/mds/data_cluster.cpp" "src/mds/CMakeFiles/origami_mds.dir/data_cluster.cpp.o" "gcc" "src/mds/CMakeFiles/origami_mds.dir/data_cluster.cpp.o.d"
+  "/root/repo/src/mds/inode_store.cpp" "src/mds/CMakeFiles/origami_mds.dir/inode_store.cpp.o" "gcc" "src/mds/CMakeFiles/origami_mds.dir/inode_store.cpp.o.d"
+  "/root/repo/src/mds/mds_server.cpp" "src/mds/CMakeFiles/origami_mds.dir/mds_server.cpp.o" "gcc" "src/mds/CMakeFiles/origami_mds.dir/mds_server.cpp.o.d"
+  "/root/repo/src/mds/partition.cpp" "src/mds/CMakeFiles/origami_mds.dir/partition.cpp.o" "gcc" "src/mds/CMakeFiles/origami_mds.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/origami_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsns/CMakeFiles/origami_fsns.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/origami_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/origami_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/origami_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/origami_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_mds.dir/client_cache.cpp.o"
+  "CMakeFiles/origami_mds.dir/client_cache.cpp.o.d"
+  "CMakeFiles/origami_mds.dir/data_cluster.cpp.o"
+  "CMakeFiles/origami_mds.dir/data_cluster.cpp.o.d"
+  "CMakeFiles/origami_mds.dir/inode_store.cpp.o"
+  "CMakeFiles/origami_mds.dir/inode_store.cpp.o.d"
+  "CMakeFiles/origami_mds.dir/mds_server.cpp.o"
+  "CMakeFiles/origami_mds.dir/mds_server.cpp.o.d"
+  "CMakeFiles/origami_mds.dir/partition.cpp.o"
+  "CMakeFiles/origami_mds.dir/partition.cpp.o.d"
+  "liborigami_mds.a"
+  "liborigami_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_ml.dir/dataset.cpp.o"
+  "CMakeFiles/origami_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/origami_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/origami_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/origami_ml.dir/linear.cpp.o"
+  "CMakeFiles/origami_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/origami_ml.dir/metrics.cpp.o"
+  "CMakeFiles/origami_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/origami_ml.dir/mlp.cpp.o"
+  "CMakeFiles/origami_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/origami_ml.dir/validation.cpp.o"
+  "CMakeFiles/origami_ml.dir/validation.cpp.o.d"
+  "liborigami_ml.a"
+  "liborigami_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_net.dir/network.cpp.o"
+  "CMakeFiles/origami_net.dir/network.cpp.o.d"
+  "liborigami_net.a"
+  "liborigami_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/origami_sim.dir/event_queue.cpp.o.d"
+  "liborigami_sim.a"
+  "liborigami_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

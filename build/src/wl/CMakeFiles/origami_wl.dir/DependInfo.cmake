@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/generators.cpp" "src/wl/CMakeFiles/origami_wl.dir/generators.cpp.o" "gcc" "src/wl/CMakeFiles/origami_wl.dir/generators.cpp.o.d"
+  "/root/repo/src/wl/mixer.cpp" "src/wl/CMakeFiles/origami_wl.dir/mixer.cpp.o" "gcc" "src/wl/CMakeFiles/origami_wl.dir/mixer.cpp.o.d"
+  "/root/repo/src/wl/text_trace.cpp" "src/wl/CMakeFiles/origami_wl.dir/text_trace.cpp.o" "gcc" "src/wl/CMakeFiles/origami_wl.dir/text_trace.cpp.o.d"
+  "/root/repo/src/wl/trace.cpp" "src/wl/CMakeFiles/origami_wl.dir/trace.cpp.o" "gcc" "src/wl/CMakeFiles/origami_wl.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/origami_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsns/CMakeFiles/origami_fsns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

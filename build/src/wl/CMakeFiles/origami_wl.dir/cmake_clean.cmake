@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_wl.dir/generators.cpp.o"
+  "CMakeFiles/origami_wl.dir/generators.cpp.o.d"
+  "CMakeFiles/origami_wl.dir/mixer.cpp.o"
+  "CMakeFiles/origami_wl.dir/mixer.cpp.o.d"
+  "CMakeFiles/origami_wl.dir/text_trace.cpp.o"
+  "CMakeFiles/origami_wl.dir/text_trace.cpp.o.d"
+  "CMakeFiles/origami_wl.dir/trace.cpp.o"
+  "CMakeFiles/origami_wl.dir/trace.cpp.o.d"
+  "liborigami_wl.a"
+  "liborigami_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

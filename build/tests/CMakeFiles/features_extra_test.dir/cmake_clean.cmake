@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_extra_test.dir/features_extra_test.cpp.o"
+  "CMakeFiles/features_extra_test.dir/features_extra_test.cpp.o.d"
+  "features_extra_test"
+  "features_extra_test.pdb"
+  "features_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsns_test.dir/fsns_test.cpp.o"
+  "CMakeFiles/fsns_test.dir/fsns_test.cpp.o.d"
+  "fsns_test"
+  "fsns_test.pdb"
+  "fsns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

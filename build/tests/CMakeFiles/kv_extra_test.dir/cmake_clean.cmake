@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_extra_test.dir/kv_extra_test.cpp.o"
+  "CMakeFiles/kv_extra_test.dir/kv_extra_test.cpp.o.d"
+  "kv_extra_test"
+  "kv_extra_test.pdb"
+  "kv_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_balancer_test.dir/live_balancer_test.cpp.o"
+  "CMakeFiles/live_balancer_test.dir/live_balancer_test.cpp.o.d"
+  "live_balancer_test"
+  "live_balancer_test.pdb"
+  "live_balancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_opt_test.dir/meta_opt_test.cpp.o"
+  "CMakeFiles/meta_opt_test.dir/meta_opt_test.cpp.o.d"
+  "meta_opt_test"
+  "meta_opt_test.pdb"
+  "meta_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_extra_test.dir/ml_extra_test.cpp.o"
+  "CMakeFiles/ml_extra_test.dir/ml_extra_test.cpp.o.d"
+  "ml_extra_test"
+  "ml_extra_test.pdb"
+  "ml_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origami_fs_test.dir/origami_fs_test.cpp.o"
+  "CMakeFiles/origami_fs_test.dir/origami_fs_test.cpp.o.d"
+  "origami_fs_test"
+  "origami_fs_test.pdb"
+  "origami_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origami_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

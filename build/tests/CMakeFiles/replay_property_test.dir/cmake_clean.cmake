@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_property_test.dir/replay_property_test.cpp.o"
+  "CMakeFiles/replay_property_test.dir/replay_property_test.cpp.o.d"
+  "replay_property_test"
+  "replay_property_test.pdb"
+  "replay_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_flags_test.dir/resolver_flags_test.cpp.o"
+  "CMakeFiles/resolver_flags_test.dir/resolver_flags_test.cpp.o.d"
+  "resolver_flags_test"
+  "resolver_flags_test.pdb"
+  "resolver_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/origami_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/live_balancer_test[1]_include.cmake")
+include("/root/repo/build/tests/fsns_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_flags_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_net_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/balancer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_property_test[1]_include.cmake")
+include("/root/repo/build/tests/features_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")

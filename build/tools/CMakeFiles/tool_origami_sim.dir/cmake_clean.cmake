@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_origami_sim.dir/origami_sim.cpp.o"
+  "CMakeFiles/tool_origami_sim.dir/origami_sim.cpp.o.d"
+  "origami_sim"
+  "origami_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_origami_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_trace_tool.dir/trace_tool.cpp.o"
+  "CMakeFiles/tool_trace_tool.dir/trace_tool.cpp.o.d"
+  "trace_tool"
+  "trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
