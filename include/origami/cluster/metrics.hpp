@@ -30,6 +30,23 @@ struct EpochMetrics {
   std::uint64_t inodes_moved = 0;
 };
 
+/// Fault-injection accounting for one replay. Every field stays zero when
+/// the fault layer is disabled (`FaultPlan::enabled() == false`).
+struct RobustnessStats {
+  std::uint64_t retries = 0;         ///< RPC re-sends after a timeout
+  std::uint64_t timeouts = 0;        ///< per-RPC timeouts detected
+  std::uint64_t rpcs_lost = 0;       ///< messages dropped by the network
+  std::uint64_t rpcs_corrupted = 0;  ///< messages delivered unusable
+  std::uint64_t failed_ops = 0;      ///< requests that exhausted the budget
+  std::uint64_t crashes = 0;         ///< fail-stop windows entered
+  std::uint64_t failovers = 0;       ///< crash-triggered ownership handoffs
+  std::uint64_t failover_dirs = 0;   ///< directory fragments reassigned
+  std::uint64_t restored_dirs = 0;   ///< fragments handed back on recovery
+  std::uint64_t aborted_migrations = 0;  ///< balancer moves aborted/rolled back
+  sim::SimTime time_down = 0;        ///< summed MDS outage time
+  sim::SimTime time_degraded = 0;    ///< summed MDS straggler time
+};
+
 /// Complete result of one replay. All rates use the virtual clock.
 struct RunResult {
   std::string balancer_name;
@@ -59,6 +76,9 @@ struct RunResult {
   std::uint64_t migrations = 0;
   std::uint64_t inodes_migrated = 0;
   mds::NearRootCache::Stats cache;
+
+  /// Robustness counters (all zero without fault injection).
+  RobustnessStats faults;
 
   /// Imbalance factors (paper §5.3) averaged over post-warm-up epochs.
   double imf_qps = 0.0;

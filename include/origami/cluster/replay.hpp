@@ -7,6 +7,7 @@
 #include "origami/cluster/balancer.hpp"
 #include "origami/cluster/metrics.hpp"
 #include "origami/cost/cost_model.hpp"
+#include "origami/fault/fault.hpp"
 #include "origami/mds/client_cache.hpp"
 #include "origami/mds/data_cluster.hpp"
 #include "origami/mds/inode_store.hpp"
@@ -52,6 +53,12 @@ struct ReplayOptions {
 
   bool data_path = false;
   mds::DataClusterParams data_params;
+
+  /// Fault injection (crashes, stragglers, RPC loss) and the client-side
+  /// retry policy. The default plan is disabled; with it, the replay is
+  /// bit-identical to the fault-free simulator.
+  fault::FaultPlan faults;
+  fault::RetryPolicy retry;
 
   std::uint64_t seed = 11;
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,11 @@ class LiveOrigamiBalancer {
     /// Skip rebalancing entirely below this activity imbalance (Lunule
     /// trigger on per-shard op counts).
     double trigger_threshold = 0.05;
+    /// Optional health probe (fault tolerance): returns true when a shard
+    /// is currently unreachable. Down shards are never chosen as a
+    /// migration source or destination, and a migration whose destination
+    /// dies mid-epoch is rolled back to its source. Null = all healthy.
+    std::function<bool(std::uint32_t shard)> shard_down;
   };
 
   struct Move {
@@ -32,6 +38,9 @@ class LiveOrigamiBalancer {
     std::uint32_t to = 0;
     double predicted_benefit = 0.0;
     std::uint64_t entries_moved = 0;
+    /// True when the destination died mid-migration and the subtree was
+    /// rolled back to `from` (`entries_moved` then counts the wasted copy).
+    bool aborted = false;
   };
 
   LiveOrigamiBalancer(std::shared_ptr<const ml::GbdtModel> model,

@@ -25,10 +25,18 @@ struct MdsEpochCounters {
   sim::SimTime rct_charged = 0;     ///< analytic RCT charged (JCT bins)
 };
 
+/// Health of one MDS at a point in virtual time (fault injection).
+enum class MdsState : std::uint8_t { kUp, kDegraded, kDown };
+
 /// The queueing model of one metadata server: a `c`-slot FCFS service
 /// station on the virtual clock. The DES reserves capacity at event time;
 /// because arrivals are processed in nondecreasing event order, slot
 /// reservation is equivalent to simulating the queue explicitly.
+///
+/// Fault injection overlays up/down/degraded windows: while down, no
+/// service starts (arrivals are deferred to the recovery instant); while
+/// degraded, service times are multiplied by the straggler factor. With no
+/// windows set, behaviour is bit-identical to the fault-free server.
 class MdsServer {
  public:
   MdsServer(cost::MdsId id, const MdsServerParams& params);
@@ -36,11 +44,39 @@ class MdsServer {
   [[nodiscard]] cost::MdsId id() const noexcept { return id_; }
 
   /// Reserves a slot for `service` time starting no earlier than `arrival`;
-  /// returns the completion time and accounts busy/wait.
+  /// returns the completion time and accounts busy/wait. Service starts no
+  /// earlier than the end of a down window and is stretched by the
+  /// straggler factor when it starts inside a degraded window.
   sim::SimTime serve(sim::SimTime arrival, sim::SimTime service);
 
-  /// Earliest time a new arrival could start service (load probe).
+  /// Earliest time a new arrival could start service (load probe); respects
+  /// down windows.
   [[nodiscard]] sim::SimTime earliest_start(sim::SimTime arrival) const noexcept;
+
+  // --- fault state ---------------------------------------------------------
+  /// Fail-stop until `until` (extends an ongoing outage, never shortens).
+  void crash(sim::SimTime now, sim::SimTime until);
+  /// Straggler window: service times multiply by `factor` in [from, until).
+  void degrade(sim::SimTime from, sim::SimTime until, double factor);
+
+  [[nodiscard]] bool is_down(sim::SimTime t) const noexcept {
+    return t < down_until_;
+  }
+  [[nodiscard]] MdsState state(sim::SimTime t) const noexcept {
+    if (t < down_until_) return MdsState::kDown;
+    if (t < degraded_until_) return MdsState::kDegraded;
+    return MdsState::kUp;
+  }
+  /// Service-time multiplier in effect at `t` (1.0 when healthy).
+  [[nodiscard]] double service_factor(sim::SimTime t) const noexcept {
+    return t < degraded_until_ ? degrade_factor_ : 1.0;
+  }
+  [[nodiscard]] sim::SimTime down_until() const noexcept { return down_until_; }
+  /// Cumulative scheduled outage / straggler time (fault accounting).
+  [[nodiscard]] sim::SimTime time_down() const noexcept { return time_down_; }
+  [[nodiscard]] sim::SimTime time_degraded() const noexcept {
+    return time_degraded_;
+  }
 
   /// Outstanding backlog relative to `now` summed over slots.
   [[nodiscard]] sim::SimTime backlog(sim::SimTime now) const noexcept;
@@ -56,6 +92,12 @@ class MdsServer {
   cost::MdsId id_;
   std::vector<sim::SimTime> slot_free_;
   MdsEpochCounters counters_;
+
+  sim::SimTime down_until_ = 0;
+  sim::SimTime degraded_until_ = 0;
+  double degrade_factor_ = 1.0;
+  sim::SimTime time_down_ = 0;
+  sim::SimTime time_degraded_ = 0;
 };
 
 }  // namespace origami::mds

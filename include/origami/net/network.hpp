@@ -23,18 +23,43 @@ struct NetworkParams {
 /// Flat datacenter network model: uniform RTT plus bounded deterministic
 /// jitter. Local (same-endpoint) traffic is free. Also counts RPCs so the
 /// harness can report the paper's "# RPC per request" metric.
+///
+/// With `enable_faults`, the network additionally models per-message loss
+/// and corruption. Fault sampling uses a dedicated RNG stream so enabling
+/// (or disabling) faults never perturbs the latency-jitter sequence.
 class Network {
  public:
+  /// Fate of one delivered message under fault injection.
+  enum class Delivery : std::uint8_t { kOk, kLost, kCorrupted };
+
   explicit Network(NetworkParams params = {});
 
   /// One round trip between two endpoints (0 when src == dst).
   sim::SimTime rtt(EndpointId src, EndpointId dst);
 
-  /// One-way latency (rtt/2 semantics).
+  /// One-way latency (rtt/2 semantics). Counts as one RPC message, same as
+  /// `rtt` — per-request RPC metrics include one-way traffic.
   sim::SimTime one_way(EndpointId src, EndpointId dst);
 
+  /// Arms loss/corruption sampling. Probabilities are per one-way message;
+  /// `loss_prob + corrupt_prob` must be <= 1.
+  void enable_faults(double loss_prob, double corrupt_prob,
+                     std::uint64_t fault_seed);
+  [[nodiscard]] bool faults_enabled() const noexcept {
+    return loss_prob_ > 0.0 || corrupt_prob_ > 0.0;
+  }
+
+  /// Samples the fate of one just-sent message (one RNG draw). Callers must
+  /// only invoke this when the fault layer is active; without faults armed
+  /// it returns kOk without drawing.
+  Delivery classify_delivery();
+
   [[nodiscard]] std::uint64_t rpc_count() const noexcept { return rpcs_; }
-  void reset_counters() noexcept { rpcs_ = 0; }
+  [[nodiscard]] std::uint64_t lost_count() const noexcept { return lost_; }
+  [[nodiscard]] std::uint64_t corrupted_count() const noexcept {
+    return corrupted_;
+  }
+  void reset_counters() noexcept { rpcs_ = lost_ = corrupted_ = 0; }
 
   [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
 
@@ -43,7 +68,12 @@ class Network {
 
   NetworkParams params_;
   common::Xoshiro256 rng_;
+  common::Xoshiro256 fault_rng_;
+  double loss_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
   std::uint64_t rpcs_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t corrupted_ = 0;
 };
 
 }  // namespace origami::net

@@ -19,10 +19,22 @@ using fsns::OpClass;
 using fsns::OpType;
 using sim::SimTime;
 
+/// What a visit does at its MDS — retained so a retry after failover can
+/// re-resolve the *current* owner of the namespace piece it needs.
+enum class VisitRole : std::uint8_t {
+  kResolve,  ///< path-component lookup at the dir's owner
+  kStub,     ///< forwarding stub at the dir's previous owner
+  kExec,     ///< primary op execution at the target's owner
+  kFan,      ///< readdir fragment at a child dir's owner
+  kCoord,    ///< distributed-txn participant at the other dir's owner
+};
+
 /// One service stop of a request at an MDS.
 struct Visit {
   MdsId mds;
   SimTime service;
+  NodeId node = fsns::kRootNode;  ///< namespace anchor for re-resolution
+  VisitRole role = VisitRole::kResolve;
 };
 
 /// Fully planned request: visit sequence + Eq. 1/2 accounting inputs.
@@ -44,6 +56,9 @@ struct InFlight {
   SimTime issued = 0;
   std::uint32_t client = 0;
   bool in_use = false;
+  /// Failed delivery attempts of the *current* visit (fault injection);
+  /// reset on every successful arrival.
+  std::uint32_t attempts = 0;
 };
 
 class Replayer {
@@ -59,9 +74,17 @@ class Replayer {
         cache_(trace.tree.size(), options.cache_depth, options.cache_enabled),
         data_(options.data_params),
         jitter_rng_(options.seed ^ 0x5eedULL),
+        injector_(options.faults, options.mds_count),
+        retry_rng_(options.faults.seed ^ 0x7e717e71ULL),
+        faults_on_(options.faults.enabled()),
         dir_stats_(trace.tree.size()) {
     for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
       servers_.emplace_back(i, opt_.mds_params);
+    }
+    if (faults_on_) {
+      network_.enable_faults(opt_.faults.rpc_loss_prob,
+                             opt_.faults.rpc_corrupt_prob, opt_.faults.seed);
+      down_windows_.resize(opt_.mds_count);
     }
     balancer_.prepare(trace_.tree, partition_);
     if (opt_.kv_backing) {
@@ -90,6 +113,29 @@ class Replayer {
   void finish(std::size_t slot);
   void epoch_boundary();
 
+  // --- fault injection -------------------------------------------------------
+  /// Samples + schedules every fault window opening in epoch `epoch`.
+  void schedule_epoch_faults(std::uint32_t epoch);
+  void on_crash(const fault::FaultWindow& w);
+  void on_recover(MdsId mds);
+  /// Moves every directory fragment owned by `mds` to the least-loaded
+  /// surviving MDS (recorded for restoration on recovery).
+  void failover_from(MdsId mds);
+  /// Re-resolves a visit's target against the current partition map.
+  void retarget(Visit& v) const;
+  /// Samples message fate + destination health; counts and reports whether
+  /// the send will time out. Only call when `faults_on_`.
+  bool delivery_fails(MdsId mds, SimTime arrival);
+  /// Backs off and re-sends the current visit, or fails the request once
+  /// the retry budget is exhausted. `extra_delay` shifts the retry clock
+  /// (e.g. to the service-completion time for lost replies).
+  void retry_or_fail(std::size_t slot, net::EndpointId from,
+                     SimTime extra_delay);
+  /// Retry path: re-resolve, re-send, re-check delivery.
+  void resend(std::size_t slot, net::EndpointId from);
+  void fail_request(std::size_t slot);
+  [[nodiscard]] bool mds_down_during(MdsId mds, SimTime t0, SimTime t1) const;
+
   std::size_t alloc_slot();
   [[nodiscard]] bool trace_done() const {
     if (opt_.time_limit > 0 && queue_.now() >= opt_.time_limit) return true;
@@ -105,8 +151,26 @@ class Replayer {
   mds::NearRootCache cache_;
   mds::DataCluster data_;
   common::Xoshiro256 jitter_rng_;
+  fault::FaultInjector injector_;
+  common::Xoshiro256 retry_rng_;
+  const bool faults_on_;
   std::vector<mds::MdsServer> servers_;
   std::vector<std::unique_ptr<mds::InodeStore>> stores_;  // when kv_backing
+
+  /// Known down windows per MDS (scheduled + sampled so far), used for
+  /// migration abort decisions.
+  struct DownWindow {
+    SimTime from;
+    SimTime until;
+  };
+  std::vector<std::vector<DownWindow>> down_windows_;
+  /// Fragments reassigned by failover, to hand back on recovery.
+  struct FailoverEntry {
+    NodeId dir;
+    MdsId original;
+    MdsId assigned;
+  };
+  std::vector<FailoverEntry> failover_log_;
 
   sim::EventQueue queue_;
   std::vector<InFlight> pool_;
@@ -136,11 +200,18 @@ Plan Replayer::build_plan(const wl::MetaOp& op) {
   const SimTime t_inode = opt_.cost_params.t_inode;
   const SimTime t_rpc = opt_.cost_params.t_rpc_handle;
 
-  auto add_visit = [&](MdsId mds, SimTime service) {
+  auto add_visit = [&](MdsId mds, SimTime service, NodeId node,
+                       VisitRole role) {
     if (!plan.visits.empty() && plan.visits.back().mds == mds) {
+      // Merged into the previous stop; the earlier anchor wins (a retry
+      // that re-resolves it still reaches an MDS serving part of the work).
       plan.visits.back().service += service;
+      if (role == VisitRole::kExec) {
+        plan.visits.back().node = node;
+        plan.visits.back().role = role;
+      }
     } else {
-      plan.visits.push_back({mds, service + t_rpc});
+      plan.visits.push_back({mds, service + t_rpc, node, role});
     }
   };
 
@@ -164,21 +235,24 @@ Plan Replayer::build_plan(const wl::MetaOp& op) {
         cache_.access(comp, tree.depth(comp), partition_.dir_version(comp));
     if (outcome == mds::NearRootCache::Outcome::kHit) continue;
     if (outcome == mds::NearRootCache::Outcome::kStale) {
-      add_visit(partition_.prev_owner(comp), t_inode);  // forwarding stub
+      add_visit(partition_.prev_owner(comp), t_inode, comp,
+                VisitRole::kStub);  // forwarding stub
       note_owner(partition_.prev_owner(comp));
     }
-    add_visit(owner, t_inode);
+    add_visit(owner, t_inode, comp, VisitRole::kResolve);
     note_owner(owner);
   }
 
   // Target read + execution at the owning MDS.
-  add_visit(exec_owner, t_inode + model_.exec_time(op.type));
+  add_visit(exec_owner, t_inode + model_.exec_time(op.type), op.target,
+            VisitRole::kExec);
   note_owner(exec_owner);
 
   // lsdir fan-out: each extra MDS holding children of the listed directory
   // serves its fragment (+RTT elapsed via the extra visit, Eq. 2).
   if (op.type == OpType::kReaddir && tree.is_dir(op.target)) {
     std::array<MdsId, 32> child_owners{};
+    std::array<NodeId, 32> child_nodes{};
     std::size_t child_n = 0;
     for (NodeId child : tree.node(op.target).children) {
       if (!tree.is_dir(child)) continue;  // files live with the parent
@@ -189,11 +263,16 @@ Plan Replayer::build_plan(const wl::MetaOp& op) {
         if (child_owners[i] == o) dup = true;
       }
       if (dup) continue;
-      if (child_n < child_owners.size()) child_owners[child_n++] = o;
+      if (child_n < child_owners.size()) {
+        child_owners[child_n] = o;
+        child_nodes[child_n] = child;
+        ++child_n;
+      }
     }
     plan.lsdir_spread = static_cast<std::uint32_t>(child_n);
     for (std::size_t i = 0; i < child_n; ++i) {
-      add_visit(child_owners[i], opt_.cost_params.t_exec_readdir / 2);
+      add_visit(child_owners[i], opt_.cost_params.t_exec_readdir / 2,
+                child_nodes[i], VisitRole::kFan);
       note_owner(child_owners[i]);
     }
   }
@@ -202,23 +281,27 @@ Plan Replayer::build_plan(const wl::MetaOp& op) {
   // (mkdir/rmdir whose fragment lands elsewhere; cross-directory rename).
   if (fsns::classify(op.type) == OpClass::kNsMutation) {
     MdsId other = exec_owner;
+    NodeId other_node = op.target;
     if ((op.type == OpType::kMkdir || op.type == OpType::kRmdir) &&
         tree.is_dir(op.target) && op.target != fsns::kRootNode) {
-      other = partition_.dir_owner(tree.parent(op.target));
+      other_node = tree.parent(op.target);
+      other = partition_.dir_owner(other_node);
     } else if (op.type == OpType::kRename && op.aux != fsns::kInvalidNode) {
-      other = partition_.dir_owner(op.aux);
+      other_node = op.aux;
+      other = partition_.dir_owner(other_node);
     } else if ((op.type == OpType::kCreate || op.type == OpType::kUnlink) &&
                !tree.is_dir(op.target)) {
       // Dirent lives with the parent directory; the file inode may be
       // hashed elsewhere (fine-grained partitioning) — then the mutation
       // is a distributed transaction.
-      other = partition_.dir_owner(tree.parent(op.target));
+      other_node = tree.parent(op.target);
+      other = partition_.dir_owner(other_node);
     }
     if (other != exec_owner) {
       plan.ns_cross = true;
       const SimTime half = opt_.cost_params.t_coor / 2;
-      plan.visits.back().service += half;  // coordinator side
-      add_visit(other, half);              // participant side
+      plan.visits.back().service += half;            // coordinator side
+      add_visit(other, half, other_node, VisitRole::kCoord);  // participant
       note_owner(other);
     }
   }
@@ -262,10 +345,15 @@ void Replayer::issue_open_loop() {
   fl.next_visit = 0;
   fl.issued = queue_.now();
   fl.client = 0;
+  fl.attempts = 0;
   account_issue(fl.plan);
-  const SimTime travel =
-      network_.one_way(opt_.mds_count, fl.plan.visits.front().mds);
-  queue_.schedule_after(travel, [this, slot] { hop(slot); });
+  const MdsId first = fl.plan.visits.front().mds;
+  const SimTime travel = network_.one_way(opt_.mds_count, first);
+  if (faults_on_ && delivery_fails(first, queue_.now() + travel)) {
+    retry_or_fail(slot, opt_.mds_count, 0);
+  } else {
+    queue_.schedule_after(travel, [this, slot] { hop(slot); });
+  }
 
   // Next arrival: exponential inter-arrival at the offered rate.
   const double mean_gap_s = 1.0 / opt_.open_loop_rate;
@@ -289,15 +377,21 @@ void Replayer::issue_for_client(std::uint32_t client) {
   fl.next_visit = 0;
   fl.issued = queue_.now();
   fl.client = client;
+  fl.attempts = 0;
   account_issue(fl.plan);
 
-  const SimTime travel = network_.one_way(opt_.mds_count + client,
-                                          fl.plan.visits.front().mds);
-  queue_.schedule_after(travel, [this, slot] { hop(slot); });
+  const MdsId first = fl.plan.visits.front().mds;
+  const SimTime travel = network_.one_way(opt_.mds_count + client, first);
+  if (faults_on_ && delivery_fails(first, queue_.now() + travel)) {
+    retry_or_fail(slot, opt_.mds_count + client, 0);
+  } else {
+    queue_.schedule_after(travel, [this, slot] { hop(slot); });
+  }
 }
 
 void Replayer::hop(std::size_t slot) {
   InFlight& fl = pool_[slot];
+  fl.attempts = 0;  // delivery succeeded — fresh budget for the next send
   const Visit& v = fl.plan.visits[fl.next_visit];
   mds::MdsServer& server = servers_[v.mds];
   ++server.counters().rpcs;
@@ -313,6 +407,10 @@ void Replayer::hop(std::size_t slot) {
   if (fl.next_visit < fl.plan.visits.size()) {
     const MdsId next = fl.plan.visits[fl.next_visit].mds;
     const SimTime arrive = done + network_.one_way(v.mds, next);
+    if (faults_on_ && delivery_fails(next, arrive)) {
+      retry_or_fail(slot, v.mds, done - queue_.now());
+      return;
+    }
     queue_.schedule_at(arrive, [this, slot] { hop(slot); });
     return;
   }
@@ -329,6 +427,17 @@ void Replayer::hop(std::size_t slot) {
   }
 
   SimTime reply_at = done + network_.one_way(v.mds, opt_.mds_count + fl.client);
+  if (faults_on_) {
+    // A lost/corrupted reply: the server did the work, but the client times
+    // out and re-sends the final visit (at-least-once execution).
+    const auto fate = network_.classify_delivery();
+    if (fate != net::Network::Delivery::kOk) {
+      ++result_.faults.timeouts;
+      --fl.next_visit;  // the final visit must run again
+      retry_or_fail(slot, opt_.mds_count + fl.client, done - queue_.now());
+      return;
+    }
+  }
   if (opt_.data_path && fl.plan.data_bytes > 0) {
     reply_at = data_.serve(fl.plan.target, reply_at, fl.plan.data_bytes) +
                opt_.net_params.base_rtt / 2;
@@ -355,6 +464,167 @@ void Replayer::finish(std::size_t slot) {
   if (opt_.open_loop_rate <= 0.0) issue_for_client(client);
 }
 
+// --------------------------------------------------------- fault handling --
+
+bool Replayer::delivery_fails(MdsId mds, SimTime arrival) {
+  const auto fate = network_.classify_delivery();
+  const bool bad =
+      fate != net::Network::Delivery::kOk || servers_[mds].is_down(arrival);
+  if (bad) ++result_.faults.timeouts;
+  return bad;
+}
+
+void Replayer::retry_or_fail(std::size_t slot, net::EndpointId from,
+                             SimTime extra_delay) {
+  InFlight& fl = pool_[slot];
+  ++fl.attempts;
+  if (fl.attempts > opt_.retry.max_retries) {
+    fail_request(slot);
+    return;
+  }
+  ++result_.faults.retries;
+  const SimTime delay = extra_delay + opt_.retry.timeout +
+                        opt_.retry.backoff_for(fl.attempts, retry_rng_);
+  queue_.schedule_after(delay, [this, slot, from] { resend(slot, from); });
+}
+
+void Replayer::resend(std::size_t slot, net::EndpointId from) {
+  InFlight& fl = pool_[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  retarget(v);  // failover may have moved the fragment while we backed off
+  const SimTime travel = network_.one_way(from, v.mds);
+  if (delivery_fails(v.mds, queue_.now() + travel)) {
+    retry_or_fail(slot, from, 0);
+    return;
+  }
+  queue_.schedule_after(travel, [this, slot] { hop(slot); });
+}
+
+void Replayer::retarget(Visit& v) const {
+  switch (v.role) {
+    case VisitRole::kExec:
+      v.mds = partition_.node_owner(v.node);
+      break;
+    case VisitRole::kResolve:
+    case VisitRole::kStub:  // skip the dead stub, go to the live owner
+    case VisitRole::kFan:
+    case VisitRole::kCoord:
+      v.mds = partition_.dir_owner(v.node);
+      break;
+  }
+}
+
+void Replayer::fail_request(std::size_t slot) {
+  InFlight& fl = pool_[slot];
+  ++result_.faults.failed_ops;
+  last_completion_ = std::max(last_completion_, queue_.now());
+  const std::uint32_t client = fl.client;
+  fl.in_use = false;
+  fl.attempts = 0;
+  free_slots_.push_back(slot);
+  if (opt_.open_loop_rate <= 0.0) issue_for_client(client);
+}
+
+void Replayer::schedule_epoch_faults(std::uint32_t epoch) {
+  const SimTime start = static_cast<SimTime>(epoch) * opt_.epoch_length;
+  const auto windows =
+      injector_.windows_for_epoch(epoch, start, opt_.epoch_length);
+  for (const fault::FaultWindow& w : windows) {
+    if (w.mds >= servers_.size()) continue;
+    if (w.kind == fault::FaultKind::kCrash) {
+      down_windows_[w.mds].push_back({w.from, w.until});
+      queue_.schedule_at(w.from, [this, w] { on_crash(w); });
+    } else {
+      queue_.schedule_at(w.from, [this, w] {
+        if (active_clients_ == 0) return;  // workload drained
+        servers_[w.mds].degrade(w.from, w.until, w.slow_factor);
+      });
+    }
+  }
+}
+
+void Replayer::on_crash(const fault::FaultWindow& w) {
+  // The queue drains every scheduled event, including faults timed after
+  // the last client finished; those must not touch servers or the map, or
+  // `final_dir_owner` would reflect post-workload churn.
+  if (active_clients_ == 0) return;
+  ++result_.faults.crashes;
+  servers_[w.mds].crash(queue_.now(), w.until);
+  failover_from(w.mds);
+  queue_.schedule_at(w.until, [this, m = w.mds] { on_recover(m); });
+}
+
+void Replayer::failover_from(MdsId down) {
+  // Reassign every fragment owned by the crashed MDS to the least-loaded
+  // surviving MDS (by running inode tally), bumping directory versions so
+  // client caches go stale, and charge the survivors the hand-off work.
+  auto counts = partition_.inode_counts();
+  std::vector<std::uint64_t> absorbed(servers_.size(), 0);
+  const SimTime now = queue_.now();
+  std::uint64_t moved_dirs = 0;
+  for (NodeId d : trace_.tree.directories()) {
+    if (partition_.dir_owner(d) != down) continue;
+    MdsId best = cost::kInvalidMds;
+    for (MdsId s = 0; s < static_cast<MdsId>(servers_.size()); ++s) {
+      if (s == down || servers_[s].is_down(now)) continue;
+      if (best == cost::kInvalidMds || counts[s] < counts[best]) best = s;
+    }
+    if (best == cost::kInvalidMds) break;  // no survivors: nowhere to go
+    const std::uint64_t n = partition_.migrate_single(d, down, best);
+    if (n == 0) continue;
+    counts[best] += n;
+    absorbed[best] += n;
+    failover_log_.push_back({d, down, best});
+    ++moved_dirs;
+  }
+  if (moved_dirs > 0) {
+    ++result_.faults.failovers;
+    result_.faults.failover_dirs += moved_dirs;
+    for (std::size_t s = 0; s < absorbed.size(); ++s) {
+      if (absorbed[s] == 0) continue;
+      // Survivors replay the failed node's journal for what they absorbed.
+      servers_[s].serve(now, opt_.cost_params.t_migrate_per_inode *
+                                 static_cast<SimTime>(absorbed[s]));
+    }
+  }
+}
+
+void Replayer::on_recover(MdsId mds) {
+  if (active_clients_ == 0) return;  // workload drained; keep the final map
+  if (servers_[mds].is_down(queue_.now())) return;  // outage was extended
+  // Hand back the fragments lost at failover, unless the balancer has
+  // since moved them elsewhere.
+  std::uint64_t restored_inodes = 0;
+  std::size_t kept = 0;
+  for (FailoverEntry& e : failover_log_) {
+    if (e.original != mds) {
+      failover_log_[kept++] = e;
+      continue;
+    }
+    if (partition_.dir_owner(e.dir) == e.assigned) {
+      const std::uint64_t n = partition_.migrate_single(e.dir, e.assigned, mds);
+      if (n > 0) {
+        restored_inodes += n;
+        ++result_.faults.restored_dirs;
+      }
+    }
+  }
+  failover_log_.resize(kept);
+  if (restored_inodes > 0) {
+    servers_[mds].serve(queue_.now(),
+                        opt_.cost_params.t_migrate_per_inode *
+                            static_cast<SimTime>(restored_inodes));
+  }
+}
+
+bool Replayer::mds_down_during(MdsId mds, SimTime t0, SimTime t1) const {
+  if (!faults_on_) return false;
+  for (const DownWindow& w : down_windows_[mds]) {
+    if (w.from < t1 && w.until > t0) return true;
+  }
+  return false;
+}
+
 std::size_t Replayer::alloc_slot() {
   if (!free_slots_.empty()) {
     const std::size_t slot = free_slots_.back();
@@ -368,6 +638,10 @@ std::size_t Replayer::alloc_slot() {
 }
 
 void Replayer::epoch_boundary() {
+  // Materialise the next epoch's fault windows before applying any
+  // migration decisions, so abort checks below can see upcoming crashes.
+  if (faults_on_) schedule_epoch_faults(epoch_index_ + 1);
+
   EpochSnapshot snap;
   snap.epoch = epoch_index_;
   snap.now = queue_.now();
@@ -397,12 +671,34 @@ void Replayer::epoch_boundary() {
   auto decisions = balancer_.rebalance(snap, trace_.tree, partition_);
   for (const MigrationDecision& d : decisions) {
     if (d.subtree == fsns::kInvalidNode || d.from == d.to) continue;
+    if (faults_on_ && (servers_[d.from].is_down(queue_.now()) ||
+                       servers_[d.to].is_down(queue_.now()))) {
+      // The partition map must never point at a down MDS: refuse moves
+      // touching one (the balancer saw a stale pre-crash snapshot).
+      ++result_.faults.aborted_migrations;
+      continue;
+    }
     const std::uint64_t moved =
         d.whole_subtree ? partition_.migrate(d.subtree, d.from, d.to)
                         : partition_.migrate_single(d.subtree, d.from, d.to);
     if (moved == 0) continue;
     const SimTime cost = opt_.cost_params.t_migrate_per_inode *
                          static_cast<SimTime>(moved);
+    if (faults_on_ &&
+        (mds_down_during(d.from, queue_.now(), queue_.now() + cost) ||
+         mds_down_during(d.to, queue_.now(), queue_.now() + cost))) {
+      // An endpoint dies inside the copy window: abort and roll back.
+      // Ownership returns to the source atomically; the half-finished copy
+      // work is still charged to both ends (wasted effort is real).
+      const std::uint64_t rolled =
+          d.whole_subtree ? partition_.migrate(d.subtree, d.to, d.from)
+                          : partition_.migrate_single(d.subtree, d.to, d.from);
+      (void)rolled;
+      servers_[d.from].serve(queue_.now(), cost / 2);
+      servers_[d.to].serve(queue_.now(), cost / 2);
+      ++result_.faults.aborted_migrations;
+      continue;
+    }
     servers_[d.from].serve(queue_.now(), cost);
     servers_[d.to].serve(queue_.now(), cost);
     if (opt_.kv_backing) {
@@ -431,6 +727,7 @@ RunResult Replayer::run() {
   result_.balancer_name = balancer_.name();
   result_.mds_count = opt_.mds_count;
 
+  if (faults_on_) schedule_epoch_faults(0);
   if (opt_.open_loop_rate > 0.0) {
     active_clients_ = 1;  // the arrival process counts as one driver
     queue_.schedule_at(0, [this] { issue_open_loop(); });
@@ -461,6 +758,14 @@ RunResult Replayer::run() {
                               static_cast<double>(result_.completed_ops);
   }
   result_.cache = cache_.stats();
+  if (faults_on_) {
+    result_.faults.rpcs_lost = network_.lost_count();
+    result_.faults.rpcs_corrupted = network_.corrupted_count();
+    for (const auto& s : servers_) {
+      result_.faults.time_down += s.time_down();
+      result_.faults.time_degraded += s.time_degraded();
+    }
+  }
 
   // Post-warm-up steady state: throughput and imbalance factors.
   double imf_qps = 0, imf_rpc = 0, imf_inodes = 0, imf_busy = 0;

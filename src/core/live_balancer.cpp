@@ -107,6 +107,9 @@ std::vector<LiveOrigamiBalancer::Move> LiveOrigamiBalancer::rebalance_epoch(
                    [](const Scored& a, const Scored& b) { return a.pred > b.pred; });
 
   // --- greedy migration, highest predicted benefit first -------------------
+  const auto down = [&](std::uint32_t shard) {
+    return params_.shard_down && params_.shard_down(shard);
+  };
   std::vector<bool> frozen(nodes.size(), false);
   for (const Scored& s : scored) {
     if (moves.size() >= static_cast<std::size_t>(params_.max_moves_per_epoch)) {
@@ -115,9 +118,13 @@ std::vector<LiveOrigamiBalancer::Move> LiveOrigamiBalancer::rebalance_epoch(
     const LiveSubtree& n = nodes[s.idx];
     if (frozen[s.idx]) continue;
     const std::uint32_t from = n.shard;
-    const auto to = static_cast<std::uint32_t>(
-        std::min_element(shard_load.begin(), shard_load.end()) -
-        shard_load.begin());
+    if (down(from)) continue;  // source unreachable — nothing to export
+    // Least-loaded *healthy* destination.
+    std::uint32_t to = from;
+    for (std::uint32_t cand = 0; cand < shard_load.size(); ++cand) {
+      if (cand == from || down(cand)) continue;
+      if (to == from || shard_load[cand] < shard_load[to]) to = cand;
+    }
     if (to == from || shard_load[from] <= shard_load[to]) continue;
     const double load = static_cast<double>(n.reads + n.writes);
     if (shard_load[to] + load > shard_load[from] - load + load) {
@@ -134,6 +141,16 @@ std::vector<LiveOrigamiBalancer::Move> LiveOrigamiBalancer::rebalance_epoch(
     m.to = to;
     m.predicted_benefit = s.pred;
     m.entries_moved = moved.value();
+
+    // Abort-and-rollback: if the destination died while the subtree was in
+    // flight, return it to the source so no entry is ever homed on a dead
+    // shard. The copy work already happened; only the commit is undone.
+    if (down(to)) {
+      m.aborted = true;
+      (void)fsys.migrate_subtree_ino(n.ino, from);
+      moves.push_back(std::move(m));
+      continue;  // shard loads unchanged; the subtree stays migratable
+    }
     moves.push_back(std::move(m));
 
     shard_load[from] -= load;

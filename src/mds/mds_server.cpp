@@ -9,10 +9,16 @@ MdsServer::MdsServer(cost::MdsId id, const MdsServerParams& params)
 
 sim::SimTime MdsServer::serve(sim::SimTime arrival, sim::SimTime service) {
   auto it = std::min_element(slot_free_.begin(), slot_free_.end());
-  const sim::SimTime start = std::max(arrival, *it);
-  const sim::SimTime done = start + service;
+  sim::SimTime start = std::max(arrival, *it);
+  if (start < down_until_) start = down_until_;  // deferred across the outage
+  const double factor = service_factor(start);
+  const sim::SimTime stretched =
+      factor > 1.0
+          ? static_cast<sim::SimTime>(static_cast<double>(service) * factor)
+          : service;
+  const sim::SimTime done = start + stretched;
   *it = done;
-  counters_.busy += service;
+  counters_.busy += stretched;
   counters_.queue_wait += start - arrival;
   return done;
 }
@@ -20,7 +26,22 @@ sim::SimTime MdsServer::serve(sim::SimTime arrival, sim::SimTime service) {
 sim::SimTime MdsServer::earliest_start(sim::SimTime arrival) const noexcept {
   const sim::SimTime free_at =
       *std::min_element(slot_free_.begin(), slot_free_.end());
-  return std::max(arrival, free_at);
+  return std::max({arrival, free_at, down_until_});
+}
+
+void MdsServer::crash(sim::SimTime now, sim::SimTime until) {
+  if (until <= now) return;
+  const sim::SimTime from = std::max(now, down_until_);
+  if (until > from) time_down_ += until - from;  // extension only, no overlap
+  down_until_ = std::max(down_until_, until);
+}
+
+void MdsServer::degrade(sim::SimTime from, sim::SimTime until, double factor) {
+  if (until <= from || factor <= 1.0) return;
+  const sim::SimTime begin = std::max(from, degraded_until_);
+  if (until > begin) time_degraded_ += until - begin;
+  degraded_until_ = std::max(degraded_until_, until);
+  degrade_factor_ = factor;
 }
 
 sim::SimTime MdsServer::backlog(sim::SimTime now) const noexcept {

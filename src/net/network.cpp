@@ -6,7 +6,28 @@
 namespace origami::net {
 
 Network::Network(NetworkParams params)
-    : params_(params), rng_(params.seed) {}
+    : params_(params), rng_(params.seed), fault_rng_(params.seed ^ 0xfa017ULL) {}
+
+void Network::enable_faults(double loss_prob, double corrupt_prob,
+                            std::uint64_t fault_seed) {
+  loss_prob_ = std::max(0.0, loss_prob);
+  corrupt_prob_ = std::max(0.0, corrupt_prob);
+  fault_rng_ = common::Xoshiro256(fault_seed ^ 0xfa017ULL);
+}
+
+Network::Delivery Network::classify_delivery() {
+  if (!faults_enabled()) return Delivery::kOk;
+  const double u = fault_rng_.uniform_double();
+  if (u < loss_prob_) {
+    ++lost_;
+    return Delivery::kLost;
+  }
+  if (u < loss_prob_ + corrupt_prob_) {
+    ++corrupted_;
+    return Delivery::kCorrupted;
+  }
+  return Delivery::kOk;
+}
 
 sim::SimTime Network::sample(sim::SimTime base) {
   if (params_.jitter_frac <= 0.0) return base;
@@ -23,6 +44,7 @@ sim::SimTime Network::rtt(EndpointId src, EndpointId dst) {
 
 sim::SimTime Network::one_way(EndpointId src, EndpointId dst) {
   if (src == dst) return 0;
+  ++rpcs_;  // one-way messages are RPC traffic too, same as rtt()
   return sample(params_.base_rtt / 2);
 }
 

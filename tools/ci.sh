@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build and test the tree twice —
+#   1. Release        (the configuration every bench number comes from)
+#   2. ASan + UBSan   (catches the memory/UB bugs a simulator loves to hide)
+#
+# Usage: tools/ci.sh [build-root]   (default: ci-build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-${ROOT}/ci-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="${BUILD_ROOT}/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S "${ROOT}" "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config release -DCMAKE_BUILD_TYPE=Release
+
+run_config sanitize \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "=== CI OK ==="

@@ -14,6 +14,7 @@
 #include "origami/cluster/replay.hpp"
 #include "origami/common/csv.hpp"
 #include "origami/common/flags.hpp"
+#include "origami/fault/fault.hpp"
 #include "origami/core/balancers.hpp"
 #include "origami/core/pipeline.hpp"
 #include "origami/wl/generators.hpp"
@@ -37,6 +38,21 @@ constexpr const char* kUsage = R"(usage: origami_sim [options]
   --kv-backing             execute real LSM-store ops on each MDS
   --csv PATH               append one row per run to a CSV file
   --epochs-csv PREFIX      dump per-epoch per-MDS series to PREFIX_<strategy>.csv
+
+fault injection (all off by default; seeded, deterministic):
+  --fault-seed N           fault-schedule seed (default 2026)
+  --fault-crash-prob P     per-MDS per-epoch fail-stop probability
+  --fault-recovery-ms N    mean crash outage length (default 2000)
+  --fault-straggler-prob P per-MDS per-epoch straggler probability
+  --fault-straggler-slow F straggler service-time multiplier (default 4)
+  --fault-straggler-ms N   mean straggler window length (default 1000)
+  --fault-loss-prob P      per-message RPC loss probability
+  --fault-corrupt-prob P   per-message RPC corruption probability
+  --fault-crash-at LIST    scheduled crashes "mds@start_ms+dur_ms[,...]"
+  --retry-max N            per-visit retry budget (default 5)
+  --retry-timeout-ms F     per-RPC timeout (default 5)
+  --retry-backoff-ms F     initial backoff, doubles per attempt (default 0.2)
+  --retry-backoff-cap-ms F backoff ceiling (default 50)
 )";
 
 wl::Trace build_trace(const common::Flags& flags) {
@@ -76,7 +92,7 @@ wl::Trace build_trace(const common::Flags& flags) {
   std::exit(1);
 }
 
-void print_result(const cluster::RunResult& r) {
+void print_result(const cluster::RunResult& r, bool faults) {
   std::printf("%-9s %4u MDS  %9.0f ops/s (steady %9.0f)  lat %7.1f us "
               "(p99 %8.1f)  RPC/req %.3f  IF busy/qps %.2f/%.2f  "
               "migr %lu (%lu inodes)\n",
@@ -85,6 +101,73 @@ void print_result(const cluster::RunResult& r) {
               r.rpc_per_request, r.imf_busy, r.imf_qps,
               static_cast<unsigned long>(r.migrations),
               static_cast<unsigned long>(r.inodes_migrated));
+  if (faults) {
+    const auto& f = r.faults;
+    std::printf("          faults: %lu crashes  %lu failovers (%lu dirs, "
+                "%lu restored)  %lu retries  %lu timeouts  %lu lost  "
+                "%lu failed ops  %lu aborted migr  down %.2fs  degraded "
+                "%.2fs\n",
+                static_cast<unsigned long>(f.crashes),
+                static_cast<unsigned long>(f.failovers),
+                static_cast<unsigned long>(f.failover_dirs),
+                static_cast<unsigned long>(f.restored_dirs),
+                static_cast<unsigned long>(f.retries),
+                static_cast<unsigned long>(f.timeouts),
+                static_cast<unsigned long>(f.rpcs_lost),
+                static_cast<unsigned long>(f.failed_ops),
+                static_cast<unsigned long>(f.aborted_migrations),
+                sim::to_seconds(f.time_down), sim::to_seconds(f.time_degraded));
+  }
+}
+
+/// Parses "mds@start_ms+dur_ms[,mds@start_ms+dur_ms...]".
+std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
+  std::vector<fault::FaultWindow> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    unsigned mds = 0;
+    double start_ms = 0, dur_ms = 0;
+    if (std::sscanf(item.c_str(), "%u@%lf+%lf", &mds, &start_ms, &dur_ms) != 3) {
+      std::fprintf(stderr, "error: bad --fault-crash-at entry '%s'\n",
+                   item.c_str());
+      std::exit(1);
+    }
+    fault::FaultWindow w;
+    w.mds = mds;
+    w.kind = fault::FaultKind::kCrash;
+    w.from = sim::millis(start_ms);
+    w.until = w.from + sim::millis(dur_ms);
+    out.push_back(w);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void apply_fault_flags(const common::Flags& flags, cluster::ReplayOptions& opt) {
+  fault::FaultPlan& plan = opt.faults;
+  plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 2026));
+  plan.crash_prob = flags.get_double("fault-crash-prob", 0.0);
+  plan.crash_recovery =
+      sim::millis(static_cast<double>(flags.get_int("fault-recovery-ms", 2000)));
+  plan.straggler_prob = flags.get_double("fault-straggler-prob", 0.0);
+  plan.straggler_slow = flags.get_double("fault-straggler-slow", 4.0);
+  plan.straggler_duration = sim::millis(
+      static_cast<double>(flags.get_int("fault-straggler-ms", 1000)));
+  plan.rpc_loss_prob = flags.get_double("fault-loss-prob", 0.0);
+  plan.rpc_corrupt_prob = flags.get_double("fault-corrupt-prob", 0.0);
+  if (flags.has("fault-crash-at")) {
+    plan.scheduled = parse_crash_schedule(flags.get("fault-crash-at"));
+  }
+  fault::RetryPolicy& retry = opt.retry;
+  retry.max_retries =
+      static_cast<std::uint32_t>(flags.get_int("retry-max", 5));
+  retry.timeout = sim::millis(flags.get_double("retry-timeout-ms", 5.0));
+  retry.backoff_base = sim::millis(flags.get_double("retry-backoff-ms", 0.2));
+  retry.backoff_cap =
+      sim::millis(flags.get_double("retry-backoff-cap-ms", 50.0));
 }
 
 }  // namespace
@@ -113,6 +196,7 @@ int main(int argc, char** argv) {
   opt.data_path = flags.get_bool("data-path", false);
   opt.kv_backing = flags.get_bool("kv-backing", false);
   opt.warmup_epochs = 4;
+  apply_fault_flags(flags, opt);
 
   const std::string strategy = flags.get("strategy", "all");
   std::vector<std::string> todo;
@@ -211,7 +295,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto r = cluster::replay_trace(trace, run_opt, *balancer);
-    print_result(r);
+    print_result(r, opt.faults.enabled());
     if (flags.has("epochs-csv")) {
       const std::string path =
           flags.get("epochs-csv") + "_" + r.balancer_name + ".csv";
