@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "origami/common/status.hpp"
 #include "origami/mds/client_cache.hpp"
 #include "origami/mds/mds_server.hpp"
+#include "origami/recovery/invariants.hpp"
 #include "origami/sim/time.hpp"
 
 namespace origami::cluster {
@@ -45,6 +47,19 @@ struct RobustnessStats {
   std::uint64_t aborted_migrations = 0;  ///< balancer moves aborted/rolled back
   sim::SimTime time_down = 0;        ///< summed MDS outage time
   sim::SimTime time_degraded = 0;    ///< summed MDS straggler time
+
+  // Durable-recovery counters (zero unless journaling is armed with faults).
+  std::uint64_t journal_records = 0;     ///< mutations + migration events logged
+  std::uint64_t journal_checkpoints = 0; ///< checkpoint/compaction passes
+  std::uint64_t journal_replays = 0;     ///< crash-recovery replay passes
+  std::uint64_t journal_replayed_records = 0;  ///< records re-applied in replays
+  std::uint64_t torn_tail_truncations = 0;  ///< torn journal tails dropped
+  std::uint64_t fenced_rejections = 0;   ///< stale-epoch requests re-routed
+  std::uint64_t prepared_migrations = 0; ///< two-phase PREPAREs logged
+  std::uint64_t committed_migrations = 0;  ///< two-phase COMMITs applied
+  std::uint64_t recovery_windows = 0;    ///< journal-replay outage windows
+  sim::SimTime recovery_window_time = 0; ///< summed replay-window duration
+  sim::SimTime recovery_queue_time = 0;  ///< request wait behind recovery
 };
 
 /// Complete result of one replay. All rates use the virtual clock.
@@ -101,6 +116,13 @@ struct RunResult {
   /// Whether the run hashed file inodes independently (fine-grained
   /// partitioning) — FixedPartitionBalancer reproduces this too.
   bool hash_file_inodes = false;
+
+  /// Which MDSes were inside a crash window when the run ended.
+  std::vector<bool> mds_down_at_end;
+
+  /// Audit trail for the NamespaceInvariantChecker; populated only when
+  /// fault injection is armed and `RecoveryParams::capture_ledger` is set.
+  std::shared_ptr<const recovery::RecoveryLedger> ledger;
 };
 
 /// Writes the per-epoch, per-MDS series of a run (ops, rpcs, busy, rct,

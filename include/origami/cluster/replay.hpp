@@ -60,6 +60,11 @@ struct ReplayOptions {
   fault::FaultPlan faults;
   fault::RetryPolicy retry;
 
+  /// Durable-recovery model: journaling costs, crash-replay pricing, the
+  /// two-phase migration protocol, and epoch fencing. Only consulted when
+  /// `faults` is enabled, so the clean path is untouched.
+  recovery::RecoveryParams recovery;
+
   std::uint64_t seed = 11;
 };
 

@@ -10,6 +10,11 @@
 
 namespace origami::core {
 
+/// Phases of one live subtree migration. Every move walks
+/// PREPARE → (COMMIT | ABORT); observers (journals, metrics) hook the
+/// transitions via `Params::on_phase`.
+enum class MigrationPhase { kPrepare, kCommit, kAbort };
+
 /// The §4.2 rebalancing loop running against the *live* OrigamiFS service
 /// (not the simulator): drain the Data Collector, aggregate per-subtree
 /// Table-1 features, predict migration benefit with the trained model, and
@@ -17,6 +22,8 @@ namespace origami::core {
 /// predictions fall below the threshold.
 class LiveOrigamiBalancer {
  public:
+  struct Move;
+
   struct Params {
     double min_predicted_benefit = 0.002;
     int max_moves_per_epoch = 8;
@@ -29,6 +36,11 @@ class LiveOrigamiBalancer {
     /// migration source or destination, and a migration whose destination
     /// dies mid-epoch is rolled back to its source. Null = all healthy.
     std::function<bool(std::uint32_t shard)> shard_down;
+    /// Two-phase hook: fired once with kPrepare before the subtree copy
+    /// starts, then exactly once with kCommit (ownership flipped) or
+    /// kAbort (destination died; subtree rolled back to the source).
+    /// Lets a durability layer journal intent before any data moves.
+    std::function<void(MigrationPhase, const Move&)> on_phase;
   };
 
   struct Move {

@@ -13,6 +13,15 @@ namespace origami::kv {
 /// Write-ahead log record kinds.
 enum class WalRecordType : std::uint8_t { kPut = 1, kDelete = 2 };
 
+/// What a replay pass saw. `torn_tail` is true when decoding stopped at a
+/// checksum-corrupt or truncated record — the signature of a torn write —
+/// and everything from that offset on was dropped.
+struct WalReplayStats {
+  std::uint64_t records = 0;       ///< records decoded and delivered
+  std::uint64_t dropped_bytes = 0; ///< bytes discarded after the torn point
+  bool torn_tail = false;
+};
+
 /// A length-prefixed, checksummed append-only log. When constructed without
 /// a path the log buffers in memory (the simulation default); with a path it
 /// appends to the file so recovery can be exercised by tests.
@@ -24,21 +33,32 @@ class WriteAheadLog {
   common::Status append(WalRecordType type, std::string_view key,
                         std::string_view value, std::uint64_t seqno);
 
+  /// Appends raw bytes without framing them as a record — a fault-injection
+  /// hook that simulates a torn write (a record the writer crashed inside).
+  /// A subsequent `replay` truncates the log at this point.
+  void append_raw(std::string_view bytes);
+
   /// Discards all buffered/persisted records (called after a flush makes
   /// them durable in a sorted run).
   common::Status reset();
 
-  /// Replays records in append order. Stops and returns kCorruption on a
-  /// checksum mismatch (records after a torn write are dropped).
+  /// Replays records in append order. A checksum-corrupt or truncated
+  /// record terminates the scan (a torn write: the writer crashed inside
+  /// the append); the log is truncated to the preceding valid prefix and
+  /// replay succeeds with the surviving records. `stats`, when non-null,
+  /// reports what was delivered and what was dropped.
   common::Status replay(
       const std::function<void(WalRecordType, std::string_view key,
-                               std::string_view value, std::uint64_t seqno)>& fn);
+                               std::string_view value, std::uint64_t seqno)>& fn,
+      WalReplayStats* stats = nullptr);
 
-  /// Replays an existing log file into `fn` without owning it.
+  /// Replays an existing log file into `fn` without owning it. Tolerates a
+  /// torn tail the same way `replay` does but does not truncate the file.
   static common::Status replay_file(
       const std::string& path,
       const std::function<void(WalRecordType, std::string_view key,
-                               std::string_view value, std::uint64_t seqno)>& fn);
+                               std::string_view value, std::uint64_t seqno)>& fn,
+      WalReplayStats* stats = nullptr);
 
   [[nodiscard]] std::size_t byte_size() const noexcept { return buffer_.size(); }
   [[nodiscard]] bool file_backed() const noexcept { return !path_.empty(); }
@@ -47,10 +67,13 @@ class WriteAheadLog {
   static void encode_record(std::string& out, WalRecordType type,
                             std::string_view key, std::string_view value,
                             std::uint64_t seqno);
-  static common::Status decode_all(
+  /// Decodes the valid prefix of `data`. Returns the offset of the first
+  /// undecodable byte (== data.size() when the whole buffer is clean).
+  static std::size_t decode_prefix(
       std::string_view data,
       const std::function<void(WalRecordType, std::string_view,
-                               std::string_view, std::uint64_t)>& fn);
+                               std::string_view, std::uint64_t)>& fn,
+      WalReplayStats* stats);
 
   std::string path_;
   std::string buffer_;  // in-memory mode; mirrors the file in file mode

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "origami/cost/cost_model.hpp"
@@ -19,6 +20,33 @@ class PartitionMap {
  public:
   PartitionMap(const fsns::DirTree& tree, std::uint32_t mds_count,
                cost::MdsId initial_owner = 0);
+
+  /// Copies carry the ownership state but never the transfer observer:
+  /// balancers clone the map for what-if planning, and simulated moves on
+  /// a clone must not be reported as real transfers.
+  PartitionMap(const PartitionMap& other)
+      : tree_(other.tree_),
+        mds_count_(other.mds_count_),
+        owner_(other.owner_),
+        prev_owner_(other.prev_owner_),
+        version_(other.version_),
+        inode_count_(other.inode_count_),
+        hash_file_inodes_(other.hash_file_inodes_) {}
+  PartitionMap& operator=(const PartitionMap& other) {
+    if (this != &other) {
+      tree_ = other.tree_;
+      mds_count_ = other.mds_count_;
+      owner_ = other.owner_;
+      prev_owner_ = other.prev_owner_;
+      version_ = other.version_;
+      inode_count_ = other.inode_count_;
+      hash_file_inodes_ = other.hash_file_inodes_;
+      transfer_observer_ = nullptr;
+    }
+    return *this;
+  }
+  PartitionMap(PartitionMap&&) = default;
+  PartitionMap& operator=(PartitionMap&&) = default;
 
   [[nodiscard]] std::uint32_t mds_count() const noexcept { return mds_count_; }
 
@@ -60,6 +88,21 @@ class PartitionMap {
   [[nodiscard]] std::uint32_t dir_version(fsns::NodeId dir) const {
     return version_[dir];
   }
+  /// Alias of `dir_version`: the same counter serves as the fragment's
+  /// ownership epoch for fencing (a request planned against an older epoch
+  /// is stale once the fragment migrates).
+  [[nodiscard]] std::uint32_t ownership_epoch(fsns::NodeId dir) const {
+    return version_[dir];
+  }
+
+  /// Observer invoked once per directory whose ownership changes through
+  /// `migrate`/`migrate_single` (not initial partitioning), with the new
+  /// epoch already applied. Used by the recovery ledger to audit transfers.
+  using TransferObserver = std::function<void(
+      fsns::NodeId dir, cost::MdsId from, cost::MdsId to, std::uint32_t epoch)>;
+  void set_transfer_observer(TransferObserver observer) {
+    transfer_observer_ = std::move(observer);
+  }
   /// Owner before the most recent migration (forwarding stub location).
   [[nodiscard]] cost::MdsId prev_owner(fsns::NodeId dir) const {
     return prev_owner_[dir];
@@ -85,6 +128,7 @@ class PartitionMap {
   std::vector<cost::MdsId> prev_owner_;  // last owner before migration
   std::vector<std::uint32_t> version_;
   std::vector<std::uint64_t> inode_count_;
+  TransferObserver transfer_observer_;
   bool hash_file_inodes_ = false;
 };
 

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/recovery/journal.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::recovery {
+
+/// One observed change of fragment ownership (migration commit, crash
+/// failover, or post-recovery restore), recorded as it happened.
+struct OwnershipTransfer {
+  fsns::NodeId dir = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t epoch = 0;  ///< fragment ownership epoch after the transfer
+  sim::SimTime at = 0;
+};
+
+/// One two-phase migration protocol event.
+struct MigrationEvent {
+  JournalRecordKind phase = JournalRecordKind::kPrepare;
+  fsns::NodeId subtree = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t epoch = 0;
+  sim::SimTime at = 0;
+};
+
+/// Everything the invariant checker needs to audit a run: the ownership
+/// history, the migration protocol trace, the set of acknowledged
+/// mutations, and a decoded snapshot of every MDS journal.
+struct RecoveryLedger {
+  std::uint32_t mds_count = 0;
+  std::vector<std::uint32_t> initial_owner;  ///< per-node owner at run start
+  std::vector<std::uint32_t> final_owner;    ///< per-node owner at run end
+  std::vector<bool> down_at_end;             ///< per-MDS liveness at run end
+  std::vector<OwnershipTransfer> transfers;  ///< in observation order
+  std::vector<MigrationEvent> migrations;    ///< in observation order
+  std::vector<std::uint64_t> acked_mutations;  ///< op ids acked to clients
+  std::vector<MetadataJournal::View> journals; ///< one per MDS
+  /// File inodes hashed independently of their parent (they never migrate,
+  /// so ownership invariants apply to directory fragments only).
+  bool hash_file_inodes = false;
+};
+
+/// Audits a finished run against the global namespace invariants:
+///   I1  every node is owned by exactly one MDS that is live at run end;
+///   I2  a node's ancestor directories are all owned by live MDSes
+///       (parent-before-child visibility);
+///   I3  folding the recorded ownership transfers over the initial
+///       assignment reproduces the final assignment — no fragment ever
+///       teleports or is double-owned;
+///   I4  the two-phase trace is well-formed per subtree: COMMIT/ABORT only
+///       after a matching PREPARE, at most one outcome per PREPARE, and
+///       commit epochs strictly increase (a trailing PREPARE with no
+///       outcome is legal only as a crash artifact);
+///   I5  journal seqnos are strictly increasing within each MDS journal and
+///       live records sit above the checkpoint watermark;
+///   I6  every acknowledged mutation survives in some journal, either live
+///       or folded into a checkpoint — nothing acked is lost.
+class NamespaceInvariantChecker {
+ public:
+  struct Report {
+    std::vector<std::string> violations;
+    [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+    /// Newline-joined violations (empty string when ok).
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  static Report check(const fsns::DirTree& tree, const RecoveryLedger& ledger);
+};
+
+}  // namespace origami::recovery

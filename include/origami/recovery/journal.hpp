@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "origami/fsns/types.hpp"
+#include "origami/kv/wal.hpp"
+#include "origami/sim/time.hpp"
+
+namespace origami::recovery {
+
+/// Tunables of the durable-recovery model. Every cost is virtual time
+/// charged to the DES clock; like the fault layer, the whole subsystem is
+/// inert unless fault injection is armed, so the clean path stays
+/// bit-identical to a build without it.
+struct RecoveryParams {
+  /// Durability charge per journaled mutation (group-commit fsync share).
+  sim::SimTime t_fsync = sim::micros(2);
+  /// Fixed cost of opening and scanning a journal at recovery.
+  sim::SimTime t_replay_base = sim::micros(500);
+  /// Per-record apply cost during journal replay.
+  sim::SimTime t_replay_per_record = sim::micros(1);
+  /// Cost of writing a checkpoint (charged to the journaling MDS).
+  sim::SimTime t_checkpoint = sim::micros(300);
+  /// Records between checkpoints; bounds replay work after a crash.
+  std::uint32_t checkpoint_every = 4096;
+  /// Run subtree migrations as PREPARE/COMMIT with a commit point at the
+  /// end of the copy window (false restores the PR-1 move-then-rollback).
+  bool two_phase_migration = true;
+  /// Reject and re-route requests that arrive at an MDS which no longer
+  /// owns the fragment (stale ownership epoch).
+  bool fencing = true;
+  /// Collect a RecoveryLedger during faulty runs so the
+  /// NamespaceInvariantChecker can audit the run afterwards.
+  bool capture_ledger = true;
+};
+
+/// What a journal entry describes.
+enum class JournalRecordKind : std::uint8_t {
+  kOp = 1,       ///< acknowledged metadata mutation (op_id, target node)
+  kPrepare = 2,  ///< two-phase migration: intent logged at both endpoints
+  kCommit = 3,   ///< two-phase migration: ownership transferred
+  kAbort = 4,    ///< two-phase migration: intent cancelled, source keeps
+  kFailover = 5, ///< crash failover: fragment absorbed by a survivor
+  kRestore = 6,  ///< recovery: fragment handed back to the restarted MDS
+};
+
+struct JournalRecord {
+  JournalRecordKind kind = JournalRecordKind::kOp;
+  std::uint64_t seqno = 0;
+  std::uint64_t op_id = 0;   ///< kOp only
+  fsns::NodeId node = 0;     ///< op target, or migrated fragment/subtree root
+  std::uint32_t from = 0;    ///< migration source
+  std::uint32_t to = 0;      ///< migration destination
+  std::uint32_t epoch = 0;   ///< fragment ownership epoch after the event
+};
+
+/// The per-MDS metadata journal: every mutating metadata op and every
+/// migration event is framed as a `kv::WriteAheadLog` record before it is
+/// acknowledged. Checkpoints fold acknowledged ops into a summary and reset
+/// the log so crash-replay work stays bounded; a crash can leave a torn
+/// partial record at the tail, which recovery truncates.
+class MetadataJournal {
+ public:
+  explicit MetadataJournal(const RecoveryParams& params) : params_(params) {}
+
+  /// Appends one acknowledged-mutation record. Returns the virtual-time
+  /// durability charge (fsync share, plus the checkpoint cost when this
+  /// append crosses the compaction threshold).
+  sim::SimTime append_op(std::uint64_t op_id, fsns::NodeId node);
+
+  /// Appends one migration-protocol record (PREPARE/COMMIT/ABORT/FAILOVER/
+  /// RESTORE). Same return convention as `append_op`.
+  sim::SimTime append_migration(JournalRecordKind kind, fsns::NodeId subtree,
+                                std::uint32_t from, std::uint32_t to,
+                                std::uint32_t epoch);
+
+  /// Fault-injection hook: leaves a garbage partial record at the tail, as
+  /// a writer that crashed mid-append would.
+  void simulate_torn_write();
+
+  struct RecoveryOutcome {
+    std::uint64_t replayed_records = 0;
+    std::uint64_t dropped_bytes = 0;
+    bool torn_tail = false;
+    /// Priced replay work: t_replay_base + records · t_replay_per_record.
+    sim::SimTime replay_time = 0;
+  };
+  /// Crash-recovery scan: decodes the journal, truncates any torn tail so
+  /// post-recovery appends land on a clean log, and prices the replay.
+  RecoveryOutcome recover_replay();
+
+  /// Decoded snapshot for auditing (does not truncate or mutate the log).
+  struct View {
+    std::vector<JournalRecord> live;             ///< records still in the WAL
+    std::vector<std::uint64_t> checkpointed_ops; ///< op ids folded away
+    std::uint64_t checkpoint_seqno = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t torn_truncations = 0;
+  };
+  [[nodiscard]] View snapshot() const;
+
+  [[nodiscard]] std::uint64_t last_seqno() const noexcept { return seqno_; }
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t records_since_checkpoint() const noexcept {
+    return since_checkpoint_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t torn_truncations() const noexcept {
+    return torn_truncations_;
+  }
+
+ private:
+  sim::SimTime append_record(const JournalRecord& rec);
+  /// Folds the live log into the checkpoint summary and resets it.
+  sim::SimTime checkpoint();
+
+  RecoveryParams params_;
+  kv::WriteAheadLog wal_;
+  std::uint64_t seqno_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t since_checkpoint_ = 0;
+  std::uint64_t checkpoint_seqno_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t torn_truncations_ = 0;
+  std::vector<std::uint64_t> checkpointed_ops_;
+};
+
+}  // namespace origami::recovery

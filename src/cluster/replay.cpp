@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <memory>
+#include <unordered_set>
 
 #include "origami/common/csv.hpp"
 #include "origami/common/rng.hpp"
@@ -35,6 +36,9 @@ struct Visit {
   SimTime service;
   NodeId node = fsns::kRootNode;  ///< namespace anchor for re-resolution
   VisitRole role = VisitRole::kResolve;
+  /// Fragment ownership epoch captured at planning time; a mismatch at
+  /// arrival means the fragment migrated underneath us (fencing).
+  std::uint32_t epoch = 0;
 };
 
 /// Fully planned request: visit sequence + Eq. 1/2 accounting inputs.
@@ -48,6 +52,9 @@ struct Plan {
   NodeId home_dir = fsns::kRootNode;
   OpType type = OpType::kStat;
   std::uint32_t data_bytes = 0;
+  /// Non-zero for mutating ops under fault injection: the id journaled at
+  /// the executing MDS and recorded as acknowledged on completion.
+  std::uint64_t op_id = 0;
 };
 
 struct InFlight {
@@ -87,6 +94,25 @@ class Replayer {
       down_windows_.resize(opt_.mds_count);
     }
     balancer_.prepare(trace_.tree, partition_);
+    if (faults_on_) {
+      journals_.reserve(opt_.mds_count);
+      for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
+        journals_.emplace_back(opt_.recovery);
+      }
+      recovering_until_.assign(trace.tree.size(), 0);
+      if (opt_.recovery.capture_ledger) {
+        ledger_ = std::make_shared<recovery::RecoveryLedger>();
+        ledger_->mds_count = opt_.mds_count;
+        ledger_->initial_owner.resize(trace.tree.size());
+        for (NodeId id = 0; id < trace.tree.size(); ++id) {
+          ledger_->initial_owner[id] = partition_.node_owner(id);
+        }
+        partition_.set_transfer_observer(
+            [this](NodeId dir, MdsId from, MdsId to, std::uint32_t epoch) {
+              ledger_->transfers.push_back({dir, from, to, epoch, queue_.now()});
+            });
+      }
+    }
     if (opt_.kv_backing) {
       stores_.reserve(opt_.mds_count);
       for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
@@ -110,6 +136,13 @@ class Replayer {
   void issue_for_client(std::uint32_t client);
   void issue_open_loop();
   void hop(std::size_t slot);
+  /// Post-service continuation of `hop`: advances to the next visit or
+  /// schedules the final reply. `done` is the service-completion time.
+  void advance(std::size_t slot, SimTime done);
+  /// Completion-time fence check for exec/coord visits that waited in a
+  /// server queue: the fragment may have been exported mid-wait, so
+  /// authority is re-validated when service completes, not just at arrival.
+  void recheck_fence(std::size_t slot);
   void finish(std::size_t slot);
   void epoch_boundary();
 
@@ -135,6 +168,22 @@ class Replayer {
   void resend(std::size_t slot, net::EndpointId from);
   void fail_request(std::size_t slot);
   [[nodiscard]] bool mds_down_during(MdsId mds, SimTime t0, SimTime t1) const;
+
+  // --- durable recovery ------------------------------------------------------
+  /// The directory whose ownership epoch fences a visit to `node`.
+  [[nodiscard]] NodeId fence_dir(NodeId node) const {
+    return trace_.tree.is_dir(node) ? node : trace_.tree.parent(node);
+  }
+  [[nodiscard]] std::uint32_t fence_epoch(NodeId node) const {
+    return partition_.ownership_epoch(fence_dir(node));
+  }
+  /// Inodes `d` would move right now (the copy work priced at PREPARE).
+  [[nodiscard]] std::uint64_t count_migratable(const MigrationDecision& d) const;
+  /// Logs PREPARE at both endpoints, charges the copy, schedules COMMIT.
+  void start_two_phase(const MigrationDecision& d);
+  /// Commit point: transfers ownership if both endpoints survived the copy
+  /// window, otherwise logs ABORT (ownership never moved — nothing to undo).
+  void commit_migration(MigrationDecision d);
 
   std::size_t alloc_slot();
   [[nodiscard]] bool trace_done() const {
@@ -171,6 +220,17 @@ class Replayer {
     MdsId assigned;
   };
   std::vector<FailoverEntry> failover_log_;
+
+  /// Durable-recovery state (populated only when `faults_on_`).
+  std::vector<recovery::MetadataJournal> journals_;  // one per MDS
+  /// Per-directory time until which the fragment is unavailable while its
+  /// absorber replays the crashed owner's journal; arrivals park until then.
+  std::vector<SimTime> recovering_until_;
+  std::shared_ptr<recovery::RecoveryLedger> ledger_;
+  /// Subtrees with a PREPARE logged and the commit event still in flight.
+  std::unordered_set<NodeId> pending_two_phase_;
+  std::uint64_t next_op_id_ = 0;
+  std::uint64_t commit_seq_ = 0;  // global commit LSN (monotone epochs)
 
   sim::EventQueue queue_;
   std::vector<InFlight> pool_;
@@ -209,9 +269,11 @@ Plan Replayer::build_plan(const wl::MetaOp& op) {
       if (role == VisitRole::kExec) {
         plan.visits.back().node = node;
         plan.visits.back().role = role;
+        plan.visits.back().epoch = fence_epoch(node);
       }
     } else {
-      plan.visits.push_back({mds, service + t_rpc, node, role});
+      plan.visits.push_back({mds, service + t_rpc, node, role,
+                             fence_epoch(node)});
     }
   };
 
@@ -342,6 +404,7 @@ void Replayer::issue_open_loop() {
   const std::size_t slot = alloc_slot();
   InFlight& fl = pool_[slot];
   fl.plan = build_plan(op);
+  if (faults_on_ && fsns::is_write(op.type)) fl.plan.op_id = ++next_op_id_;
   fl.next_visit = 0;
   fl.issued = queue_.now();
   fl.client = 0;
@@ -374,6 +437,7 @@ void Replayer::issue_for_client(std::uint32_t client) {
   const std::size_t slot = alloc_slot();
   InFlight& fl = pool_[slot];
   fl.plan = build_plan(op);
+  if (faults_on_ && fsns::is_write(op.type)) fl.plan.op_id = ++next_op_id_;
   fl.next_visit = 0;
   fl.issued = queue_.now();
   fl.client = client;
@@ -391,8 +455,40 @@ void Replayer::issue_for_client(std::uint32_t client) {
 
 void Replayer::hop(std::size_t slot) {
   InFlight& fl = pool_[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  if (faults_on_) {
+    // A fragment absorbed at failover is unavailable while its new owner
+    // replays the crashed MDS's journal: park the request until then.
+    const NodeId fd = fence_dir(v.node);
+    if (v.role != VisitRole::kStub && recovering_until_[fd] > queue_.now()) {
+      result_.faults.recovery_queue_time += recovering_until_[fd] - queue_.now();
+      queue_.schedule_at(recovering_until_[fd], [this, slot] { hop(slot); });
+      return;
+    }
+    // Fencing: a mutation/coordination arrival planned against an older
+    // ownership epoch is rejected cheaply and re-routed to the live owner.
+    // (Hashed file inodes never migrate, so their exec visits are exempt.)
+    if (opt_.recovery.fencing &&
+        (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
+        !(v.role == VisitRole::kExec && !trace_.tree.is_dir(v.node) &&
+          partition_.hash_file_inodes()) &&
+        fence_epoch(v.node) != v.epoch) {
+      ++result_.faults.fenced_rejections;
+      ++servers_[v.mds].counters().rpcs;
+      servers_[v.mds].serve(queue_.now(), opt_.cost_params.t_rpc_handle);
+      const MdsId stale = v.mds;
+      retarget(v);
+      v.epoch = fence_epoch(v.node);
+      const SimTime travel = network_.one_way(stale, v.mds);
+      if (delivery_fails(v.mds, queue_.now() + travel)) {
+        retry_or_fail(slot, stale, 0);
+      } else {
+        queue_.schedule_after(travel, [this, slot] { hop(slot); });
+      }
+      return;
+    }
+  }
   fl.attempts = 0;  // delivery succeeded — fresh budget for the next send
-  const Visit& v = fl.plan.visits[fl.next_visit];
   mds::MdsServer& server = servers_[v.mds];
   ++server.counters().rpcs;
   SimTime service = v.service;
@@ -401,7 +497,52 @@ void Replayer::hop(std::size_t slot) {
         0.25, 1.0 + opt_.cost_params.service_jitter_frac * jitter_rng_.normal());
     service = static_cast<SimTime>(static_cast<double>(service) * factor);
   }
+  if (faults_on_ && fl.plan.op_id != 0 &&
+      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord)) {
+    // Frame the mutation to this MDS's journal before acknowledging it;
+    // the fsync (and any checkpoint) cost rides on the service time.
+    service += journals_[v.mds].append_op(fl.plan.op_id, v.node);
+  }
   const SimTime done = server.serve(queue_.now(), service);
+  if (faults_on_ && opt_.recovery.fencing && done > queue_.now() &&
+      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
+      !(v.role == VisitRole::kExec && !trace_.tree.is_dir(v.node) &&
+        partition_.hash_file_inodes())) {
+    // The request waits in the server's queue until `done`; a subtree
+    // export can commit in that window (a busy source MDS queues requests
+    // across its own copy), so authority is re-checked at completion.
+    queue_.schedule_at(done, [this, slot] { recheck_fence(slot); });
+    return;
+  }
+  advance(slot, done);
+}
+
+void Replayer::recheck_fence(std::size_t slot) {
+  InFlight& fl = pool_[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  if (fence_epoch(v.node) != v.epoch) {
+    // The fragment was exported while the request sat in the queue: the
+    // execution is void and the op re-runs at the new owner (at-least-once,
+    // exactly like a lost final reply).
+    ++result_.faults.fenced_rejections;
+    const MdsId stale = v.mds;
+    retarget(v);
+    v.epoch = fence_epoch(v.node);
+    const SimTime travel = network_.one_way(stale, v.mds);
+    if (delivery_fails(v.mds, queue_.now() + travel)) {
+      retry_or_fail(slot, stale, 0);
+    } else {
+      queue_.schedule_after(travel, [this, slot] { hop(slot); });
+    }
+    return;
+  }
+  advance(slot, queue_.now());
+}
+
+void Replayer::advance(std::size_t slot, SimTime done) {
+  InFlight& fl = pool_[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  mds::MdsServer& server = servers_[v.mds];
   ++fl.next_visit;
 
   if (fl.next_visit < fl.plan.visits.size()) {
@@ -455,6 +596,11 @@ void Replayer::finish(std::size_t slot) {
   result_.total_rpcs += fl.plan.visits.size();
   if (fl.plan.visits.size() > 1) ++result_.forwarded_requests;
   last_completion_ = std::max(last_completion_, queue_.now());
+  // The mutation is acknowledged here; its journal frame (written at the
+  // exec visit) must outlive any later crash — audited as invariant I6.
+  if (ledger_ && fl.plan.op_id != 0) {
+    ledger_->acked_mutations.push_back(fl.plan.op_id);
+  }
 
   const std::uint32_t client = fl.client;
   fl.in_use = false;
@@ -550,6 +696,9 @@ void Replayer::on_crash(const fault::FaultWindow& w) {
   if (active_clients_ == 0) return;
   ++result_.faults.crashes;
   servers_[w.mds].crash(queue_.now(), w.until);
+  // The append in flight at the crash instant dies half-written; recovery
+  // replay truncates it (it was never acknowledged, so nothing is lost).
+  journals_[w.mds].simulate_torn_write();
   failover_from(w.mds);
   queue_.schedule_at(w.until, [this, m = w.mds] { on_recover(m); });
 }
@@ -560,8 +709,10 @@ void Replayer::failover_from(MdsId down) {
   // client caches go stale, and charge the survivors the hand-off work.
   auto counts = partition_.inode_counts();
   std::vector<std::uint64_t> absorbed(servers_.size(), 0);
+  std::vector<SimTime> journal_charge(servers_.size(), 0);
   const SimTime now = queue_.now();
   std::uint64_t moved_dirs = 0;
+  const std::size_t log_start = failover_log_.size();
   for (NodeId d : trace_.tree.directories()) {
     if (partition_.dir_owner(d) != down) continue;
     MdsId best = cost::kInvalidMds;
@@ -576,16 +727,38 @@ void Replayer::failover_from(MdsId down) {
     absorbed[best] += n;
     failover_log_.push_back({d, down, best});
     ++moved_dirs;
+    journal_charge[best] += journals_[best].append_migration(
+        recovery::JournalRecordKind::kFailover, d, down, best,
+        partition_.ownership_epoch(d));
   }
-  if (moved_dirs > 0) {
-    ++result_.faults.failovers;
-    result_.faults.failover_dirs += moved_dirs;
-    for (std::size_t s = 0; s < absorbed.size(); ++s) {
-      if (absorbed[s] == 0) continue;
-      // Survivors replay the failed node's journal for what they absorbed.
-      servers_[s].serve(now, opt_.cost_params.t_migrate_per_inode *
-                                 static_cast<SimTime>(absorbed[s]));
-    }
+  // The crashed MDS's journal is scanned exactly once per crash, even when
+  // it owned nothing at the crash instant (a re-crash while its fragments
+  // are still failed over): the restart must truncate the torn tail, or
+  // every record appended after recovery hides behind the garbage.
+  const auto outcome = journals_[down].recover_replay();
+  ++result_.faults.journal_replays;
+  result_.faults.journal_replayed_records += outcome.replayed_records;
+  if (moved_dirs == 0) return;
+  ++result_.faults.failovers;
+  result_.faults.failover_dirs += moved_dirs;
+
+  // Each survivor replays the crashed MDS's journal for the fragments it
+  // absorbed: scan once (truncating any torn tail), then keep the absorbed
+  // fragments unavailable until the absorber's replay work completes.
+  ++result_.faults.recovery_windows;
+  std::vector<SimTime> ready(servers_.size(), now);
+  for (std::size_t s = 0; s < absorbed.size(); ++s) {
+    if (absorbed[s] == 0) continue;
+    ready[s] = servers_[s].serve(
+        now, opt_.cost_params.t_migrate_per_inode *
+                     static_cast<SimTime>(absorbed[s]) +
+                 outcome.replay_time + journal_charge[s]);
+    result_.faults.recovery_window_time += ready[s] - now;
+  }
+  for (std::size_t i = log_start; i < failover_log_.size(); ++i) {
+    const FailoverEntry& e = failover_log_[i];
+    recovering_until_[e.dir] =
+        std::max(recovering_until_[e.dir], ready[e.assigned]);
   }
 }
 
@@ -595,6 +768,7 @@ void Replayer::on_recover(MdsId mds) {
   // Hand back the fragments lost at failover, unless the balancer has
   // since moved them elsewhere.
   std::uint64_t restored_inodes = 0;
+  SimTime restore_charge = 0;
   std::size_t kept = 0;
   for (FailoverEntry& e : failover_log_) {
     if (e.original != mds) {
@@ -606,6 +780,9 @@ void Replayer::on_recover(MdsId mds) {
       if (n > 0) {
         restored_inodes += n;
         ++result_.faults.restored_dirs;
+        restore_charge += journals_[mds].append_migration(
+            recovery::JournalRecordKind::kRestore, e.dir, e.assigned, mds,
+            partition_.ownership_epoch(e.dir));
       }
     }
   }
@@ -613,7 +790,112 @@ void Replayer::on_recover(MdsId mds) {
   if (restored_inodes > 0) {
     servers_[mds].serve(queue_.now(),
                         opt_.cost_params.t_migrate_per_inode *
-                            static_cast<SimTime>(restored_inodes));
+                                static_cast<SimTime>(restored_inodes) +
+                            restore_charge);
+  }
+}
+
+std::uint64_t Replayer::count_migratable(const MigrationDecision& d) const {
+  std::uint64_t total = 0;
+  if (d.whole_subtree) {
+    trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
+      if (trace_.tree.is_dir(id) && partition_.dir_owner(id) == d.from) {
+        total += 1 + trace_.tree.node(id).sub_files;
+      }
+    });
+  } else if (trace_.tree.is_dir(d.subtree) &&
+             partition_.dir_owner(d.subtree) == d.from) {
+    total = 1 + trace_.tree.node(d.subtree).sub_files;
+  }
+  return total;
+}
+
+void Replayer::start_two_phase(const MigrationDecision& d) {
+  if (pending_two_phase_.count(d.subtree) > 0) {
+    // A previous move of this subtree is still inside its copy window; the
+    // balancer is working off a stale snapshot. Refuse the new intent.
+    ++result_.faults.aborted_migrations;
+    return;
+  }
+  const std::uint64_t estimate = count_migratable(d);
+  if (estimate == 0) return;
+  const SimTime now = queue_.now();
+  const SimTime cost =
+      opt_.cost_params.t_migrate_per_inode * static_cast<SimTime>(estimate);
+  const std::uint32_t epoch = partition_.ownership_epoch(d.subtree);
+  const SimTime charge_from = journals_[d.from].append_migration(
+      recovery::JournalRecordKind::kPrepare, d.subtree, d.from, d.to, epoch);
+  const SimTime charge_to = journals_[d.to].append_migration(
+      recovery::JournalRecordKind::kPrepare, d.subtree, d.from, d.to, epoch);
+  ++result_.faults.prepared_migrations;
+  if (ledger_) {
+    ledger_->migrations.push_back({recovery::JournalRecordKind::kPrepare,
+                                   d.subtree, d.from, d.to, epoch, now});
+  }
+  pending_two_phase_.insert(d.subtree);
+  // The copy happens inside the prepare window; ownership only moves at the
+  // commit point, so a crash before then leaves the source authoritative.
+  servers_[d.from].serve(now, cost + charge_from);
+  servers_[d.to].serve(now, cost + charge_to);
+  queue_.schedule_at(now + cost, [this, d] { commit_migration(d); });
+}
+
+void Replayer::commit_migration(MigrationDecision d) {
+  pending_two_phase_.erase(d.subtree);
+  const SimTime now = queue_.now();
+  const bool from_up = !servers_[d.from].is_down(now);
+  const bool to_up = !servers_[d.to].is_down(now);
+  std::uint64_t moved = 0;
+  if (active_clients_ > 0 && from_up && to_up) {
+    moved = d.whole_subtree
+                ? partition_.migrate(d.subtree, d.from, d.to)
+                : partition_.migrate_single(d.subtree, d.from, d.to);
+  }
+  if (moved == 0) {
+    // An endpoint died during the copy window (or failover already moved
+    // the fragments): ABORT. Ownership never transferred, so there is no
+    // rollback — the wasted copy effort was charged at PREPARE.
+    const std::uint32_t epoch = partition_.ownership_epoch(d.subtree);
+    if (from_up) {
+      (void)journals_[d.from].append_migration(
+          recovery::JournalRecordKind::kAbort, d.subtree, d.from, d.to, epoch);
+    }
+    if (to_up) {
+      (void)journals_[d.to].append_migration(
+          recovery::JournalRecordKind::kAbort, d.subtree, d.from, d.to, epoch);
+    }
+    if (ledger_) {
+      ledger_->migrations.push_back({recovery::JournalRecordKind::kAbort,
+                                     d.subtree, d.from, d.to, epoch, now});
+    }
+    ++result_.faults.aborted_migrations;
+    return;
+  }
+  const auto epoch = static_cast<std::uint32_t>(++commit_seq_);
+  const SimTime charge_from = journals_[d.from].append_migration(
+      recovery::JournalRecordKind::kCommit, d.subtree, d.from, d.to, epoch);
+  const SimTime charge_to = journals_[d.to].append_migration(
+      recovery::JournalRecordKind::kCommit, d.subtree, d.from, d.to, epoch);
+  servers_[d.from].serve(now, charge_from);
+  servers_[d.to].serve(now, charge_to);
+  ++result_.faults.committed_migrations;
+  if (ledger_) {
+    ledger_->migrations.push_back({recovery::JournalRecordKind::kCommit,
+                                   d.subtree, d.from, d.to, epoch, now});
+  }
+  if (opt_.kv_backing) {
+    trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
+      if (partition_.node_owner(id) != d.to) return;
+      stores_[d.from]->erase(trace_.tree, id);
+      stores_[d.to]->put(trace_.tree, id);
+    });
+  }
+  ++result_.migrations;
+  result_.inodes_migrated += moved;
+  if (!result_.epochs.empty()) {
+    // Credit the epoch whose boundary decided the move (PR-1 semantics).
+    ++result_.epochs.back().migrations;
+    result_.epochs.back().inodes_moved += moved;
   }
 }
 
@@ -676,6 +958,10 @@ void Replayer::epoch_boundary() {
       // The partition map must never point at a down MDS: refuse moves
       // touching one (the balancer saw a stale pre-crash snapshot).
       ++result_.faults.aborted_migrations;
+      continue;
+    }
+    if (faults_on_ && opt_.recovery.two_phase_migration) {
+      start_two_phase(d);
       continue;
     }
     const std::uint64_t moved =
@@ -765,6 +1051,11 @@ RunResult Replayer::run() {
       result_.faults.time_down += s.time_down();
       result_.faults.time_degraded += s.time_degraded();
     }
+    for (const auto& j : journals_) {
+      result_.faults.journal_records += j.appended();
+      result_.faults.journal_checkpoints += j.checkpoints();
+      result_.faults.torn_tail_truncations += j.torn_truncations();
+    }
   }
 
   // Post-warm-up steady state: throughput and imbalance factors.
@@ -814,6 +1105,19 @@ RunResult Replayer::run() {
     result_.final_dir_owner[d] = partition_.node_owner(d);
   }
   result_.hash_file_inodes = partition_.hash_file_inodes();
+  result_.mds_down_at_end.resize(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    result_.mds_down_at_end[i] = servers_[i].is_down(result_.makespan);
+  }
+  if (ledger_) {
+    ledger_->final_owner = result_.final_dir_owner;
+    ledger_->down_at_end = result_.mds_down_at_end;
+    ledger_->hash_file_inodes = partition_.hash_file_inodes();
+    ledger_->acked_mutations.shrink_to_fit();
+    ledger_->journals.reserve(journals_.size());
+    for (const auto& j : journals_) ledger_->journals.push_back(j.snapshot());
+    result_.ledger = ledger_;
+  }
 
   result_.data_requests = data_.requests();
   if (opt_.data_path && result_.makespan > 0) {

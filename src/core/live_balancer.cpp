@@ -132,25 +132,39 @@ std::vector<LiveOrigamiBalancer::Move> LiveOrigamiBalancer::rebalance_epoch(
       continue;
     }
 
-    auto moved = fsys.migrate_subtree_ino(n.ino, to);
-    if (!moved.is_ok()) continue;
+    // PREPARE: announce intent before a single entry moves, so a
+    // durability layer can journal the in-flight migration.
     Move m;
     m.subtree = n.ino;
     m.path = fsys.path_of(n.ino).value_or("?");
     m.from = from;
     m.to = to;
     m.predicted_benefit = s.pred;
+    if (params_.on_phase) params_.on_phase(MigrationPhase::kPrepare, m);
+
+    auto moved = fsys.migrate_subtree_ino(n.ino, to);
+    if (!moved.is_ok()) {
+      // Copy never started (subtree vanished or went non-uniform under
+      // us): abort the prepared move so the phase trail stays paired.
+      m.aborted = true;
+      if (params_.on_phase) params_.on_phase(MigrationPhase::kAbort, m);
+      continue;
+    }
     m.entries_moved = moved.value();
 
-    // Abort-and-rollback: if the destination died while the subtree was in
-    // flight, return it to the source so no entry is ever homed on a dead
-    // shard. The copy work already happened; only the commit is undone.
+    // ABORT: the destination died while the subtree was in flight —
+    // return it to the source so no entry is ever homed on a dead shard.
+    // The copy work already happened; only the commit is undone.
     if (down(to)) {
       m.aborted = true;
       (void)fsys.migrate_subtree_ino(n.ino, from);
+      if (params_.on_phase) params_.on_phase(MigrationPhase::kAbort, m);
       moves.push_back(std::move(m));
       continue;  // shard loads unchanged; the subtree stays migratable
     }
+
+    // COMMIT: ownership has flipped; acknowledge and account the move.
+    if (params_.on_phase) params_.on_phase(MigrationPhase::kCommit, m);
     moves.push_back(std::move(m));
 
     shard_load[from] -= load;

@@ -81,6 +81,14 @@ common::Status WriteAheadLog::append(WalRecordType type, std::string_view key,
   return common::Status::ok();
 }
 
+void WriteAheadLog::append_raw(std::string_view bytes) {
+  buffer_.append(bytes);
+  if (!path_.empty()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (out) out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
 common::Status WriteAheadLog::reset() {
   buffer_.clear();
   if (!path_.empty()) {
@@ -90,10 +98,11 @@ common::Status WriteAheadLog::reset() {
   return common::Status::ok();
 }
 
-common::Status WriteAheadLog::decode_all(
+std::size_t WriteAheadLog::decode_prefix(
     std::string_view data,
     const std::function<void(WalRecordType, std::string_view, std::string_view,
-                             std::uint64_t)>& fn) {
+                             std::uint64_t)>& fn,
+    WalReplayStats* stats) {
   std::size_t pos = 0;
   while (pos + 21 <= data.size()) {
     const std::uint32_t checksum = get_u32(data.data() + pos);
@@ -102,38 +111,51 @@ common::Status WriteAheadLog::decode_all(
     const std::uint32_t klen = get_u32(data.data() + pos + 13);
     const std::uint32_t vlen = get_u32(data.data() + pos + 17);
     const std::size_t body = pos + 21;
-    if (body + klen + vlen > data.size()) {
-      return common::Status::corruption("wal: truncated record");
-    }
+    if (body + klen + vlen > data.size()) break;  // truncated record
     const std::string_view key = data.substr(body, klen);
     const std::string_view value = data.substr(body + klen, vlen);
-    if (record_checksum(type, key, value, seqno) != checksum) {
-      return common::Status::corruption("wal: checksum mismatch");
-    }
+    if (record_checksum(type, key, value, seqno) != checksum) break;
     fn(type, key, value, seqno);
+    if (stats != nullptr) ++stats->records;
     pos = body + klen + vlen;
   }
-  if (pos != data.size()) {
-    return common::Status::corruption("wal: trailing bytes");
+  if (stats != nullptr && pos != data.size()) {
+    stats->torn_tail = true;
+    stats->dropped_bytes = data.size() - pos;
   }
-  return common::Status::ok();
+  return pos;
 }
 
 common::Status WriteAheadLog::replay(
     const std::function<void(WalRecordType, std::string_view, std::string_view,
-                             std::uint64_t)>& fn) {
-  return decode_all(buffer_, fn);
+                             std::uint64_t)>& fn,
+    WalReplayStats* stats) {
+  const std::size_t valid = decode_prefix(buffer_, fn, stats);
+  if (valid != buffer_.size()) {
+    // Torn write: drop the partial tail so later appends start clean.
+    buffer_.resize(valid);
+    if (!path_.empty()) {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return common::Status::unavailable("wal: cannot truncate " + path_);
+      }
+      out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    }
+  }
+  return common::Status::ok();
 }
 
 common::Status WriteAheadLog::replay_file(
     const std::string& path,
     const std::function<void(WalRecordType, std::string_view, std::string_view,
-                             std::uint64_t)>& fn) {
+                             std::uint64_t)>& fn,
+    WalReplayStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return common::Status::not_found("wal: no file " + path);
   std::string data(std::istreambuf_iterator<char>(in),
                    std::istreambuf_iterator<char>{});
-  return decode_all(data, fn);
+  (void)decode_prefix(data, fn, stats);
+  return common::Status::ok();
 }
 
 }  // namespace origami::kv

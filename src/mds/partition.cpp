@@ -51,6 +51,7 @@ std::uint64_t PartitionMap::migrate(fsns::NodeId subtree, cost::MdsId from,
     inode_count_[from] -= w;
     inode_count_[to] += w;
     moved += w;
+    if (transfer_observer_) transfer_observer_(id, from, to, version_[id]);
   });
   return moved;
 }
@@ -64,6 +65,7 @@ std::uint64_t PartitionMap::migrate_single(fsns::NodeId dir, cost::MdsId from,
   ++version_[dir];
   inode_count_[from] -= w;
   inode_count_[to] += w;
+  if (transfer_observer_) transfer_observer_(dir, from, to, version_[dir]);
   return w;
 }
 

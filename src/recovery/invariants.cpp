@@ -1,0 +1,263 @@
+#include "origami/recovery/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace origami::recovery {
+
+namespace {
+
+void check_live_ownership(const fsns::DirTree& tree,
+                          const RecoveryLedger& ledger,
+                          std::vector<std::string>& out) {
+  std::size_t bad_owner = 0;
+  std::size_t dead_owner = 0;
+  std::size_t stray_file = 0;
+  for (fsns::NodeId id = 0; id < ledger.final_owner.size(); ++id) {
+    const std::uint32_t owner = ledger.final_owner[id];
+    if (!tree.is_dir(id)) {
+      // Hashed file inodes sit at a fixed MDS regardless of liveness;
+      // co-located files must mirror their parent directory's owner.
+      if (!ledger.hash_file_inodes && id < tree.size() &&
+          owner != ledger.final_owner[tree.parent(id)]) {
+        if (stray_file++ == 0) {
+          std::ostringstream os;
+          os << "I1: file " << id << " (" << tree.full_path(id)
+             << ") owned by mds " << owner << " but its parent dir is on "
+             << ledger.final_owner[tree.parent(id)];
+          out.push_back(os.str());
+        }
+      }
+      continue;
+    }
+    if (owner >= ledger.mds_count) {
+      if (bad_owner++ == 0) {
+        std::ostringstream os;
+        os << "I1: dir " << id << " (" << tree.full_path(id)
+           << ") has out-of-range owner " << owner;
+        out.push_back(os.str());
+      }
+      continue;
+    }
+    if (owner < ledger.down_at_end.size() && ledger.down_at_end[owner]) {
+      if (dead_owner++ == 0) {
+        std::ostringstream os;
+        os << "I1: dir " << id << " (" << tree.full_path(id)
+           << ") is owned by mds " << owner << " which is down at run end";
+        out.push_back(os.str());
+      }
+    }
+  }
+  if (bad_owner > 1 || dead_owner > 1 || stray_file > 1) {
+    std::ostringstream os;
+    os << "I1: " << bad_owner << " out-of-range, " << dead_owner
+       << " dead-owned, " << stray_file << " stray-file nodes in total";
+    out.push_back(os.str());
+  }
+}
+
+void check_ancestor_visibility(const fsns::DirTree& tree,
+                               const RecoveryLedger& ledger,
+                               std::vector<std::string>& out) {
+  // Every node must be reachable through live-owned ancestor directories:
+  // parent-before-child visibility survives crashes and migrations.
+  std::size_t bad = 0;
+  for (fsns::NodeId id = 0; id < ledger.final_owner.size(); ++id) {
+    for (fsns::NodeId anc = tree.parent(id); anc != fsns::kInvalidNode;
+         anc = tree.parent(anc)) {
+      const std::uint32_t owner =
+          anc < ledger.final_owner.size() ? ledger.final_owner[anc]
+                                          : ledger.mds_count;
+      const bool owner_live =
+          owner < ledger.mds_count &&
+          !(owner < ledger.down_at_end.size() && ledger.down_at_end[owner]);
+      if (!owner_live) {
+        if (bad++ == 0) {
+          std::ostringstream os;
+          os << "I2: node " << id << " (" << tree.full_path(id)
+             << ") has ancestor " << anc << " without a live owner";
+          out.push_back(os.str());
+        }
+        break;
+      }
+      if (anc == fsns::kRootNode) break;
+    }
+  }
+  if (bad > 1) {
+    std::ostringstream os;
+    os << "I2: " << bad << " nodes behind a dead ancestor in total";
+    out.push_back(os.str());
+  }
+}
+
+void check_transfer_fold(const fsns::DirTree& tree,
+                         const RecoveryLedger& ledger,
+                         std::vector<std::string>& out) {
+  // Transfers are recorded per directory fragment; files follow their
+  // parent (checked in I1), so the fold runs over directories only.
+  std::vector<std::uint32_t> owner = ledger.initial_owner;
+  std::size_t bad = 0;
+  for (const OwnershipTransfer& t : ledger.transfers) {
+    if (t.dir >= owner.size() || !tree.is_dir(t.dir)) {
+      std::ostringstream os;
+      os << "I3: transfer names a non-directory node " << t.dir;
+      out.push_back(os.str());
+      return;
+    }
+    if (owner[t.dir] != t.from) {
+      if (bad++ == 0) {
+        std::ostringstream os;
+        os << "I3: transfer of dir " << t.dir << " claims source mds "
+           << t.from << " but the folded owner is " << owner[t.dir]
+           << " (double ownership or teleport)";
+        out.push_back(os.str());
+      }
+    }
+    owner[t.dir] = t.to;
+  }
+  std::size_t mismatched = 0;
+  for (fsns::NodeId id = 0; id < owner.size(); ++id) {
+    if (!tree.is_dir(id)) continue;
+    if (id < ledger.final_owner.size() && owner[id] != ledger.final_owner[id]) {
+      if (mismatched++ == 0) {
+        std::ostringstream os;
+        os << "I3: folding transfers gives owner " << owner[id] << " for dir "
+           << id << " but the final map says " << ledger.final_owner[id];
+        out.push_back(os.str());
+      }
+    }
+  }
+  if (bad > 1 || mismatched > 1) {
+    std::ostringstream os;
+    os << "I3: " << bad << " bad sources and " << mismatched
+       << " fold mismatches in total";
+    out.push_back(os.str());
+  }
+}
+
+void check_two_phase(const RecoveryLedger& ledger,
+                     std::vector<std::string>& out) {
+  struct SubtreeState {
+    bool pending = false;
+    std::uint32_t last_commit_epoch = 0;
+    bool committed_once = false;
+  };
+  std::unordered_map<fsns::NodeId, SubtreeState> states;
+  for (const MigrationEvent& ev : ledger.migrations) {
+    SubtreeState& st = states[ev.subtree];
+    switch (ev.phase) {
+      case JournalRecordKind::kPrepare:
+        if (st.pending) {
+          std::ostringstream os;
+          os << "I4: subtree " << ev.subtree
+             << " PREPAREd twice without an intervening COMMIT/ABORT";
+          out.push_back(os.str());
+        }
+        st.pending = true;
+        break;
+      case JournalRecordKind::kCommit:
+        if (!st.pending) {
+          std::ostringstream os;
+          os << "I4: subtree " << ev.subtree << " COMMIT without a PREPARE";
+          out.push_back(os.str());
+        }
+        if (st.committed_once && ev.epoch <= st.last_commit_epoch) {
+          std::ostringstream os;
+          os << "I4: subtree " << ev.subtree << " commit epoch " << ev.epoch
+             << " does not advance past " << st.last_commit_epoch;
+          out.push_back(os.str());
+        }
+        st.pending = false;
+        st.last_commit_epoch = ev.epoch;
+        st.committed_once = true;
+        break;
+      case JournalRecordKind::kAbort:
+        if (!st.pending) {
+          std::ostringstream os;
+          os << "I4: subtree " << ev.subtree << " ABORT without a PREPARE";
+          out.push_back(os.str());
+        }
+        st.pending = false;
+        break;
+      default: {
+        std::ostringstream os;
+        os << "I4: unexpected migration phase "
+           << static_cast<int>(ev.phase) << " for subtree " << ev.subtree;
+        out.push_back(os.str());
+        break;
+      }
+    }
+  }
+  // A trailing PREPARE with no outcome is a legal crash artifact: the
+  // ownership fold (I3) guarantees the fragment still has exactly one
+  // committed owner, so nothing further to assert here.
+}
+
+void check_journal_seqnos(const RecoveryLedger& ledger,
+                          std::vector<std::string>& out) {
+  for (std::size_t mds = 0; mds < ledger.journals.size(); ++mds) {
+    const MetadataJournal::View& view = ledger.journals[mds];
+    std::uint64_t prev = view.checkpoint_seqno;
+    for (const JournalRecord& rec : view.live) {
+      if (rec.seqno <= prev) {
+        std::ostringstream os;
+        os << "I5: mds " << mds << " journal seqno " << rec.seqno
+           << " does not advance past " << prev;
+        out.push_back(os.str());
+        return;
+      }
+      prev = rec.seqno;
+    }
+  }
+}
+
+void check_acked_durability(const RecoveryLedger& ledger,
+                            std::vector<std::string>& out) {
+  std::unordered_set<std::uint64_t> durable;
+  for (const MetadataJournal::View& view : ledger.journals) {
+    for (const JournalRecord& rec : view.live) {
+      if (rec.kind == JournalRecordKind::kOp) durable.insert(rec.op_id);
+    }
+    durable.insert(view.checkpointed_ops.begin(), view.checkpointed_ops.end());
+  }
+  std::size_t lost = 0;
+  std::uint64_t first_lost = 0;
+  for (std::uint64_t op : ledger.acked_mutations) {
+    if (durable.count(op) == 0) {
+      if (lost++ == 0) first_lost = op;
+    }
+  }
+  if (lost > 0) {
+    std::ostringstream os;
+    os << "I6: " << lost << " acknowledged mutation(s) missing from every "
+       << "journal (first lost op id " << first_lost << ")";
+    out.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::string NamespaceInvariantChecker::Report::to_string() const {
+  std::string joined;
+  for (const std::string& v : violations) {
+    if (!joined.empty()) joined.push_back('\n');
+    joined += v;
+  }
+  return joined;
+}
+
+NamespaceInvariantChecker::Report NamespaceInvariantChecker::check(
+    const fsns::DirTree& tree, const RecoveryLedger& ledger) {
+  Report report;
+  check_live_ownership(tree, ledger, report.violations);
+  check_ancestor_visibility(tree, ledger, report.violations);
+  check_transfer_fold(tree, ledger, report.violations);
+  check_two_phase(ledger, report.violations);
+  check_journal_seqnos(ledger, report.violations);
+  check_acked_durability(ledger, report.violations);
+  return report;
+}
+
+}  // namespace origami::recovery

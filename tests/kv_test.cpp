@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "origami/common/rng.hpp"
 #include "origami/kv/bloom.hpp"
@@ -194,7 +195,7 @@ TEST(Wal, FileBackedSurvivesReopen) {
   std::remove(path.c_str());
 }
 
-TEST(Wal, DetectsCorruption) {
+TEST(Wal, CorruptRecordTreatedAsTornTailNotError) {
   const std::string path = ::testing::TempDir() + "/origami_wal_corrupt.log";
   std::remove(path.c_str());
   {
@@ -203,14 +204,94 @@ TEST(Wal, DetectsCorruption) {
   }
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(25);  // inside the payload
+    f.seekp(21);  // first payload byte (the key), inside the record
     f.put('X');
   }
+  // The only record fails its checksum: decoding stops there, nothing is
+  // delivered, and the scan still succeeds (torn write, not hard error).
   int replayed = 0;
+  WalReplayStats stats;
   auto status = WriteAheadLog::replay_file(
-      path, [&](WalRecordType, std::string_view, std::string_view,
-                std::uint64_t) { ++replayed; });
-  EXPECT_EQ(status.code(), common::StatusCode::kCorruption);
+      path,
+      [&](WalRecordType, std::string_view, std::string_view, std::uint64_t) {
+        ++replayed;
+      },
+      &stats);
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(replayed, 0);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_GT(stats.dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailTruncatedAndLaterAppendsSurvive) {
+  // A crash mid-append leaves garbage at the tail. Replay must deliver the
+  // valid prefix, truncate the garbage, and leave the log clean enough that
+  // post-recovery appends replay correctly afterwards.
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.append(WalRecordType::kPut, "a", "1", 1).is_ok());
+  ASSERT_TRUE(wal.append(WalRecordType::kPut, "b", "2", 2).is_ok());
+  const std::size_t clean_size = wal.byte_size();
+  wal.append_raw("\x7f\x7f\x7f half a record the writer died inside");
+  ASSERT_GT(wal.byte_size(), clean_size);
+
+  WalReplayStats stats;
+  int replayed = 0;
+  auto status = wal.replay(
+      [&](WalRecordType, std::string_view, std::string_view, std::uint64_t) {
+        ++replayed;
+      },
+      &stats);
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(replayed, 2);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(wal.byte_size(), clean_size);  // tail dropped
+
+  // The log is writable again and a second replay sees old + new records.
+  ASSERT_TRUE(wal.append(WalRecordType::kPut, "c", "3", 3).is_ok());
+  WalReplayStats stats2;
+  std::vector<std::string> keys;
+  ASSERT_TRUE(wal.replay(
+                     [&](WalRecordType, std::string_view k, std::string_view,
+                         std::uint64_t) { keys.emplace_back(k); },
+                     &stats2)
+                  .is_ok());
+  EXPECT_FALSE(stats2.torn_tail);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[2], "c");
+}
+
+TEST(Wal, FileBackedTornTailTruncatedOnDisk) {
+  const std::string path = ::testing::TempDir() + "/origami_wal_torn.log";
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal(path);
+    ASSERT_TRUE(wal.append(WalRecordType::kPut, "k", "v", 7).is_ok());
+    wal.append_raw("torn");
+  }
+  WriteAheadLog reopened(path);
+  WalReplayStats stats;
+  int replayed = 0;
+  ASSERT_TRUE(reopened
+                  .replay(
+                      [&](WalRecordType, std::string_view, std::string_view,
+                          std::uint64_t) { ++replayed; },
+                      &stats)
+                  .is_ok());
+  EXPECT_EQ(replayed, 1);
+  EXPECT_TRUE(stats.torn_tail);
+  // The truncation was persisted: a fresh reopen sees a clean log.
+  WriteAheadLog again(path);
+  WalReplayStats stats2;
+  ASSERT_TRUE(again
+                  .replay([](WalRecordType, std::string_view, std::string_view,
+                             std::uint64_t) {},
+                          &stats2)
+                  .is_ok());
+  EXPECT_EQ(stats2.records, 1u);
+  EXPECT_FALSE(stats2.torn_tail);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,404 @@
+// Tests for the durable-recovery subsystem (origami::recovery): the
+// per-MDS metadata journal (fsync/checkpoint pricing, torn-tail repair),
+// the namespace invariant checker on hand-built ledgers, and the replay
+// integration (journaled failover, two-phase migration, epoch fencing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "origami/cluster/replay.hpp"
+#include "origami/core/balancers.hpp"
+#include "origami/fsns/dir_tree.hpp"
+#include "origami/recovery/invariants.hpp"
+#include "origami/recovery/journal.hpp"
+#include "origami/wl/generators.hpp"
+
+namespace origami {
+namespace {
+
+using recovery::JournalRecordKind;
+using recovery::MetadataJournal;
+using recovery::NamespaceInvariantChecker;
+using recovery::RecoveryLedger;
+using recovery::RecoveryParams;
+
+// ----------------------------------------------------------------- journal --
+
+TEST(MetadataJournal, AppendsChargeFsyncAndAdvanceSeqnos) {
+  RecoveryParams p;
+  MetadataJournal j(p);
+  EXPECT_EQ(j.append_op(1, 5), p.t_fsync);
+  EXPECT_EQ(j.append_op(2, 6), p.t_fsync);
+  EXPECT_EQ(j.last_seqno(), 2u);
+  EXPECT_EQ(j.appended(), 2u);
+  EXPECT_EQ(j.checkpoints(), 0u);
+
+  const auto view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 2u);
+  EXPECT_EQ(view.live[0].kind, JournalRecordKind::kOp);
+  EXPECT_EQ(view.live[0].op_id, 1u);
+  EXPECT_EQ(view.live[0].node, 5u);
+  EXPECT_EQ(view.live[1].op_id, 2u);
+  EXPECT_LT(view.live[0].seqno, view.live[1].seqno);
+}
+
+TEST(MetadataJournal, MigrationRecordsRoundTrip) {
+  RecoveryParams p;
+  MetadataJournal j(p);
+  EXPECT_EQ(j.append_migration(JournalRecordKind::kPrepare, 9, 1, 2, 7),
+            p.t_fsync);
+  (void)j.append_migration(JournalRecordKind::kCommit, 9, 1, 2, 8);
+
+  const auto view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 2u);
+  EXPECT_EQ(view.live[0].kind, JournalRecordKind::kPrepare);
+  EXPECT_EQ(view.live[0].node, 9u);
+  EXPECT_EQ(view.live[0].from, 1u);
+  EXPECT_EQ(view.live[0].to, 2u);
+  EXPECT_EQ(view.live[0].epoch, 7u);
+  EXPECT_EQ(view.live[1].kind, JournalRecordKind::kCommit);
+  EXPECT_EQ(view.live[1].epoch, 8u);
+}
+
+TEST(MetadataJournal, CheckpointFoldsAckedOpsAndResetsLog) {
+  RecoveryParams p;
+  p.checkpoint_every = 4;
+  MetadataJournal j(p);
+  EXPECT_EQ(j.append_op(1, 10), p.t_fsync);
+  EXPECT_EQ(j.append_op(2, 11), p.t_fsync);
+  EXPECT_EQ(j.append_op(3, 12), p.t_fsync);
+  // The 4th append crosses the threshold: fsync + checkpoint charged.
+  EXPECT_EQ(j.append_op(4, 13), p.t_fsync + p.t_checkpoint);
+  EXPECT_EQ(j.checkpoints(), 1u);
+  EXPECT_EQ(j.records_since_checkpoint(), 0u);
+
+  auto view = j.snapshot();
+  EXPECT_TRUE(view.live.empty());
+  ASSERT_EQ(view.checkpointed_ops.size(), 4u);
+  EXPECT_EQ(view.checkpointed_ops[0], 1u);
+  EXPECT_EQ(view.checkpointed_ops[3], 4u);
+  EXPECT_EQ(view.checkpoint_seqno, 4u);
+
+  // Post-checkpoint appends land on the fresh log, above the watermark.
+  (void)j.append_op(5, 14);
+  view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 1u);
+  EXPECT_GT(view.live[0].seqno, view.checkpoint_seqno);
+}
+
+TEST(MetadataJournal, TornTailTruncatedAndReplayPriced) {
+  RecoveryParams p;
+  MetadataJournal j(p);
+  (void)j.append_op(1, 5);
+  (void)j.append_op(2, 6);
+  (void)j.append_op(3, 7);
+  j.simulate_torn_write();
+
+  const auto out = j.recover_replay();
+  EXPECT_EQ(out.replayed_records, 3u);
+  EXPECT_TRUE(out.torn_tail);
+  EXPECT_GT(out.dropped_bytes, 0u);
+  EXPECT_EQ(out.replay_time, p.t_replay_base + 3 * p.t_replay_per_record);
+  EXPECT_EQ(j.torn_truncations(), 1u);
+
+  // The log is clean after truncation: new appends survive a second scan.
+  (void)j.append_op(4, 8);
+  const auto again = j.recover_replay();
+  EXPECT_EQ(again.replayed_records, 4u);
+  EXPECT_FALSE(again.torn_tail);
+  EXPECT_EQ(again.dropped_bytes, 0u);
+}
+
+// ---------------------------------------------------------------- checker --
+
+struct CheckerFixture {
+  fsns::DirTree tree;
+  fsns::NodeId a, b, f;
+
+  CheckerFixture() {
+    a = tree.add_dir(fsns::kRootNode, "a");
+    b = tree.add_dir(fsns::kRootNode, "b");
+    f = tree.add_file(a, "f");
+    tree.finalize();
+  }
+
+  /// A consistent run: everything on MDS 0, both MDSes alive, no history.
+  [[nodiscard]] RecoveryLedger clean() const {
+    RecoveryLedger led;
+    led.mds_count = 2;
+    led.initial_owner.assign(tree.size(), 0);
+    led.final_owner.assign(tree.size(), 0);
+    led.down_at_end.assign(2, false);
+    led.journals.resize(2);
+    return led;
+  }
+};
+
+TEST(InvariantChecker, CleanLedgerPasses) {
+  CheckerFixture fx;
+  const auto report = NamespaceInvariantChecker::check(fx.tree, fx.clean());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.to_string().empty());
+}
+
+TEST(InvariantChecker, FlagsFragmentOwnedByDeadMds) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.final_owner[fx.b] = 1;
+  led.transfers.push_back({fx.b, 0, 1, 1, sim::millis(5)});
+  led.down_at_end[1] = true;  // owner died and nobody failed the dir over
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I1"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsFileStrandedAwayFromParent) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.final_owner[fx.f] = 1;  // parent dir stays on 0
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I1"), std::string::npos);
+}
+
+TEST(InvariantChecker, HashedFilesExemptFromColocation) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.final_owner[fx.f] = 1;
+  led.hash_file_inodes = true;  // fine-hash: files never follow the parent
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(InvariantChecker, FlagsTeleportedFragment) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.final_owner[fx.b] = 1;  // owner changed with no recorded transfer
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I3"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsTransferFromWrongSource) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  // Claims MDS 1 exported /b, but the fold says MDS 0 owned it.
+  led.transfers.push_back({fx.b, 1, 0, 1, sim::millis(1)});
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I3"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsMalformedTwoPhaseTraces) {
+  CheckerFixture fx;
+  {
+    auto led = fx.clean();
+    led.migrations.push_back(
+        {JournalRecordKind::kCommit, fx.a, 0, 1, 1, sim::millis(1)});
+    led.final_owner[fx.a] = 1;
+    led.final_owner[fx.f] = 1;
+    led.transfers.push_back({fx.a, 0, 1, 1, sim::millis(1)});
+    const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("COMMIT without a PREPARE"),
+              std::string::npos);
+  }
+  {
+    auto led = fx.clean();
+    led.migrations.push_back(
+        {JournalRecordKind::kPrepare, fx.a, 0, 1, 1, sim::millis(1)});
+    led.migrations.push_back(
+        {JournalRecordKind::kPrepare, fx.a, 0, 1, 2, sim::millis(2)});
+    const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("PREPAREd twice"), std::string::npos);
+  }
+  {
+    auto led = fx.clean();  // commit epochs must strictly advance
+    led.migrations.push_back(
+        {JournalRecordKind::kPrepare, fx.b, 0, 1, 5, sim::millis(1)});
+    led.migrations.push_back(
+        {JournalRecordKind::kCommit, fx.b, 0, 1, 5, sim::millis(2)});
+    led.migrations.push_back(
+        {JournalRecordKind::kPrepare, fx.b, 1, 0, 5, sim::millis(3)});
+    led.migrations.push_back(
+        {JournalRecordKind::kCommit, fx.b, 1, 0, 5, sim::millis(4)});
+    led.transfers.push_back({fx.b, 0, 1, 1, sim::millis(2)});
+    led.transfers.push_back({fx.b, 1, 0, 2, sim::millis(4)});
+    const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("does not advance"), std::string::npos);
+  }
+}
+
+TEST(InvariantChecker, TrailingPrepareIsLegalCrashArtifact) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.migrations.push_back(
+      {JournalRecordKind::kPrepare, fx.a, 0, 1, 1, sim::millis(1)});
+  // Crash before COMMIT: no transfer happened, source keeps the subtree.
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(InvariantChecker, FlagsNonMonotoneJournalSeqnos) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  MetadataJournal::View view;
+  view.checkpoint_seqno = 10;
+  view.live.push_back({JournalRecordKind::kOp, 9, 1, 0, 0, 0, 0});
+  led.journals[0] = view;
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I5"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsAckedMutationMissingFromEveryJournal) {
+  CheckerFixture fx;
+  auto led = fx.clean();
+  led.acked_mutations.push_back(42);
+  const auto missing = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.to_string().find("I6"), std::string::npos);
+
+  // Durable either live in some journal or folded into a checkpoint.
+  led.journals[1].checkpointed_ops.push_back(42);
+  const auto folded = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(folded.ok()) << folded.to_string();
+}
+
+// ------------------------------------------------------------ integration --
+
+cluster::ReplayOptions small_options() {
+  cluster::ReplayOptions opt;
+  opt.mds_count = 4;
+  opt.clients = 16;
+  opt.epoch_length = sim::millis(200);
+  opt.warmup_epochs = 0;
+  return opt;
+}
+
+wl::Trace small_trace() {
+  wl::TraceRwConfig cfg;
+  cfg.ops = 40'000;
+  cfg.seed = 17;
+  return wl::make_trace_rw(cfg);
+}
+
+/// Origami with a hand-written heuristic benefit model (activity share),
+/// so migration-heavy integration tests need no GBDT training.
+core::OrigamiBalancer heuristic_origami() {
+  core::OrigamiBalancer::Params p;
+  p.min_subtree_ops = 8;
+  p.min_predicted_benefit = 0.0;
+  core::BenefitPredictor pred = [](std::span<const float> feat) {
+    return static_cast<double>(feat[3]) + static_cast<double>(feat[4]);
+  };
+  return core::OrigamiBalancer(std::move(pred), cost::CostModel{}, p,
+                               core::RebalanceTrigger{0.0});
+}
+
+TEST(RecoveryReplay, CleanRunsCarryNoRecoveryState) {
+  const auto trace = small_trace();
+  const auto opt = small_options();  // faults disabled
+  cluster::StaticBalancer balancer(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+  EXPECT_EQ(r.faults.journal_records, 0u);
+  EXPECT_EQ(r.faults.journal_replays, 0u);
+  EXPECT_EQ(r.faults.fenced_rejections, 0u);
+  EXPECT_EQ(r.ledger, nullptr);
+}
+
+TEST(RecoveryReplay, CrashTriggersJournalReplayAndWindowedRecovery) {
+  const auto trace = small_trace();
+  cluster::ReplayOptions opt = small_options();
+  fault::FaultWindow w;
+  w.mds = 2;
+  w.kind = fault::FaultKind::kCrash;
+  w.from = sim::millis(250);
+  w.until = sim::millis(450);
+  opt.faults.scheduled.push_back(w);
+  cluster::StaticBalancer balancer(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+
+  EXPECT_EQ(r.faults.crashes, 1u);
+  EXPECT_GT(r.faults.journal_records, 0u);
+  EXPECT_EQ(r.faults.journal_replays, 1u);
+  EXPECT_GT(r.faults.journal_replayed_records, 0u);
+  EXPECT_EQ(r.faults.torn_tail_truncations, 1u);  // crash tore the tail
+  EXPECT_EQ(r.faults.recovery_windows, 1u);
+  EXPECT_GT(r.faults.recovery_window_time, 0);
+  EXPECT_GT(r.faults.recovery_queue_time, 0);
+
+  ASSERT_NE(r.ledger, nullptr);
+  EXPECT_FALSE(r.ledger->acked_mutations.empty());
+  const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RecoveryReplay, TwoPhaseMigrationSurvivesCrashWithOneOwner) {
+  const auto trace = small_trace();
+  cluster::ReplayOptions opt = small_options();
+  // Crash an MDS mid-run while the balancer is actively migrating: every
+  // fragment must end with exactly one live committed owner.
+  fault::FaultWindow w;
+  w.mds = 1;
+  w.kind = fault::FaultKind::kCrash;
+  w.from = sim::millis(420);
+  w.until = sim::seconds(3600);  // never comes back
+  opt.faults.scheduled.push_back(w);
+  auto balancer = heuristic_origami();
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+
+  EXPECT_GT(r.faults.prepared_migrations, 0u);
+  EXPECT_GE(r.faults.prepared_migrations, r.faults.committed_migrations);
+  for (std::uint32_t owner : r.final_dir_owner) EXPECT_NE(owner, 1u);
+
+  ASSERT_NE(r.ledger, nullptr);
+  const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RecoveryReplay, StaleEpochRequestsAreFencedAndRerouted) {
+  const auto trace = small_trace();
+  cluster::ReplayOptions opt = small_options();
+  // Stragglers stretch the window between planning a request and its
+  // arrival, so live migrations race ahead of in-flight requests.
+  opt.faults.seed = 7;
+  opt.faults.straggler_prob = 0.4;
+  opt.faults.straggler_slow = 5.0;
+  opt.faults.straggler_duration = sim::millis(150);
+  auto balancer = heuristic_origami();
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+
+  EXPECT_GT(r.faults.committed_migrations, 0u);
+  EXPECT_GT(r.faults.fenced_rejections, 0u);
+  // Fenced requests are re-routed, not failed: the run still completes.
+  EXPECT_EQ(r.completed_ops + r.faults.failed_ops, 40'000u);
+  ASSERT_NE(r.ledger, nullptr);
+  const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RecoveryReplay, RecoveryModelIsDeterministic) {
+  const auto trace = small_trace();
+  cluster::ReplayOptions opt = small_options();
+  opt.faults.seed = 90;
+  opt.faults.crash_prob = 0.10;
+  opt.faults.crash_recovery = sim::millis(150);
+  cluster::StaticBalancer a(cluster::StaticBalancer::Kind::kCoarseHash);
+  cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto ra = cluster::replay_trace(trace, opt, a);
+  const auto rb = cluster::replay_trace(trace, opt, b);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.faults.journal_records, rb.faults.journal_records);
+  EXPECT_EQ(ra.faults.journal_replayed_records,
+            rb.faults.journal_replayed_records);
+  EXPECT_EQ(ra.faults.fenced_rejections, rb.faults.fenced_rejections);
+  EXPECT_EQ(ra.faults.recovery_queue_time, rb.faults.recovery_queue_time);
+}
+
+}  // namespace
+}  // namespace origami

@@ -28,4 +28,11 @@ run_config sanitize \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
+# 3. Chaos sweep (reuses the sanitized build): randomized crash/straggler/
+#    loss schedules with the namespace invariant checker auditing every run.
+#    A hung recovery path shows up as a timeout rather than a stuck job.
+echo "=== [chaos] ctest (fault + recovery sweeps, 300s timeout) ==="
+ctest --test-dir "${BUILD_ROOT}/sanitize" --output-on-failure --timeout 300 \
+  -R '(Fault|Recovery|MetadataJournal|InvariantChecker)'
+
 echo "=== CI OK ==="

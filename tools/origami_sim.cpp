@@ -15,6 +15,7 @@
 #include "origami/common/csv.hpp"
 #include "origami/common/flags.hpp"
 #include "origami/fault/fault.hpp"
+#include "origami/recovery/invariants.hpp"
 #include "origami/core/balancers.hpp"
 #include "origami/core/pipeline.hpp"
 #include "origami/wl/generators.hpp"
@@ -117,6 +118,20 @@ void print_result(const cluster::RunResult& r, bool faults) {
                 static_cast<unsigned long>(f.failed_ops),
                 static_cast<unsigned long>(f.aborted_migrations),
                 sim::to_seconds(f.time_down), sim::to_seconds(f.time_degraded));
+    std::printf("          recovery: %lu journal replays (%lu records)  "
+                "%lu records logged (%lu ckpts, %lu torn tails)  "
+                "%lu fenced  2pc %lu/%lu prep/commit  window %.2fs  "
+                "queued %.2fs\n",
+                static_cast<unsigned long>(f.journal_replays),
+                static_cast<unsigned long>(f.journal_replayed_records),
+                static_cast<unsigned long>(f.journal_records),
+                static_cast<unsigned long>(f.journal_checkpoints),
+                static_cast<unsigned long>(f.torn_tail_truncations),
+                static_cast<unsigned long>(f.fenced_rejections),
+                static_cast<unsigned long>(f.prepared_migrations),
+                static_cast<unsigned long>(f.committed_migrations),
+                sim::to_seconds(f.recovery_window_time),
+                sim::to_seconds(f.recovery_queue_time));
   }
 }
 
@@ -296,6 +311,18 @@ int main(int argc, char** argv) {
     }
     const auto r = cluster::replay_trace(trace, run_opt, *balancer);
     print_result(r, opt.faults.enabled());
+    if (opt.faults.enabled() && r.ledger) {
+      const auto report =
+          recovery::NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+      if (report.ok()) {
+        std::printf("          invariants: I1-I6 hold (%zu transfers, "
+                    "%zu migration events audited)\n",
+                    r.ledger->transfers.size(), r.ledger->migrations.size());
+      } else {
+        std::printf("          invariants: VIOLATED\n%s",
+                    report.to_string().c_str());
+      }
+    }
     if (flags.has("epochs-csv")) {
       const std::string path =
           flags.get("epochs-csv") + "_" + r.balancer_name + ".csv";
