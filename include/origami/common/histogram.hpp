@@ -19,12 +19,15 @@ class WelfordStats {
   [[nodiscard]] double stddev() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
-  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  /// Exact running sum — NOT reconstructed as mean·count, which drifts from
+  /// the true total over long runs (each incremental mean update rounds).
+  [[nodiscard]] double sum() const noexcept { return sum_; }
 
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace origami::common {
+
+/// Small-size-optimized set of trivially-comparable values: the first `N`
+/// distinct elements live in an inline array (no allocation, linear scan —
+/// the common case for per-op owner tracking is a handful of entries), and
+/// further elements spill into a vector instead of being silently dropped.
+/// Membership stays exact at any cardinality.
+template <typename T, std::size_t N>
+class SmallSet {
+ public:
+  /// Inserts `v`; returns true when it was not already present.
+  bool insert(const T& v) {
+    for (std::size_t i = 0; i < inline_n_; ++i) {
+      if (inline_[i] == v) return false;
+    }
+    if (!spill_.empty() &&
+        std::find(spill_.begin(), spill_.end(), v) != spill_.end()) {
+      return false;
+    }
+    if (inline_n_ < N) {
+      inline_[inline_n_++] = v;
+    } else {
+      spill_.push_back(v);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    for (std::size_t i = 0; i < inline_n_; ++i) {
+      if (inline_[i] == v) return true;
+    }
+    return !spill_.empty() &&
+           std::find(spill_.begin(), spill_.end(), v) != spill_.end();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return inline_n_ + spill_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  void clear() noexcept {
+    inline_n_ = 0;
+    spill_.clear();
+  }
+
+ private:
+  std::array<T, N> inline_{};
+  std::size_t inline_n_ = 0;
+  std::vector<T> spill_;
+};
+
+}  // namespace origami::common

@@ -46,4 +46,35 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t min_chunk = 1024);
 
+/// Deterministic chunking for parallel reductions: the number of chunks
+/// and their boundaries depend only on `n` and `grain` — never on the pool
+/// size — so per-chunk partial results can be merged in chunk order and
+/// reproduce the same output at any thread count. At most `kMaxChunks`
+/// chunks are produced; each covers at least `grain` items (except the
+/// last).
+inline constexpr std::size_t kMaxChunks = 32;
+[[nodiscard]] std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept;
+
+/// Runs `fn(chunk, begin, end)` for every deterministic chunk of [0, n),
+/// blocking until all complete. Chunk indices are dense in
+/// [0, chunk_count(n, grain)); callers typically give each chunk a private
+/// accumulator slot and merge the slots in index order afterwards.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Process-wide pool for the offline/epoch analysis plane (window
+/// analysis, Meta-OPT candidate scoring, feature extraction). Defaults to
+/// a single worker — the serial behaviour every existing caller expects —
+/// and is resized by `set_analysis_threads` (e.g. from a `--threads`
+/// flag). All analysis-plane reductions are bit-identical at any setting.
+[[nodiscard]] ThreadPool& analysis_pool();
+
+/// Rebuilds the analysis pool with `threads` workers (0 = hardware
+/// concurrency). Must not race with in-flight analysis work.
+void set_analysis_threads(std::size_t threads);
+
+/// Current analysis-pool worker count.
+[[nodiscard]] std::size_t analysis_threads();
+
 }  // namespace origami::common

@@ -37,6 +37,12 @@ class FeatureExtractor {
     return f;
   }
 
+  /// Extracts one row per directory on the analysis pool. Row i belongs to
+  /// dirs[i] — output order never depends on thread scheduling, so callers
+  /// can append rows to a Dataset in candidate order deterministically.
+  [[nodiscard]] std::vector<std::array<float, kFeatureCount>> extract_batch(
+      std::span<const fsns::NodeId> dirs) const;
+
  private:
   const fsns::DirTree* tree_;
   const SubtreeView* view_;

@@ -24,6 +24,10 @@ struct LabelGenOptions {
   MetaOptParams meta_opt;
   /// Skip candidates with fewer observed ops in the feature epoch.
   std::uint64_t min_feature_ops = 8;
+  /// Analysis-plane worker threads for window analysis / Meta-OPT scoring /
+  /// feature extraction (resizes `common::analysis_pool()`). 0 keeps the
+  /// process-wide setting; output is bit-identical at any value.
+  std::size_t threads = 0;
 };
 
 struct LabelGenResult {

@@ -127,6 +127,13 @@ class JctAccumulator {
 
   void charge(MdsId mds, sim::SimTime rct) noexcept { bins_[mds] += rct; }
 
+  /// Adds another accumulator's bins (same mds_count) — the reduction step
+  /// for per-shard accumulators. Integer addition, so the merged result is
+  /// independent of shard boundaries and merge order.
+  void merge(const JctAccumulator& other) noexcept {
+    for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  }
+
   [[nodiscard]] sim::SimTime jct() const noexcept {
     sim::SimTime best = 0;
     for (auto b : bins_) best = std::max(best, b);

@@ -14,7 +14,10 @@ namespace origami::sim {
 /// simulation fully deterministic.
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  /// Schedules `fn` at absolute time `t`. Events have no virtual past: a
+  /// `t` below now() is clamped to now(), so a buggy caller cannot execute
+  /// work at a stale timestamp and silently corrupt the deterministic
+  /// ordering (it runs after everything already scheduled for now()).
   void schedule_at(SimTime t, std::function<void()> fn);
   /// Schedules `fn` `delay` after the current time.
   void schedule_after(SimTime delay, std::function<void()> fn) {

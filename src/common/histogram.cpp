@@ -14,6 +14,7 @@ void WelfordStats::add(double x) noexcept {
     max_ = std::max(max_, x);
   }
   ++count_;
+  sum_ += x;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
@@ -32,6 +33,7 @@ void WelfordStats::merge(const WelfordStats& other) noexcept {
   mean_ += delta * nb / n;
   m2_ += other.m2_ + delta * delta * na * nb / n;
   count_ += other.count_;
+  sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

@@ -1,6 +1,7 @@
 #include "origami/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace origami::common {
 
@@ -76,5 +77,65 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   }
   pool.wait_idle();
 }
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+  if (n == 0) return 0;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t by_grain = (n + grain - 1) / grain;
+  return std::min(kMaxChunks, by_grain);
+}
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const std::size_t chunks = chunk_count(n, grain);
+  if (chunks == 0) return;
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  if (chunks == 1 || pool.size() <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin < end) fn(c, begin, end);
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.submit([&fn, c, begin, end] { fn(c, begin, end); });
+  }
+  pool.wait_idle();
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& analysis_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& analysis_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& analysis_pool() {
+  std::lock_guard lock(analysis_pool_mutex());
+  auto& slot = analysis_pool_slot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(1);
+  return *slot;
+}
+
+void set_analysis_threads(std::size_t threads) {
+  std::lock_guard lock(analysis_pool_mutex());
+  auto& slot = analysis_pool_slot();
+  slot.reset();  // join old workers before the replacement spins up
+  slot = std::make_unique<ThreadPool>(threads == 0 ? 0 : threads);
+}
+
+std::size_t analysis_threads() { return analysis_pool().size(); }
 
 }  // namespace origami::common

@@ -1,7 +1,9 @@
 #include "origami/core/meta_opt.hpp"
 
 #include <algorithm>
-#include <array>
+
+#include "origami/common/small_set.hpp"
+#include "origami/common/thread_pool.hpp"
 
 namespace origami::core {
 
@@ -33,40 +35,28 @@ OpCost analyze(const wl::MetaOp& op, const fsns::DirTree& tree,
   out.home = tree.is_dir(op.target) ? op.target : tree.parent(op.target);
 
   // Distinct partitions across the (uncached) resolution chain + exec.
-  std::array<MdsId, 64> seen{};
-  std::size_t seen_n = 0;
-  auto note = [&](MdsId m) {
-    for (std::size_t i = 0; i < seen_n; ++i) {
-      if (seen[i] == m) return;
-    }
-    if (seen_n < seen.size()) seen[seen_n++] = m;
-  };
+  // Small-set tracking degrades gracefully: very wide directories on large
+  // clusters spill past the inline capacity instead of being truncated
+  // (which used to undercount lsdir_spread and forwarding hops).
+  common::SmallSet<MdsId, 16> seen;
 
   const auto chain = tree.ancestors(op.target);
   for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
     const NodeId comp = chain[i];
     if (cache_enabled && tree.depth(comp) < cache_depth) continue;
-    note(partition.dir_owner(comp));
+    seen.insert(partition.dir_owner(comp));
   }
-  note(out.exec_owner);
+  seen.insert(out.exec_owner);
 
   if (op.type == OpType::kReaddir && tree.is_dir(op.target)) {
-    std::array<MdsId, 32> owners{};
-    std::size_t n = 0;
+    common::SmallSet<MdsId, 16> owners;
     for (NodeId child : tree.node(op.target).children) {
       if (!tree.is_dir(child)) continue;
       const MdsId o = partition.dir_owner(child);
       if (o == out.exec_owner) continue;
-      bool dup = false;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (owners[i] == o) dup = true;
-      }
-      if (!dup && n < owners.size()) {
-        owners[n++] = o;
-        note(o);
-      }
+      if (owners.insert(o)) seen.insert(o);
     }
-    out.lsdir_spread = static_cast<std::uint32_t>(n);
+    out.lsdir_spread = static_cast<std::uint32_t>(owners.size());
   }
 
   if (fsns::classify(op.type) == OpClass::kNsMutation) {
@@ -82,12 +72,12 @@ OpCost analyze(const wl::MetaOp& op, const fsns::DirTree& tree,
     }
     if (other != out.exec_owner) {
       out.ns_cross = true;
-      note(other);
+      seen.insert(other);
     }
   }
 
   out.rct = model.rct(op.type, tree.depth(op.target),
-                      static_cast<std::uint32_t>(seen_n), out.lsdir_spread,
+                      static_cast<std::uint32_t>(seen.size()), out.lsdir_spread,
                       out.ns_cross);
   return out;
 }
@@ -97,14 +87,15 @@ struct WindowAnalysis {
   std::vector<cluster::DirEpochStats> dirs;
 };
 
-WindowAnalysis analyze_window(std::span<const wl::MetaOp> window,
-                              const fsns::DirTree& tree,
-                              const mds::PartitionMap& partition,
-                              const cost::CostModel& model, bool cache_enabled,
-                              std::uint32_t cache_depth) {
-  WindowAnalysis wa{cost::JctAccumulator(partition.mds_count()),
-                    std::vector<cluster::DirEpochStats>(tree.size())};
-  for (const wl::MetaOp& op : window) {
+/// Serial accumulation of `window[begin, end)` into `wa` — the per-shard
+/// kernel of the parallel decomposition below.
+void accumulate_window(std::span<const wl::MetaOp> window, std::size_t begin,
+                       std::size_t end, const fsns::DirTree& tree,
+                       const mds::PartitionMap& partition,
+                       const cost::CostModel& model, bool cache_enabled,
+                       std::uint32_t cache_depth, WindowAnalysis& wa) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const wl::MetaOp& op = window[i];
     const OpCost oc =
         analyze(op, tree, partition, model, cache_enabled, cache_depth);
     wa.bins.charge(oc.exec_owner, oc.rct.total());
@@ -119,6 +110,53 @@ WindowAnalysis analyze_window(std::span<const wl::MetaOp> window,
     if (fsns::classify(op.type) == OpClass::kNsMutation &&
         tree.is_dir(op.target)) {
       ++wa.dirs[op.target].nsm_self;
+    }
+  }
+}
+
+/// Ops per shard below which the parallel split is not worth the buffer
+/// allocations (each shard carries a tree-sized DirEpochStats vector).
+constexpr std::size_t kWindowGrain = 4096;
+
+WindowAnalysis analyze_window(std::span<const wl::MetaOp> window,
+                              const fsns::DirTree& tree,
+                              const mds::PartitionMap& partition,
+                              const cost::CostModel& model, bool cache_enabled,
+                              std::uint32_t cache_depth) {
+  WindowAnalysis wa{cost::JctAccumulator(partition.mds_count()),
+                    std::vector<cluster::DirEpochStats>(tree.size())};
+  common::ThreadPool& pool = common::analysis_pool();
+  const std::size_t chunks =
+      common::chunk_count(window.size(), kWindowGrain);
+  if (pool.size() <= 1 || chunks <= 1) {
+    accumulate_window(window, 0, window.size(), tree, partition, model,
+                      cache_enabled, cache_depth, wa);
+    return wa;
+  }
+
+  // Per-op accounting is a pure function of the (immutable) tree/partition,
+  // so shards are independent; every counter is an integer sum, which makes
+  // the chunk-order merge bit-identical to the serial loop at any thread
+  // count (chunk boundaries depend only on the window size, not the pool).
+  std::vector<WindowAnalysis> parts(
+      chunks, WindowAnalysis{cost::JctAccumulator(partition.mds_count()),
+                             std::vector<cluster::DirEpochStats>(tree.size())});
+  common::parallel_for_chunks(
+      pool, window.size(), kWindowGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        accumulate_window(window, begin, end, tree, partition, model,
+                          cache_enabled, cache_depth, parts[chunk]);
+      });
+  for (const WindowAnalysis& part : parts) {
+    wa.bins.merge(part.bins);
+    for (std::size_t d = 0; d < wa.dirs.size(); ++d) {
+      cluster::DirEpochStats& into = wa.dirs[d];
+      const cluster::DirEpochStats& from = part.dirs[d];
+      into.reads += from.reads;
+      into.writes += from.writes;
+      into.lsdir += from.lsdir;
+      into.nsm_self += from.nsm_self;
+      into.rct += from.rct;
     }
   }
   return wa;
@@ -211,52 +249,83 @@ std::vector<cluster::MigrationDecision> MetaOpt::optimize(
 
     const auto cands =
         view.candidates(params_.max_candidates, params_.min_subtree_ops);
-    for (NodeId s : cands) {
-      const MdsId a = view.uniform_owner(s);
-      const SimTime l = view.rct(s);
-      if (l <= 0) continue;
-      const std::uint64_t inodes = tree.node(s).subtree_nodes;
-      if (inodes > inode_budget) continue;
-      SimTime o = subtree_overhead(view, tree, working, s, model_,
-                                   params_.cache_enabled, params_.cache_depth);
-      SimTime mig = 0;
-      if (params_.charge_migration_cost) {
-        mig = static_cast<SimTime>(
-            static_cast<double>(model_.params().t_migrate_per_inode *
-                                static_cast<SimTime>(inodes)) /
-            std::max(1.0, params_.migration_amortization));
-        o += mig;  // destination pays the import alongside the new load
-      }
-      const SimTime new_a = bins[a] - l + mig;  // source pays the export
 
-      SimTime subtree_best = 0;          // guarded best, drives decisions
-      SimTime subtree_best_label = 0;    // unguarded best, training label
-      MdsId subtree_dst = a;
-      for (MdsId b = 0; b < working.mds_count(); ++b) {
-        if (b == a) continue;
-        const SimTime new_b = bins[b] + l + o;
-        // New maximum if the move were applied.
-        SimTime t_after = std::max(new_a, new_b);
-        for (MdsId m = 0; m < working.mds_count(); ++m) {
-          if (m != a && m != b) t_after = std::max(t_after, bins[m]);
-        }
-        const SimTime benefit = t_now - t_after;
-        subtree_best_label = std::max(subtree_best_label, benefit);
-        if (new_b - new_a >= params_.delta) continue;  // Alg.1 line 9 guard
-        if (benefit > subtree_best) {
-          subtree_best = benefit;
-          subtree_dst = b;
-        }
-      }
+    // Each candidate's score is a pure function of the round-frozen state
+    // (bins/view/working are const until the reduction below picks a
+    // winner), so the scoring loop parallelizes embarrassingly. Scores land
+    // in per-candidate slots; the arg-min reduction then runs serially in
+    // candidate order, which keeps the tie-break ("first strictly better
+    // candidate wins", i.e. lowest candidate index) independent of thread
+    // scheduling.
+    struct CandScore {
+      bool viable = false;
+      MdsId a = cost::kInvalidMds;
+      MdsId dst = cost::kInvalidMds;
+      SimTime best = 0;   // guarded best, drives decisions
+      SimTime label = 0;  // unguarded best, training label
+      SimTime l = 0;
+      SimTime o = 0;
+    };
+    std::vector<CandScore> scores(cands.size());
+    common::parallel_for(
+        common::analysis_pool(), cands.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId s = cands[i];
+            const MdsId a = view.uniform_owner(s);
+            const SimTime l = view.rct(s);
+            if (l <= 0) continue;
+            const std::uint64_t inodes = tree.node(s).subtree_nodes;
+            if (inodes > inode_budget) continue;
+            SimTime o =
+                subtree_overhead(view, tree, working, s, model_,
+                                 params_.cache_enabled, params_.cache_depth);
+            SimTime mig = 0;
+            if (params_.charge_migration_cost) {
+              mig = static_cast<SimTime>(
+                  static_cast<double>(model_.params().t_migrate_per_inode *
+                                      static_cast<SimTime>(inodes)) /
+                  std::max(1.0, params_.migration_amortization));
+              o += mig;  // destination pays the import alongside the new load
+            }
+            const SimTime new_a = bins[a] - l + mig;  // source pays the export
 
+            SimTime subtree_best = 0;
+            SimTime subtree_best_label = 0;
+            MdsId subtree_dst = a;
+            for (MdsId b = 0; b < working.mds_count(); ++b) {
+              if (b == a) continue;
+              const SimTime new_b = bins[b] + l + o;
+              // New maximum if the move were applied.
+              SimTime t_after = std::max(new_a, new_b);
+              for (MdsId m = 0; m < working.mds_count(); ++m) {
+                if (m != a && m != b) t_after = std::max(t_after, bins[m]);
+              }
+              const SimTime benefit = t_now - t_after;
+              subtree_best_label = std::max(subtree_best_label, benefit);
+              if (new_b - new_a >= params_.delta) continue;  // Alg.1 line 9
+              if (benefit > subtree_best) {
+                subtree_best = benefit;
+                subtree_dst = b;
+              }
+            }
+            scores[i] = {true, a, subtree_dst, subtree_best,
+                         subtree_best_label, l, o};
+          }
+        },
+        /*min_chunk=*/64);
+
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const CandScore& sc = scores[i];
+      if (!sc.viable) continue;
       if (labels != nullptr && round == 0) {
-        labels->push_back({s, a, subtree_dst, subtree_best_label, l, o});
+        labels->push_back({cands[i], sc.a, sc.dst, sc.label, sc.l, sc.o});
       }
-      if (subtree_best > best_benefit) {
-        best_benefit = subtree_best;
-        best = {s, a, subtree_dst, sim::to_seconds(subtree_best)};
-        best_l = l;
-        best_o = o;
+      if (sc.best > best_benefit) {
+        best_benefit = sc.best;
+        best = {cands[i], sc.a, sc.dst, sim::to_seconds(sc.best)};
+        best_l = sc.l;
+        best_o = sc.o;
       }
     }
 

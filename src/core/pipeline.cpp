@@ -4,6 +4,7 @@
 #include <fstream>
 #include <numeric>
 
+#include "origami/common/thread_pool.hpp"
 #include "origami/ml/metrics.hpp"
 
 namespace origami::core {
@@ -38,11 +39,20 @@ class LabelCollectorBalancer final : public cluster::Balancer {
     std::vector<MetaOpt::Labelled> labelled;
     auto decisions = engine.optimize(snapshot.upcoming, tree, map, &labelled);
 
-    std::array<float, kFeatureCount> feat{};
+    // Feature rows are extracted in parallel on the analysis pool; rows are
+    // appended to the datasets in candidate order afterwards, so the
+    // emitted training data is identical at any thread count.
+    std::vector<fsns::NodeId> kept;
+    std::vector<float> kept_label;
+    kept.reserve(labelled.size());
     for (const MetaOpt::Labelled& l : labelled) {
       if (observed.ops(l.subtree) < options_.min_feature_ops) continue;
-      fx.extract(l.subtree, feat);
-      benefit_.add_row(feat, static_cast<float>(sim::to_seconds(l.benefit)));
+      kept.push_back(l.subtree);
+      kept_label.push_back(static_cast<float>(sim::to_seconds(l.benefit)));
+    }
+    const auto benefit_rows = fx.extract_batch(kept);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      benefit_.add_row(benefit_rows[i], kept_label[i]);
     }
 
     // Popularity labels for the ML-tree baseline (subtree granularity,
@@ -56,10 +66,11 @@ class LabelCollectorBalancer final : public cluster::Balancer {
         std::max<double>(1.0, static_cast<double>(future.total_ops()));
     const auto cands = observed.candidates(options_.meta_opt.max_candidates,
                                            options_.min_feature_ops);
-    for (fsns::NodeId s : cands) {
-      fx.extract(s, feat);
-      popularity_.add_row(
-          feat, static_cast<float>(static_cast<double>(future.ops(s)) / denom));
+    const auto popularity_rows = fx.extract_batch(cands);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      popularity_.add_row(popularity_rows[i],
+                          static_cast<float>(
+                              static_cast<double>(future.ops(cands[i])) / denom));
     }
     return decisions;
   }
@@ -75,6 +86,10 @@ class LabelCollectorBalancer final : public cluster::Balancer {
 
 LabelGenResult generate_labels(const wl::Trace& trace,
                                const LabelGenOptions& options) {
+  if (options.threads != 0 &&
+      options.threads != common::analysis_threads()) {
+    common::set_analysis_threads(options.threads);
+  }
   LabelGenResult out{ml::Dataset(feature_name_vector()),
                      ml::Dataset(feature_name_vector()),
                      {}};

@@ -1,12 +1,14 @@
 #include "origami/sim/event_queue.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace origami::sim {
 
 void EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule events in the virtual past");
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  // No virtual past: clamp so the event fires at the current instant (after
+  // everything already queued for now(), thanks to the sequence tie-break)
+  // instead of executing with a stale timestamp.
+  heap_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
 }
 
 void EventQueue::run() {

@@ -270,6 +270,36 @@ TEST(Welford, MergeEqualsCombined) {
   EXPECT_EQ(a.count(), all.count());
   EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  // Merge reorders the additions, so only near-equality holds here; the
+  // bit-exact guarantee (next test) applies to a single add() stream.
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-9 * std::abs(all.sum()));
+}
+
+TEST(Welford, SumIsExactOverLongMixedMagnitudeRuns) {
+  // Regression: sum() used to be reconstructed as mean * count, and the
+  // incremental mean update rounds on every add — over millions of
+  // mixed-magnitude samples the reconstructed total drifts from the true
+  // sum. The exact running sum must match naive left-to-right summation
+  // bit for bit.
+  WelfordStats s;
+  Xoshiro256 rng(7);
+  double naive = 0.0;
+  constexpr int kSamples = 10'000'000;
+  for (int i = 0; i < kSamples; ++i) {
+    // Magnitudes spanning ~9 decades, alternating sign: the worst case for
+    // incremental-mean reconstruction.
+    const double mag = std::pow(10.0, static_cast<double>(i % 10) - 3.0);
+    const double x = (i % 2 == 0 ? 1.0 : -1.0) * rng.uniform_double() * mag +
+                     rng.uniform_double();
+    s.add(x);
+    naive += x;
+  }
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kSamples));
+  EXPECT_DOUBLE_EQ(s.sum(), naive);
+  // The old reconstruction is measurably off on this stream; guard that the
+  // exact sum is genuinely closer to the truth than mean*count.
+  const double reconstructed = s.mean() * static_cast<double>(s.count());
+  EXPECT_LE(std::abs(s.sum() - naive), std::abs(reconstructed - naive));
 }
 
 TEST(LatencyHistogram, ExactForSmallValues) {

@@ -79,6 +79,37 @@ TEST(EventQueue, RunUntilAdvancesClockWhenEmpty) {
   EXPECT_EQ(q.now(), 1234);
 }
 
+TEST(EventQueue, PastTimeScheduleClampsToNow) {
+  // Regression: schedule_at documented t >= now() but never enforced it — a
+  // past-time event executed with a stale timestamp, silently rewinding the
+  // deterministic clock for everything it scheduled downstream.
+  EventQueue q;
+  std::vector<SimTime> seen;
+  std::vector<int> order;
+  q.schedule_at(100, [&] {
+    order.push_back(1);
+    seen.push_back(q.now());
+    // Buggy caller asks for the virtual past; must run *at* 100, after the
+    // other event already queued for 100 (FIFO via the sequence number).
+    q.schedule_at(10, [&] {
+      order.push_back(3);
+      seen.push_back(q.now());
+    });
+  });
+  q.schedule_at(100, [&] {
+    order.push_back(2);
+    seen.push_back(q.now());
+  });
+  q.schedule_at(200, [&] {
+    order.push_back(4);
+    seen.push_back(q.now());
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(seen, (std::vector<SimTime>{100, 100, 100, 200}));
+  EXPECT_EQ(q.now(), 200);  // the clock never moved backwards
+}
+
 TEST(EventQueue, ClearDropsPending) {
   EventQueue q;
   int fired = 0;

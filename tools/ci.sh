@@ -23,6 +23,13 @@ run_config() {
 
 run_config release -DCMAKE_BUILD_TYPE=Release
 
+# Smoke-run the pipeline scaling bench from the release build: exercises the
+# parallel analysis plane end-to-end, verifies thread-count determinism and
+# keeps the BENCH_pipeline.json schema alive.
+echo "=== [release] bench_pipeline smoke ==="
+"${BUILD_ROOT}/release/bench/bench_pipeline" --smoke \
+  --out "${BUILD_ROOT}/release/BENCH_pipeline.json"
+
 run_config sanitize \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
@@ -34,5 +41,22 @@ run_config sanitize \
 echo "=== [chaos] ctest (fault + recovery sweeps, 300s timeout) ==="
 ctest --test-dir "${BUILD_ROOT}/sanitize" --output-on-failure --timeout 300 \
   -R '(Fault|Recovery|MetadataJournal|InvariantChecker)'
+
+# 4. ThreadSanitizer over the parallel analysis plane: the determinism
+#    suite drives window analysis / Meta-OPT scoring / feature extraction
+#    at 8 threads, so any data race in the sharded reductions trips here.
+TSAN_DIR="${BUILD_ROOT}/tsan"
+echo "=== [tsan] configure ==="
+cmake -B "${TSAN_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DORIGAMI_BUILD_BENCH=OFF -DORIGAMI_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+echo "=== [tsan] build ==="
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+  --target determinism_test common_test meta_opt_test
+echo "=== [tsan] ctest (parallel analysis plane) ==="
+ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 300 \
+  -R '(Determinism|ParallelFor|ChunkedReduction|ThreadPool|SmallSet|MetaOpt|EvaluateWindow)'
 
 echo "=== CI OK ==="

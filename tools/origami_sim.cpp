@@ -14,6 +14,7 @@
 #include "origami/cluster/replay.hpp"
 #include "origami/common/csv.hpp"
 #include "origami/common/flags.hpp"
+#include "origami/common/thread_pool.hpp"
 #include "origami/fault/fault.hpp"
 #include "origami/recovery/invariants.hpp"
 #include "origami/core/balancers.hpp"
@@ -33,6 +34,8 @@ constexpr const char* kUsage = R"(usage: origami_sim [options]
   --mds N                  metadata servers (default 5)
   --clients N              closed-loop clients (default 50)
   --epoch-ms N             balancing epoch (default 500)
+  --threads N              analysis-plane worker threads (default 1; results
+                           are bit-identical at any value, 0 = all cores)
   --cache on|off           near-root client cache (default on)
   --cache-depth N          cache depth threshold (default 3)
   --data-path              enable the file-data cluster (end-to-end mode)
@@ -192,6 +195,14 @@ int main(int argc, char** argv) {
   if (flags.has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  // The decision plane (window analysis, Meta-OPT scoring, feature
+  // extraction) shards onto this pool; the DES event loop itself stays
+  // single-threaded, and every output is bit-identical at any setting.
+  if (flags.has("threads")) {
+    common::set_analysis_threads(
+        static_cast<std::size_t>(flags.get_int("threads", 1)));
   }
 
   const wl::Trace trace = build_trace(flags);
