@@ -1,5 +1,8 @@
 #include "bench_common.hpp"
 
+#include "origami/cluster/options.hpp"
+#include "origami/common/flags.hpp"
+
 namespace origami::bench {
 
 const char* strategy_name(Strategy s) {
@@ -52,6 +55,12 @@ cluster::ReplayOptions paper_options() {
   opt.warmup_epochs = 4;
   opt.lookahead_ops = 60'000;
   return opt;
+}
+
+cluster::ReplayOptions options_from_argv(int argc, const char* const* argv,
+                                         cluster::ReplayOptions base) {
+  const common::Flags flags(argc, argv);
+  return cluster::options_from_flags(flags, base);
 }
 
 core::TrainedModels train_for(const wl::Trace& training_trace,

@@ -35,6 +35,14 @@ wl::Trace standard_wi(std::uint64_t seed = 3, std::uint64_t ops = 300'000);
 /// epoch rebalancing, warm-up excluded from steady-state numbers.
 cluster::ReplayOptions paper_options();
 
+/// Applies the shared CLI vocabulary (--mds, --clients, --epoch-ms, every
+/// --fault-* / --retry-* knob; see cluster::options_from_flags) on top of
+/// `base`, so bench binaries accept the same flags as origami_sim. Flags
+/// that are absent leave `base` untouched — run a bench with no arguments
+/// and it reproduces the paper preset exactly.
+cluster::ReplayOptions options_from_argv(int argc, const char* const* argv,
+                                         cluster::ReplayOptions base);
+
 /// Label-gen + GBDT training against a training run of the given trace
 /// (always a different seed than the evaluation trace).
 core::TrainedModels train_for(const wl::Trace& training_trace,

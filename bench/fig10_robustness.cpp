@@ -21,8 +21,8 @@ using namespace origami;
 
 namespace {
 
-cluster::ReplayOptions faulty_options() {
-  cluster::ReplayOptions opt = bench::paper_options();
+cluster::ReplayOptions faulty_options(const cluster::ReplayOptions& clean) {
+  cluster::ReplayOptions opt = clean;
   fault::FaultPlan& plan = opt.faults;
   plan.seed = 2026;
   plan.crash_prob = 0.05;       // per-MDS per-epoch
@@ -65,12 +65,15 @@ void report(const cluster::RunResult& r, const char* mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 10 — robustness under MDS crashes, stragglers and "
               "RPC loss ===\n\n");
   const wl::Trace trace = bench::standard_rw(/*seed=*/1);
-  const cluster::ReplayOptions clean = bench::paper_options();
-  const cluster::ReplayOptions faulty = faulty_options();
+  // Shared CLI vocabulary: --mds/--clients/--epoch-ms etc. adjust the clean
+  // baseline; the fault preset layers on top so both modes see the tweak.
+  const cluster::ReplayOptions clean =
+      bench::options_from_argv(argc, argv, bench::paper_options());
+  const cluster::ReplayOptions faulty = faulty_options(clean);
 
   std::printf("training ML models on a sibling run (seed 99)...\n\n");
   const auto models = bench::train_for(bench::standard_rw(/*seed=*/99), clean);

@@ -29,8 +29,9 @@ constexpr bench::Strategy kStrategies[] = {
     bench::Strategy::kCHash, bench::Strategy::kFHash,
     bench::Strategy::kOrigami};
 
-cluster::ReplayOptions options_for(double crash_prob) {
-  cluster::ReplayOptions opt = bench::paper_options();
+cluster::ReplayOptions options_for(const cluster::ReplayOptions& base,
+                                   double crash_prob) {
+  cluster::ReplayOptions opt = base;
   fault::FaultPlan& plan = opt.faults;
   plan.seed = 2027;
   plan.crash_prob = crash_prob;
@@ -43,13 +44,17 @@ cluster::ReplayOptions options_for(double crash_prob) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 11 — journaled recovery vs crash rate ===\n\n");
   const wl::Trace trace = bench::standard_rw(/*seed=*/1, /*ops=*/150'000);
+  // Shared CLI vocabulary: flags tune the swept configuration (--mds,
+  // --clients, ...); the crash-rate sweep then overwrites the crash knobs.
+  const cluster::ReplayOptions base =
+      bench::options_from_argv(argc, argv, bench::paper_options());
 
   std::printf("training ML models on a sibling run (seed 99)...\n\n");
   const auto models = bench::train_for(
-      bench::standard_rw(/*seed=*/99, /*ops=*/150'000), bench::paper_options());
+      bench::standard_rw(/*seed=*/99, /*ops=*/150'000), base);
 
   common::CsvWriter csv(bench::csv_path("fig11", "recovery"));
   csv.header({"strategy", "crash_prob", "steady_throughput_ops", "p50_rct_us",
@@ -64,7 +69,7 @@ int main() {
     double clean_p99 = 0.0;
     for (double rate : kCrashRates) {
       const auto r =
-          bench::run_strategy(s, trace, options_for(rate), &models);
+          bench::run_strategy(s, trace, options_for(base, rate), &models);
       if (rate == 0.0) clean_p99 = r.p99_latency_us;
       const double degradation =
           clean_p99 > 0 ? r.p99_latency_us / clean_p99 : 0.0;

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "origami/cluster/exec.hpp"
+#include "origami/recovery/invariants.hpp"
+
+namespace origami::cluster {
+
+class FailoverEngine;
+
+/// Bookkeeping for two-phase fragment migrations, shared by the epoch
+/// simulator and the live service: the set of keys with a PREPARE logged and
+/// the outcome still undecided, plus the paired journal appends + ledger
+/// trail each protocol phase produces. Keys are namespace identifiers
+/// (NodeId in the simulator, inode number in live mode).
+class TwoPhaseLog {
+ public:
+  struct Charges {
+    sim::SimTime from = 0;
+    sim::SimTime to = 0;
+  };
+
+  [[nodiscard]] bool pending(std::uint64_t key) const {
+    return pending_.count(key) > 0;
+  }
+  void add(std::uint64_t key) { pending_.insert(key); }
+  void remove(std::uint64_t key) { pending_.erase(key); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Logs one protocol phase: appends the migration record to each live
+  /// endpoint's journal (pass nullptr for a crashed endpoint) and pushes the
+  /// event onto the ledger trail when one is being captured. Returns the
+  /// per-endpoint fsync charges.
+  static Charges record(recovery::JournalRecordKind kind, fsns::NodeId subtree,
+                        cost::MdsId from, cost::MdsId to, std::uint32_t epoch,
+                        sim::SimTime now,
+                        recovery::MetadataJournal* from_journal,
+                        recovery::MetadataJournal* to_journal,
+                        recovery::RecoveryLedger* ledger);
+
+ private:
+  std::unordered_set<std::uint64_t> pending_;
+};
+
+/// The two-phase PREPARE/COMMIT/ABORT migration driver: applies balancer
+/// decisions at epoch boundaries, prices the copy work, refuses moves that
+/// touch a down MDS, and aborts (or, in the legacy single-phase path, rolls
+/// back) migrations whose endpoint dies inside the copy window.
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(EngineCore& core) : core_(core) {}
+  void bind(FailoverEngine& failover) { failover_ = &failover; }
+
+  /// Applies one balancer decision, crediting `em` for committed moves.
+  void apply(const MigrationDecision& d, EpochMetrics& em);
+
+  /// Inodes `d` would move right now (the copy work priced at PREPARE).
+  [[nodiscard]] std::uint64_t count_migratable(const MigrationDecision& d) const;
+  /// Logs PREPARE at both endpoints, charges the copy, schedules COMMIT.
+  void start_two_phase(const MigrationDecision& d);
+  /// Commit point: transfers ownership if both endpoints survived the copy
+  /// window, otherwise logs ABORT (ownership never moved — nothing to undo).
+  void commit_migration(MigrationDecision d);
+
+ private:
+  EngineCore& core_;
+  FailoverEngine* failover_ = nullptr;
+  TwoPhaseLog two_phase_;
+  std::uint64_t commit_seq_ = 0;  // global commit LSN (monotone epochs)
+};
+
+}  // namespace origami::cluster

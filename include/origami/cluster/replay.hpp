@@ -1,75 +1,16 @@
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <vector>
-
 #include "origami/cluster/balancer.hpp"
 #include "origami/cluster/metrics.hpp"
-#include "origami/cost/cost_model.hpp"
-#include "origami/fault/fault.hpp"
-#include "origami/mds/client_cache.hpp"
-#include "origami/mds/data_cluster.hpp"
-#include "origami/mds/inode_store.hpp"
-#include "origami/mds/mds_server.hpp"
-#include "origami/mds/partition.hpp"
-#include "origami/net/network.hpp"
-#include "origami/sim/event_queue.hpp"
+#include "origami/cluster/options.hpp"
 #include "origami/wl/trace.hpp"
 
 namespace origami::cluster {
 
-struct ReplayOptions {
-  std::uint32_t mds_count = 5;
-  /// Closed-loop client threads (each keeps one request in flight).
-  std::uint32_t clients = 50;
-  /// When > 0, replaces the closed loop with an *open-loop* arrival
-  /// process: operations arrive at this aggregate rate (ops/second,
-  /// Poisson) regardless of completions. Offered load beyond capacity
-  /// builds real queues — use for latency-vs-load curves.
-  double open_loop_rate = 0.0;
-  mds::MdsServerParams mds_params;
-  cost::CostParams cost_params;
-  net::NetworkParams net_params;
-
-  bool cache_enabled = true;
-  std::uint32_t cache_depth = 3;
-
-  sim::SimTime epoch_length = sim::seconds(10);
-  /// Epochs excluded from steady-state metrics while rebalancing converges.
-  std::uint32_t warmup_epochs = 6;
-
-  /// Replay the trace repeatedly until `time_limit` (for long time-series
-  /// experiments like Fig. 7). 0 = stop when the trace is exhausted.
-  bool loop_trace = false;
-  sim::SimTime time_limit = 0;
-
-  /// Oracle lookahead handed to the balancer each epoch (Meta-OPT only).
-  std::uint64_t lookahead_ops = 60'000;
-
-  /// Back each MDS with a real fragmented-LSM inode store and execute
-  /// KV reads/writes during replay (integration realism; adds host time).
-  bool kv_backing = false;
-
-  bool data_path = false;
-  mds::DataClusterParams data_params;
-
-  /// Fault injection (crashes, stragglers, RPC loss) and the client-side
-  /// retry policy. The default plan is disabled; with it, the replay is
-  /// bit-identical to the fault-free simulator.
-  fault::FaultPlan faults;
-  fault::RetryPolicy retry;
-
-  /// Durable-recovery model: journaling costs, crash-replay pricing, the
-  /// two-phase migration protocol, and epoch fencing. Only consulted when
-  /// `faults` is enabled, so the clean path is untouched.
-  recovery::RecoveryParams recovery;
-
-  std::uint64_t seed = 11;
-};
-
 /// Replays a workload trace against a simulated MDS cluster under a
-/// balancing policy. See DESIGN.md §4 for the queueing/cost semantics.
+/// balancing policy. See DESIGN.md §4 for the queueing/cost semantics and
+/// §11 for the layered engine (plan / exec / failover / migration / stats)
+/// this entry point composes.
 RunResult replay_trace(const wl::Trace& trace, const ReplayOptions& options,
                        Balancer& balancer);
 

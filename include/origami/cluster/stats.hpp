@@ -1,0 +1,26 @@
+#pragma once
+
+#include "origami/cluster/exec.hpp"
+
+namespace origami::cluster {
+
+/// Charges one planned request to the per-directory epoch stats and the
+/// executing MDS's analytic-RCT counter (the Data Collector's issue-side
+/// accounting).
+void account_issue(EngineCore& core, const Plan& plan);
+
+/// Drains the per-MDS counters into the snapshot a balancer sees at an
+/// epoch boundary. Destructive: each counter set is read once per epoch.
+[[nodiscard]] EpochSnapshot begin_epoch_snapshot(EngineCore& core);
+
+/// Converts a freshly drained snapshot into the epoch's metrics row
+/// (migration counts are credited later, as decisions commit).
+[[nodiscard]] EpochMetrics epoch_metrics_from(const EngineCore& core,
+                                              const EpochSnapshot& snap);
+
+/// Summary tail of a run: latency/throughput aggregates, fault counter
+/// roll-ups, steady-state imbalance factors, final ownership capture and
+/// ledger sealing. Mutates `core.result` in place.
+void finalize_run(EngineCore& core);
+
+}  // namespace origami::cluster

@@ -4,10 +4,54 @@
 #include <functional>
 #include <vector>
 
+#include "origami/cluster/metrics.hpp"
+#include "origami/fault/fault.hpp"
 #include "origami/fs/origami_fs.hpp"
+#include "origami/recovery/journal.hpp"
 #include "origami/wl/trace.hpp"
 
 namespace origami::fs {
+
+/// Handle the live engine passes to the per-epoch hook, so an external
+/// balancer (core::LiveOrigamiBalancer) can consult shard health and report
+/// its two-phase transitions back into the shared journaling layer. The
+/// engine owns the journals and the pending-PREPARE set; the balancer only
+/// narrates what it is doing.
+class LiveFaultContext {
+ public:
+  virtual ~LiveFaultContext() = default;
+
+  /// True when `shard` is inside a crash window right now.
+  [[nodiscard]] virtual bool shard_down(std::uint32_t shard) const = 0;
+
+  /// Two-phase migration narration: PREPARE before any dirent moves, then
+  /// exactly one of COMMIT (ownership flipped) or ABORT (rolled back).
+  virtual void record_prepare(Ino subtree, std::uint32_t from,
+                              std::uint32_t to) = 0;
+  virtual void record_commit(Ino subtree, std::uint32_t from,
+                             std::uint32_t to) = 0;
+  virtual void record_abort(Ino subtree, std::uint32_t from,
+                            std::uint32_t to) = 0;
+};
+
+/// Configuration of one live replay. The live service has no service-time
+/// model, so its virtual clock is the *operation index*: fault-plan
+/// durations (`crash_recovery`, scheduled windows, ...) are measured in
+/// operations, not nanoseconds. Straggler windows are meaningless without
+/// service times and are ignored; of the retry policy only `max_retries`
+/// is honoured (timeout/backoff have no clock to charge).
+struct LiveReplayOptions {
+  /// Operations between `on_epoch` firings (0 = the hook never fires).
+  std::uint64_t epoch_ops = 0;
+  /// Balancing hook; returns the number of migrations it performed.
+  std::function<std::uint64_t(OrigamiFs&, LiveFaultContext&)> on_epoch;
+
+  /// Fault sources, sampled per epoch on the op-index clock — the same
+  /// deterministic (seed, epoch, shard) streams as the simulator.
+  fault::FaultPlan faults;
+  fault::RetryPolicy retry;
+  recovery::RecoveryParams recovery;
+};
 
 /// Statistics of one live replay.
 struct LiveReplayStats {
@@ -19,6 +63,9 @@ struct LiveReplayStats {
   std::vector<std::uint64_t> shard_ops;
   /// Imbalance factor of shard_ops.
   double shard_imbalance = 0.0;
+  /// Fault-injection accounting, same meaning as in the simulator; all
+  /// zero when the fault plan is disabled (time counters are op counts).
+  cluster::RobustnessStats faults;
 };
 
 /// Replays a generated/imported trace against the live OrigamiFS service.
@@ -29,6 +76,16 @@ struct LiveReplayStats {
 /// `rename` skips occupied destinations. Every `epoch_ops` operations the
 /// `on_epoch` hook runs (wire `core::LiveOrigamiBalancer::rebalance_epoch`
 /// in, or leave null for an unbalanced run).
+///
+/// With a fault plan armed the replay exercises the same robustness layers
+/// as the simulator: crash windows fail the dead shard's fragments over to
+/// survivors (and hand them back on recovery), per-shard journals record
+/// every acknowledged mutation and migration phase, stale ownership epochs
+/// fence cached routes, and RPC loss runs the bounded retry loop.
+LiveReplayStats replay_on_live(const wl::Trace& trace, OrigamiFs& fsys,
+                               const LiveReplayOptions& options);
+
+/// Fault-free convenience overload (the original API).
 LiveReplayStats replay_on_live(
     const wl::Trace& trace, OrigamiFs& fsys, std::uint64_t epoch_ops,
     const std::function<std::uint64_t(OrigamiFs&)>& on_epoch = nullptr);

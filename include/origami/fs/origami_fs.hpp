@@ -119,6 +119,28 @@ class OrigamiFs {
   common::Result<std::uint64_t> migrate_subtree_ino(Ino dir,
                                                     std::uint32_t target);
 
+  // --- fault-tolerance interface (shared execution engine) -----------------
+  /// Shard currently owning a directory's fragment (0 for unknown inodes).
+  [[nodiscard]] std::uint32_t dir_shard(Ino dir) const {
+    return dir_owner(dir);
+  }
+
+  /// Ownership epoch of a directory fragment, bumped on every owner change
+  /// (balancer migration, failover reassignment, post-recovery restore) —
+  /// the live analogue of mds::PartitionMap::ownership_epoch, compared by
+  /// the request-fencing layer.
+  [[nodiscard]] std::uint32_t ownership_epoch(Ino dir) const;
+
+  /// Moves one directory's own fragment (its child dirents, not the
+  /// subtree) to `target` and bumps its ownership epoch — the primitive
+  /// crash failover and recovery restore are built on. Returns the number
+  /// of dirents relocated; an empty fragment still transfers ownership.
+  common::Result<std::uint64_t> reassign_dir(Ino dir, std::uint32_t target);
+
+  /// Directory inodes currently owned by `shard`, sorted by ino so callers
+  /// iterate deterministically.
+  [[nodiscard]] std::vector<Ino> dirs_owned_by(std::uint32_t shard) const;
+
   // --- durability -----------------------------------------------------------
   /// Persists the whole service (every shard's LSM checkpoint + the
   /// ownership map and directory bookkeeping) under `prefix`:
@@ -169,6 +191,8 @@ class OrigamiFs {
   std::vector<std::unique_ptr<kv::Db>> shards_;
   mutable std::vector<ShardStats> stats_;
   std::unordered_map<Ino, std::uint32_t> owner_;  // directories only
+  /// Ownership-change counters per directory (absent = epoch 0).
+  std::unordered_map<Ino, std::uint32_t> dir_epoch_;
   mutable std::unordered_map<Ino, DirMeta> dirs_;  // directories only
   Ino next_ino_ = kRootIno + 1;
   std::uint64_t entries_ = 0;

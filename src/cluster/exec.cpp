@@ -1,0 +1,326 @@
+#include "origami/cluster/exec.hpp"
+
+#include <algorithm>
+
+#include "origami/cluster/failover.hpp"
+#include "origami/cluster/stats.hpp"
+
+namespace origami::cluster {
+
+using cost::MdsId;
+using fsns::NodeId;
+using sim::SimTime;
+
+EngineCore::EngineCore(const wl::Trace& trace_in, const ReplayOptions& options,
+                       Balancer& balancer_in)
+    : trace(trace_in),
+      opt(options),
+      balancer(balancer_in),
+      model(options.cost_params),
+      network(options.net_params),
+      partition(trace_in.tree, options.mds_count),
+      cache(trace_in.tree.size(), options.cache_depth, options.cache_enabled),
+      data(options.data_params),
+      jitter_rng(options.seed ^ 0x5eedULL),
+      faults_on(options.faults.enabled()),
+      dir_stats(trace_in.tree.size()) {
+  for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
+    servers.emplace_back(i, opt.mds_params);
+  }
+  if (faults_on) {
+    network.enable_faults(opt.faults.rpc_loss_prob, opt.faults.rpc_corrupt_prob,
+                          opt.faults.seed);
+  }
+  balancer.prepare(trace.tree, partition);
+  if (faults_on) {
+    journals.reserve(opt.mds_count);
+    for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
+      journals.emplace_back(opt.recovery);
+    }
+    recovering_until.assign(trace.tree.size(), 0);
+    if (opt.recovery.capture_ledger) {
+      ledger = std::make_shared<recovery::RecoveryLedger>();
+      ledger->mds_count = opt.mds_count;
+      ledger->initial_owner.resize(trace.tree.size());
+      for (NodeId id = 0; id < trace.tree.size(); ++id) {
+        ledger->initial_owner[id] = partition.node_owner(id);
+      }
+      partition.set_transfer_observer(
+          [this](NodeId dir, MdsId from, MdsId to, std::uint32_t epoch) {
+            ledger->transfers.push_back({dir, from, to, epoch, queue.now()});
+          });
+    }
+  }
+  if (opt.kv_backing) {
+    stores.reserve(opt.mds_count);
+    for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
+      stores.push_back(std::make_unique<mds::InodeStore>());
+    }
+    const auto n = static_cast<NodeId>(trace.tree.size());
+    for (NodeId id = 0; id < n; ++id) {
+      stores[partition.node_owner(id)]->put(trace.tree, id);
+    }
+  }
+}
+
+std::size_t EngineCore::alloc_slot() {
+  if (!free_slots.empty()) {
+    const std::size_t slot = free_slots.back();
+    free_slots.pop_back();
+    pool[slot].in_use = true;
+    return slot;
+  }
+  pool.emplace_back();
+  pool.back().in_use = true;
+  return pool.size() - 1;
+}
+
+void ExecEngine::start() {
+  if (core_.opt.open_loop_rate > 0.0) {
+    core_.active_clients = 1;  // the arrival process counts as one driver
+    core_.queue.schedule_at(0, [this] { issue_open_loop(); });
+  } else {
+    core_.active_clients = core_.opt.clients;
+    for (std::uint32_t c = 0; c < core_.opt.clients; ++c) {
+      // Slight stagger breaks lockstep between identical clients.
+      core_.queue.schedule_at(static_cast<SimTime>(c) * sim::kMicrosecond,
+                              [this, c] { issue_for_client(c); });
+    }
+  }
+}
+
+void ExecEngine::issue_open_loop() {
+  if (core_.trace_done()) {
+    core_.active_clients = 0;
+    return;
+  }
+  if (core_.cursor >= core_.trace.ops.size()) core_.cursor = 0;  // loop_trace
+  const wl::MetaOp& op = core_.trace.ops[core_.cursor++];
+
+  const std::size_t slot = core_.alloc_slot();
+  InFlight& fl = core_.pool[slot];
+  fl.plan = planner_.build_plan(op);
+  if (core_.faults_on && fsns::is_write(op.type)) {
+    fl.plan.op_id = ++core_.next_op_id;
+  }
+  fl.next_visit = 0;
+  fl.issued = core_.queue.now();
+  fl.client = 0;
+  fl.attempts = 0;
+  account_issue(core_, fl.plan);
+  const MdsId first = fl.plan.visits.front().mds;
+  const SimTime travel = core_.network.one_way(core_.opt.mds_count, first);
+  if (core_.faults_on &&
+      failover_->delivery_fails(first, core_.queue.now() + travel)) {
+    failover_->retry_or_fail(slot, core_.opt.mds_count, 0);
+  } else {
+    core_.queue.schedule_after(travel, [this, slot] { hop(slot); });
+  }
+
+  // Next arrival: exponential inter-arrival at the offered rate.
+  const double mean_gap_s = 1.0 / core_.opt.open_loop_rate;
+  const SimTime gap = std::max<SimTime>(
+      1, static_cast<SimTime>(core_.jitter_rng.exponential(1.0 / mean_gap_s) *
+                              static_cast<double>(sim::kSecond)));
+  core_.queue.schedule_after(gap, [this] { issue_open_loop(); });
+}
+
+void ExecEngine::issue_for_client(std::uint32_t client) {
+  if (core_.trace_done()) {
+    --core_.active_clients;
+    return;
+  }
+  if (core_.cursor >= core_.trace.ops.size()) core_.cursor = 0;  // loop_trace
+  const wl::MetaOp& op = core_.trace.ops[core_.cursor++];
+
+  const std::size_t slot = core_.alloc_slot();
+  InFlight& fl = core_.pool[slot];
+  fl.plan = planner_.build_plan(op);
+  if (core_.faults_on && fsns::is_write(op.type)) {
+    fl.plan.op_id = ++core_.next_op_id;
+  }
+  fl.next_visit = 0;
+  fl.issued = core_.queue.now();
+  fl.client = client;
+  fl.attempts = 0;
+  account_issue(core_, fl.plan);
+
+  const MdsId first = fl.plan.visits.front().mds;
+  const SimTime travel =
+      core_.network.one_way(core_.opt.mds_count + client, first);
+  if (core_.faults_on &&
+      failover_->delivery_fails(first, core_.queue.now() + travel)) {
+    failover_->retry_or_fail(slot, core_.opt.mds_count + client, 0);
+  } else {
+    core_.queue.schedule_after(travel, [this, slot] { hop(slot); });
+  }
+}
+
+void ExecEngine::hop(std::size_t slot) {
+  InFlight& fl = core_.pool[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  if (core_.faults_on) {
+    // A fragment absorbed at failover is unavailable while its new owner
+    // replays the crashed MDS's journal: park the request until then.
+    const NodeId fd = core_.fence_dir(v.node);
+    if (v.role != VisitRole::kStub &&
+        core_.recovering_until[fd] > core_.queue.now()) {
+      core_.result.faults.recovery_queue_time +=
+          core_.recovering_until[fd] - core_.queue.now();
+      core_.queue.schedule_at(core_.recovering_until[fd],
+                              [this, slot] { hop(slot); });
+      return;
+    }
+    // Fencing: a mutation/coordination arrival planned against an older
+    // ownership epoch is rejected cheaply and re-routed to the live owner.
+    // (Hashed file inodes never migrate, so their exec visits are exempt.)
+    if (core_.opt.recovery.fencing &&
+        (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
+        !(v.role == VisitRole::kExec && !core_.trace.tree.is_dir(v.node) &&
+          core_.partition.hash_file_inodes()) &&
+        core_.fence_epoch(v.node) != v.epoch) {
+      ++core_.result.faults.fenced_rejections;
+      ++core_.servers[v.mds].counters().rpcs;
+      core_.servers[v.mds].serve(core_.queue.now(),
+                                 core_.opt.cost_params.t_rpc_handle);
+      const MdsId stale = v.mds;
+      failover_->retarget(v);
+      v.epoch = core_.fence_epoch(v.node);
+      const SimTime travel = core_.network.one_way(stale, v.mds);
+      if (failover_->delivery_fails(v.mds, core_.queue.now() + travel)) {
+        failover_->retry_or_fail(slot, stale, 0);
+      } else {
+        core_.queue.schedule_after(travel, [this, slot] { hop(slot); });
+      }
+      return;
+    }
+  }
+  fl.attempts = 0;  // delivery succeeded — fresh budget for the next send
+  mds::MdsServer& server = core_.servers[v.mds];
+  ++server.counters().rpcs;
+  SimTime service = v.service;
+  if (core_.opt.cost_params.service_jitter_frac > 0.0) {
+    const double factor =
+        std::max(0.25, 1.0 + core_.opt.cost_params.service_jitter_frac *
+                                 core_.jitter_rng.normal());
+    service = static_cast<SimTime>(static_cast<double>(service) * factor);
+  }
+  if (core_.faults_on && fl.plan.op_id != 0 &&
+      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord)) {
+    // Frame the mutation to this MDS's journal before acknowledging it;
+    // the fsync (and any checkpoint) cost rides on the service time.
+    service += core_.journals[v.mds].append_op(fl.plan.op_id, v.node);
+  }
+  const SimTime done = server.serve(core_.queue.now(), service);
+  if (core_.faults_on && core_.opt.recovery.fencing &&
+      done > core_.queue.now() &&
+      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
+      !(v.role == VisitRole::kExec && !core_.trace.tree.is_dir(v.node) &&
+        core_.partition.hash_file_inodes())) {
+    // The request waits in the server's queue until `done`; a subtree
+    // export can commit in that window (a busy source MDS queues requests
+    // across its own copy), so authority is re-checked at completion.
+    core_.queue.schedule_at(done, [this, slot] { recheck_fence(slot); });
+    return;
+  }
+  advance(slot, done);
+}
+
+void ExecEngine::recheck_fence(std::size_t slot) {
+  InFlight& fl = core_.pool[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  if (core_.fence_epoch(v.node) != v.epoch) {
+    // The fragment was exported while the request sat in the queue: the
+    // execution is void and the op re-runs at the new owner (at-least-once,
+    // exactly like a lost final reply).
+    ++core_.result.faults.fenced_rejections;
+    const MdsId stale = v.mds;
+    failover_->retarget(v);
+    v.epoch = core_.fence_epoch(v.node);
+    const SimTime travel = core_.network.one_way(stale, v.mds);
+    if (failover_->delivery_fails(v.mds, core_.queue.now() + travel)) {
+      failover_->retry_or_fail(slot, stale, 0);
+    } else {
+      core_.queue.schedule_after(travel, [this, slot] { hop(slot); });
+    }
+    return;
+  }
+  advance(slot, core_.queue.now());
+}
+
+void ExecEngine::advance(std::size_t slot, SimTime done) {
+  InFlight& fl = core_.pool[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  mds::MdsServer& server = core_.servers[v.mds];
+  ++fl.next_visit;
+
+  if (fl.next_visit < fl.plan.visits.size()) {
+    const MdsId next = fl.plan.visits[fl.next_visit].mds;
+    const SimTime arrive = done + core_.network.one_way(v.mds, next);
+    if (core_.faults_on && failover_->delivery_fails(next, arrive)) {
+      failover_->retry_or_fail(slot, v.mds, done - core_.queue.now());
+      return;
+    }
+    core_.queue.schedule_at(arrive, [this, slot] { hop(slot); });
+    return;
+  }
+
+  // Final visit executed here.
+  ++server.counters().ops_executed;
+  if (core_.opt.kv_backing) {
+    auto& store = *core_.stores[v.mds];
+    if (fsns::is_write(fl.plan.type)) {
+      store.put(core_.trace.tree, fl.plan.target);
+    } else {
+      (void)store.lookup(core_.trace.tree, fl.plan.target);
+    }
+  }
+
+  SimTime reply_at =
+      done + core_.network.one_way(v.mds, core_.opt.mds_count + fl.client);
+  if (core_.faults_on) {
+    // A lost/corrupted reply: the server did the work, but the client times
+    // out and re-sends the final visit (at-least-once execution).
+    const auto fate = core_.network.classify_delivery();
+    if (fate != net::Network::Delivery::kOk) {
+      ++core_.result.faults.timeouts;
+      --fl.next_visit;  // the final visit must run again
+      failover_->retry_or_fail(slot, core_.opt.mds_count + fl.client,
+                               done - core_.queue.now());
+      return;
+    }
+  }
+  if (core_.opt.data_path && fl.plan.data_bytes > 0) {
+    reply_at =
+        core_.data.serve(fl.plan.target, reply_at, fl.plan.data_bytes) +
+        core_.opt.net_params.base_rtt / 2;
+  }
+  core_.queue.schedule_at(reply_at, [this, slot] { finish(slot); });
+}
+
+void ExecEngine::finish(std::size_t slot) {
+  InFlight& fl = core_.pool[slot];
+  const SimTime latency = core_.queue.now() - fl.issued;
+  core_.result.latency.add(static_cast<std::uint64_t>(latency));
+  core_.result
+      .latency_by_class[static_cast<std::size_t>(fsns::classify(fl.plan.type))]
+      .add(static_cast<std::uint64_t>(latency));
+  ++core_.result.completed_ops;
+  core_.result.total_rpcs += fl.plan.visits.size();
+  if (fl.plan.visits.size() > 1) ++core_.result.forwarded_requests;
+  core_.last_completion = std::max(core_.last_completion, core_.queue.now());
+  // The mutation is acknowledged here; its journal frame (written at the
+  // exec visit) must outlive any later crash — audited as invariant I6.
+  if (core_.ledger && fl.plan.op_id != 0) {
+    core_.ledger->acked_mutations.push_back(fl.plan.op_id);
+  }
+
+  const std::uint32_t client = fl.client;
+  fl.in_use = false;
+  core_.free_slots.push_back(slot);
+  // Open-loop arrivals are self-scheduling; only the closed loop chains
+  // the next request off this completion.
+  if (core_.opt.open_loop_rate <= 0.0) issue_for_client(client);
+}
+
+}  // namespace origami::cluster

@@ -1,0 +1,201 @@
+#include "origami/cluster/failover.hpp"
+
+#include <algorithm>
+
+namespace origami::cluster {
+
+using cost::MdsId;
+using fsns::NodeId;
+using sim::SimTime;
+
+bool FailoverEngine::delivery_fails(MdsId mds, SimTime arrival) {
+  const auto fate = core_.network.classify_delivery();
+  const bool bad = fate != net::Network::Delivery::kOk ||
+                   core_.servers[mds].is_down(arrival);
+  if (bad) ++core_.result.faults.timeouts;
+  return bad;
+}
+
+void FailoverEngine::retry_or_fail(std::size_t slot, net::EndpointId from,
+                                   SimTime extra_delay) {
+  InFlight& fl = core_.pool[slot];
+  ++fl.attempts;
+  if (fl.attempts > core_.opt.retry.max_retries) {
+    fail_request(slot);
+    return;
+  }
+  ++core_.result.faults.retries;
+  const SimTime delay = extra_delay + core_.opt.retry.timeout +
+                        core_.opt.retry.backoff_for(fl.attempts, retry_rng_);
+  core_.queue.schedule_after(delay,
+                             [this, slot, from] { resend(slot, from); });
+}
+
+void FailoverEngine::resend(std::size_t slot, net::EndpointId from) {
+  InFlight& fl = core_.pool[slot];
+  Visit& v = fl.plan.visits[fl.next_visit];
+  retarget(v);  // failover may have moved the fragment while we backed off
+  const SimTime travel = core_.network.one_way(from, v.mds);
+  if (delivery_fails(v.mds, core_.queue.now() + travel)) {
+    retry_or_fail(slot, from, 0);
+    return;
+  }
+  core_.queue.schedule_after(travel, [this, slot] { exec_->hop(slot); });
+}
+
+void FailoverEngine::retarget(Visit& v) const {
+  switch (v.role) {
+    case VisitRole::kExec:
+      v.mds = core_.partition.node_owner(v.node);
+      break;
+    case VisitRole::kResolve:
+    case VisitRole::kStub:  // skip the dead stub, go to the live owner
+    case VisitRole::kFan:
+    case VisitRole::kCoord:
+      v.mds = core_.partition.dir_owner(v.node);
+      break;
+  }
+}
+
+void FailoverEngine::fail_request(std::size_t slot) {
+  InFlight& fl = core_.pool[slot];
+  ++core_.result.faults.failed_ops;
+  core_.last_completion = std::max(core_.last_completion, core_.queue.now());
+  const std::uint32_t client = fl.client;
+  fl.in_use = false;
+  fl.attempts = 0;
+  core_.free_slots.push_back(slot);
+  if (core_.opt.open_loop_rate <= 0.0) exec_->issue_for_client(client);
+}
+
+void FailoverEngine::schedule_epoch_faults(std::uint32_t epoch) {
+  const SimTime start = static_cast<SimTime>(epoch) * core_.opt.epoch_length;
+  const auto windows =
+      injector_.windows_for_epoch(epoch, start, core_.opt.epoch_length);
+  for (const fault::FaultWindow& w : windows) {
+    if (w.mds >= core_.servers.size()) continue;
+    if (w.kind == fault::FaultKind::kCrash) {
+      timeline_.note(w.mds, w.from, w.until);
+      core_.queue.schedule_at(w.from, [this, w] { on_crash(w); });
+    } else {
+      core_.queue.schedule_at(w.from, [this, w] {
+        if (core_.active_clients == 0) return;  // workload drained
+        core_.servers[w.mds].degrade(w.from, w.until, w.slow_factor);
+      });
+    }
+  }
+}
+
+void FailoverEngine::on_crash(const fault::FaultWindow& w) {
+  // The queue drains every scheduled event, including faults timed after
+  // the last client finished; those must not touch servers or the map, or
+  // `final_dir_owner` would reflect post-workload churn.
+  if (core_.active_clients == 0) return;
+  ++core_.result.faults.crashes;
+  core_.servers[w.mds].crash(core_.queue.now(), w.until);
+  // The append in flight at the crash instant dies half-written; recovery
+  // replay truncates it (it was never acknowledged, so nothing is lost).
+  core_.journals[w.mds].simulate_torn_write();
+  failover_from(w.mds);
+  core_.queue.schedule_at(w.until, [this, m = w.mds] { on_recover(m); });
+}
+
+void FailoverEngine::failover_from(MdsId down) {
+  // Reassign every fragment owned by the crashed MDS to the least-loaded
+  // surviving MDS (by running inode tally), bumping directory versions so
+  // client caches go stale, and charge the survivors the hand-off work.
+  auto counts = core_.partition.inode_counts();
+  std::vector<std::uint64_t> absorbed(core_.servers.size(), 0);
+  std::vector<SimTime> journal_charge(core_.servers.size(), 0);
+  const SimTime now = core_.queue.now();
+  std::uint64_t moved_dirs = 0;
+  const std::size_t log_start = failover_log_.size();
+  for (NodeId d : core_.trace.tree.directories()) {
+    if (core_.partition.dir_owner(d) != down) continue;
+    MdsId best = cost::kInvalidMds;
+    for (MdsId s = 0; s < static_cast<MdsId>(core_.servers.size()); ++s) {
+      if (s == down || core_.servers[s].is_down(now)) continue;
+      if (best == cost::kInvalidMds || counts[s] < counts[best]) best = s;
+    }
+    if (best == cost::kInvalidMds) break;  // no survivors: nowhere to go
+    const std::uint64_t n = core_.partition.migrate_single(d, down, best);
+    if (n == 0) continue;
+    counts[best] += n;
+    absorbed[best] += n;
+    failover_log_.push_back({d, down, best});
+    ++moved_dirs;
+    journal_charge[best] += core_.journals[best].append_migration(
+        recovery::JournalRecordKind::kFailover, d, down, best,
+        core_.partition.ownership_epoch(d));
+  }
+  // The crashed MDS's journal is scanned exactly once per crash, even when
+  // it owned nothing at the crash instant (a re-crash while its fragments
+  // are still failed over): the restart must truncate the torn tail, or
+  // every record appended after recovery hides behind the garbage.
+  const auto outcome = core_.journals[down].recover_replay();
+  ++core_.result.faults.journal_replays;
+  core_.result.faults.journal_replayed_records += outcome.replayed_records;
+  if (moved_dirs == 0) return;
+  ++core_.result.faults.failovers;
+  core_.result.faults.failover_dirs += moved_dirs;
+
+  // Each survivor replays the crashed MDS's journal for the fragments it
+  // absorbed: scan once (truncating any torn tail), then keep the absorbed
+  // fragments unavailable until the absorber's replay work completes.
+  ++core_.result.faults.recovery_windows;
+  std::vector<SimTime> ready(core_.servers.size(), now);
+  for (std::size_t s = 0; s < absorbed.size(); ++s) {
+    if (absorbed[s] == 0) continue;
+    ready[s] = core_.servers[s].serve(
+        now, core_.opt.cost_params.t_migrate_per_inode *
+                     static_cast<SimTime>(absorbed[s]) +
+                 outcome.replay_time + journal_charge[s]);
+    core_.result.faults.recovery_window_time += ready[s] - now;
+  }
+  for (std::size_t i = log_start; i < failover_log_.size(); ++i) {
+    const FailoverEntry& e = failover_log_[i];
+    core_.recovering_until[e.dir] =
+        std::max(core_.recovering_until[e.dir], ready[e.assigned]);
+  }
+}
+
+void FailoverEngine::on_recover(MdsId mds) {
+  if (core_.active_clients == 0) return;  // workload drained; keep the map
+  if (core_.servers[mds].is_down(core_.queue.now())) return;  // extended
+  // Hand back the fragments lost at failover, unless the balancer has
+  // since moved them elsewhere.
+  std::uint64_t restored_inodes = 0;
+  SimTime restore_charge = 0;
+  std::size_t kept = 0;
+  for (FailoverEntry& e : failover_log_) {
+    if (e.original != mds) {
+      failover_log_[kept++] = e;
+      continue;
+    }
+    if (core_.partition.dir_owner(e.dir) == e.assigned) {
+      const std::uint64_t n =
+          core_.partition.migrate_single(e.dir, e.assigned, mds);
+      if (n > 0) {
+        restored_inodes += n;
+        ++core_.result.faults.restored_dirs;
+        restore_charge += core_.journals[mds].append_migration(
+            recovery::JournalRecordKind::kRestore, e.dir, e.assigned, mds,
+            core_.partition.ownership_epoch(e.dir));
+      }
+    }
+  }
+  failover_log_.resize(kept);
+  if (restored_inodes > 0) {
+    core_.servers[mds].serve(core_.queue.now(),
+                             core_.opt.cost_params.t_migrate_per_inode *
+                                     static_cast<SimTime>(restored_inodes) +
+                                 restore_charge);
+  }
+}
+
+bool FailoverEngine::mds_down_during(MdsId mds, SimTime t0, SimTime t1) const {
+  if (!core_.faults_on) return false;
+  return timeline_.down_during(mds, t0, t1);
+}
+
+}  // namespace origami::cluster

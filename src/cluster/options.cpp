@@ -1,0 +1,113 @@
+#include "origami/cluster/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace origami::cluster {
+
+std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
+  std::vector<fault::FaultWindow> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    unsigned mds = 0;
+    double start_ms = 0, dur_ms = 0;
+    if (std::sscanf(item.c_str(), "%u@%lf+%lf", &mds, &start_ms, &dur_ms) != 3) {
+      std::fprintf(stderr, "error: bad --fault-crash-at entry '%s'\n",
+                   item.c_str());
+      std::exit(1);
+    }
+    fault::FaultWindow w;
+    w.mds = mds;
+    w.kind = fault::FaultKind::kCrash;
+    w.from = sim::millis(start_ms);
+    w.until = w.from + sim::millis(dur_ms);
+    out.push_back(w);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+ReplayOptions options_from_flags(const common::Flags& flags,
+                                 ReplayOptions base) {
+  ReplayOptions opt = std::move(base);
+  if (flags.has("mds")) {
+    opt.mds_count = static_cast<std::uint32_t>(flags.get_int("mds", 5));
+  }
+  if (flags.has("clients")) {
+    opt.clients = static_cast<std::uint32_t>(flags.get_int("clients", 50));
+  }
+  if (flags.has("epoch-ms")) {
+    opt.epoch_length =
+        sim::millis(static_cast<double>(flags.get_int("epoch-ms", 500)));
+  }
+  if (flags.has("cache")) opt.cache_enabled = flags.get_bool("cache", true);
+  if (flags.has("cache-depth")) {
+    opt.cache_depth =
+        static_cast<std::uint32_t>(flags.get_int("cache-depth", 3));
+  }
+  if (flags.has("data-path")) {
+    opt.data_path = flags.get_bool("data-path", false);
+  }
+  if (flags.has("kv-backing")) {
+    opt.kv_backing = flags.get_bool("kv-backing", false);
+  }
+  if (flags.has("warmup-epochs")) {
+    opt.warmup_epochs =
+        static_cast<std::uint32_t>(flags.get_int("warmup-epochs", 4));
+  }
+
+  fault::FaultPlan& plan = opt.faults;
+  if (flags.has("fault-seed")) {
+    plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 2026));
+  }
+  if (flags.has("fault-crash-prob")) {
+    plan.crash_prob = flags.get_double("fault-crash-prob", 0.0);
+  }
+  if (flags.has("fault-recovery-ms")) {
+    plan.crash_recovery = sim::millis(
+        static_cast<double>(flags.get_int("fault-recovery-ms", 2000)));
+  }
+  if (flags.has("fault-straggler-prob")) {
+    plan.straggler_prob = flags.get_double("fault-straggler-prob", 0.0);
+  }
+  if (flags.has("fault-straggler-slow")) {
+    plan.straggler_slow = flags.get_double("fault-straggler-slow", 4.0);
+  }
+  if (flags.has("fault-straggler-ms")) {
+    plan.straggler_duration = sim::millis(
+        static_cast<double>(flags.get_int("fault-straggler-ms", 1000)));
+  }
+  if (flags.has("fault-loss-prob")) {
+    plan.rpc_loss_prob = flags.get_double("fault-loss-prob", 0.0);
+  }
+  if (flags.has("fault-corrupt-prob")) {
+    plan.rpc_corrupt_prob = flags.get_double("fault-corrupt-prob", 0.0);
+  }
+  if (flags.has("fault-crash-at")) {
+    plan.scheduled = parse_crash_schedule(flags.get("fault-crash-at"));
+  }
+
+  fault::RetryPolicy& retry = opt.retry;
+  if (flags.has("retry-max")) {
+    retry.max_retries =
+        static_cast<std::uint32_t>(flags.get_int("retry-max", 5));
+  }
+  if (flags.has("retry-timeout-ms")) {
+    retry.timeout = sim::millis(flags.get_double("retry-timeout-ms", 5.0));
+  }
+  if (flags.has("retry-backoff-ms")) {
+    retry.backoff_base =
+        sim::millis(flags.get_double("retry-backoff-ms", 0.2));
+  }
+  if (flags.has("retry-backoff-cap-ms")) {
+    retry.backoff_cap =
+        sim::millis(flags.get_double("retry-backoff-cap-ms", 50.0));
+  }
+  return opt;
+}
+
+}  // namespace origami::cluster

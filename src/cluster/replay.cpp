@@ -1,1193 +1,94 @@
+// replay.cpp — thin composition of the layered request-execution engine.
+//
+// The former 1,200-line Replayer monolith now lives in five subsystems:
+//   plan       per-op visit planning (RequestPlanner::build_plan)
+//   exec       in-flight slot state machine (hop/advance/finish, issue loops)
+//   failover   fault delivery, retries, crash windows, log-replay failover
+//   migration  two-phase PREPARE/COMMIT/ABORT driver
+//   stats      issue accounting, epoch snapshots, summary + CSV emission
+// This file only wires them around one EngineCore and drives the epoch loop.
+
 #include "origami/cluster/replay.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cassert>
-#include <memory>
-#include <unordered_set>
 
-#include "origami/common/csv.hpp"
-#include "origami/common/rng.hpp"
-#include "origami/common/log.hpp"
+#include "origami/cluster/exec.hpp"
+#include "origami/cluster/failover.hpp"
+#include "origami/cluster/migration.hpp"
+#include "origami/cluster/plan.hpp"
+#include "origami/cluster/stats.hpp"
 
 namespace origami::cluster {
 
 namespace {
 
-using cost::MdsId;
-using fsns::NodeId;
-using fsns::OpClass;
-using fsns::OpType;
-using sim::SimTime;
-
-/// What a visit does at its MDS — retained so a retry after failover can
-/// re-resolve the *current* owner of the namespace piece it needs.
-enum class VisitRole : std::uint8_t {
-  kResolve,  ///< path-component lookup at the dir's owner
-  kStub,     ///< forwarding stub at the dir's previous owner
-  kExec,     ///< primary op execution at the target's owner
-  kFan,      ///< readdir fragment at a child dir's owner
-  kCoord,    ///< distributed-txn participant at the other dir's owner
-};
-
-/// One service stop of a request at an MDS.
-struct Visit {
-  MdsId mds;
-  SimTime service;
-  NodeId node = fsns::kRootNode;  ///< namespace anchor for re-resolution
-  VisitRole role = VisitRole::kResolve;
-  /// Fragment ownership epoch captured at planning time; a mismatch at
-  /// arrival means the fragment migrated underneath us (fencing).
-  std::uint32_t epoch = 0;
-};
-
-/// Fully planned request: visit sequence + Eq. 1/2 accounting inputs.
-struct Plan {
-  std::vector<Visit> visits;
-  std::uint32_t k = 0;            // path components resolved
-  std::uint32_t m = 1;            // distinct partitions touched
-  std::uint32_t lsdir_spread = 0; // extra MDSs a readdir fans out to
-  bool ns_cross = false;          // ns-mutation spanning two MDSs
-  NodeId target = fsns::kRootNode;
-  NodeId home_dir = fsns::kRootNode;
-  OpType type = OpType::kStat;
-  std::uint32_t data_bytes = 0;
-  /// Non-zero for mutating ops under fault injection: the id journaled at
-  /// the executing MDS and recorded as acknowledged on completion.
-  std::uint64_t op_id = 0;
-};
-
-struct InFlight {
-  Plan plan;
-  std::size_t next_visit = 0;
-  SimTime issued = 0;
-  std::uint32_t client = 0;
-  bool in_use = false;
-  /// Failed delivery attempts of the *current* visit (fault injection);
-  /// reset on every successful arrival.
-  std::uint32_t attempts = 0;
-};
-
 class Replayer {
  public:
   Replayer(const wl::Trace& trace, const ReplayOptions& options,
            Balancer& balancer)
-      : trace_(trace),
-        opt_(options),
-        balancer_(balancer),
-        model_(options.cost_params),
-        network_(options.net_params),
-        partition_(trace.tree, options.mds_count),
-        cache_(trace.tree.size(), options.cache_depth, options.cache_enabled),
-        data_(options.data_params),
-        jitter_rng_(options.seed ^ 0x5eedULL),
-        injector_(options.faults, options.mds_count),
-        retry_rng_(options.faults.seed ^ 0x7e717e71ULL),
-        faults_on_(options.faults.enabled()),
-        dir_stats_(trace.tree.size()) {
-    for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
-      servers_.emplace_back(i, opt_.mds_params);
-    }
-    if (faults_on_) {
-      network_.enable_faults(opt_.faults.rpc_loss_prob,
-                             opt_.faults.rpc_corrupt_prob, opt_.faults.seed);
-      down_windows_.resize(opt_.mds_count);
-    }
-    balancer_.prepare(trace_.tree, partition_);
-    if (faults_on_) {
-      journals_.reserve(opt_.mds_count);
-      for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
-        journals_.emplace_back(opt_.recovery);
-      }
-      recovering_until_.assign(trace.tree.size(), 0);
-      if (opt_.recovery.capture_ledger) {
-        ledger_ = std::make_shared<recovery::RecoveryLedger>();
-        ledger_->mds_count = opt_.mds_count;
-        ledger_->initial_owner.resize(trace.tree.size());
-        for (NodeId id = 0; id < trace.tree.size(); ++id) {
-          ledger_->initial_owner[id] = partition_.node_owner(id);
-        }
-        partition_.set_transfer_observer(
-            [this](NodeId dir, MdsId from, MdsId to, std::uint32_t epoch) {
-              ledger_->transfers.push_back({dir, from, to, epoch, queue_.now()});
-            });
-      }
-    }
-    if (opt_.kv_backing) {
-      stores_.reserve(opt_.mds_count);
-      for (std::uint32_t i = 0; i < opt_.mds_count; ++i) {
-        stores_.push_back(std::make_unique<mds::InodeStore>());
-      }
-      const auto n = static_cast<NodeId>(trace_.tree.size());
-      for (NodeId id = 0; id < n; ++id) {
-        stores_[partition_.node_owner(id)]->put(trace_.tree, id);
-      }
-    }
+      : core_(trace, options, balancer),
+        planner_(core_.trace.tree, core_.partition, core_.cache, core_.model,
+                 core_.opt.cost_params),
+        exec_(core_, planner_),
+        failover_(core_),
+        migration_(core_) {
+    exec_.bind(failover_);
+    failover_.bind(exec_);
+    migration_.bind(failover_);
   }
 
-  RunResult run();
+  RunResult run() {
+    core_.result.balancer_name = core_.balancer.name();
+    core_.result.mds_count = core_.opt.mds_count;
+
+    if (core_.faults_on) failover_.schedule_epoch_faults(0);
+    exec_.start();
+    core_.queue.schedule_after(core_.opt.epoch_length,
+                               [this] { epoch_boundary(); });
+    core_.queue.run();
+
+    finalize_run(core_);
+    return std::move(core_.result);
+  }
 
  private:
-  // --- planning ------------------------------------------------------------
-  Plan build_plan(const wl::MetaOp& op);
-  void account_issue(const Plan& plan);
+  void epoch_boundary() {
+    // Materialise the next epoch's fault windows before applying any
+    // migration decisions, so abort checks below can see upcoming crashes.
+    if (core_.faults_on) failover_.schedule_epoch_faults(core_.epoch_index + 1);
 
-  // --- event handlers --------------------------------------------------------
-  void issue_for_client(std::uint32_t client);
-  void issue_open_loop();
-  void hop(std::size_t slot);
-  /// Post-service continuation of `hop`: advances to the next visit or
-  /// schedules the final reply. `done` is the service-completion time.
-  void advance(std::size_t slot, SimTime done);
-  /// Completion-time fence check for exec/coord visits that waited in a
-  /// server queue: the fragment may have been exported mid-wait, so
-  /// authority is re-validated when service completes, not just at arrival.
-  void recheck_fence(std::size_t slot);
-  void finish(std::size_t slot);
-  void epoch_boundary();
+    const EpochSnapshot snap = begin_epoch_snapshot(core_);
+    EpochMetrics em = epoch_metrics_from(core_, snap);
 
-  // --- fault injection -------------------------------------------------------
-  /// Samples + schedules every fault window opening in epoch `epoch`.
-  void schedule_epoch_faults(std::uint32_t epoch);
-  void on_crash(const fault::FaultWindow& w);
-  void on_recover(MdsId mds);
-  /// Moves every directory fragment owned by `mds` to the least-loaded
-  /// surviving MDS (recorded for restoration on recovery).
-  void failover_from(MdsId mds);
-  /// Re-resolves a visit's target against the current partition map.
-  void retarget(Visit& v) const;
-  /// Samples message fate + destination health; counts and reports whether
-  /// the send will time out. Only call when `faults_on_`.
-  bool delivery_fails(MdsId mds, SimTime arrival);
-  /// Backs off and re-sends the current visit, or fails the request once
-  /// the retry budget is exhausted. `extra_delay` shifts the retry clock
-  /// (e.g. to the service-completion time for lost replies).
-  void retry_or_fail(std::size_t slot, net::EndpointId from,
-                     SimTime extra_delay);
-  /// Retry path: re-resolve, re-send, re-check delivery.
-  void resend(std::size_t slot, net::EndpointId from);
-  void fail_request(std::size_t slot);
-  [[nodiscard]] bool mds_down_during(MdsId mds, SimTime t0, SimTime t1) const;
+    const auto decisions =
+        core_.balancer.rebalance(snap, core_.trace.tree, core_.partition);
+    for (const MigrationDecision& d : decisions) migration_.apply(d, em);
+    core_.result.epochs.push_back(std::move(em));
 
-  // --- durable recovery ------------------------------------------------------
-  /// The directory whose ownership epoch fences a visit to `node`.
-  [[nodiscard]] NodeId fence_dir(NodeId node) const {
-    return trace_.tree.is_dir(node) ? node : trace_.tree.parent(node);
-  }
-  [[nodiscard]] std::uint32_t fence_epoch(NodeId node) const {
-    return partition_.ownership_epoch(fence_dir(node));
-  }
-  /// Inodes `d` would move right now (the copy work priced at PREPARE).
-  [[nodiscard]] std::uint64_t count_migratable(const MigrationDecision& d) const;
-  /// Logs PREPARE at both endpoints, charges the copy, schedules COMMIT.
-  void start_two_phase(const MigrationDecision& d);
-  /// Commit point: transfers ownership if both endpoints survived the copy
-  /// window, otherwise logs ABORT (ownership never moved — nothing to undo).
-  void commit_migration(MigrationDecision d);
-
-  std::size_t alloc_slot();
-  [[nodiscard]] bool trace_done() const {
-    if (opt_.time_limit > 0 && queue_.now() >= opt_.time_limit) return true;
-    return cursor_ >= trace_.ops.size() && !opt_.loop_trace;
+    std::fill(core_.dir_stats.begin(), core_.dir_stats.end(), DirEpochStats{});
+    ++core_.epoch_index;
+    core_.last_epoch_at = core_.queue.now();
+    if (core_.active_clients > 0) {
+      core_.queue.schedule_after(core_.opt.epoch_length,
+                                 [this] { epoch_boundary(); });
+    }
   }
 
-  const wl::Trace& trace_;
-  ReplayOptions opt_;
-  Balancer& balancer_;
-  cost::CostModel model_;
-  net::Network network_;
-  mds::PartitionMap partition_;
-  mds::NearRootCache cache_;
-  mds::DataCluster data_;
-  common::Xoshiro256 jitter_rng_;
-  fault::FaultInjector injector_;
-  common::Xoshiro256 retry_rng_;
-  const bool faults_on_;
-  std::vector<mds::MdsServer> servers_;
-  std::vector<std::unique_ptr<mds::InodeStore>> stores_;  // when kv_backing
-
-  /// Known down windows per MDS (scheduled + sampled so far), used for
-  /// migration abort decisions.
-  struct DownWindow {
-    SimTime from;
-    SimTime until;
-  };
-  std::vector<std::vector<DownWindow>> down_windows_;
-  /// Fragments reassigned by failover, to hand back on recovery.
-  struct FailoverEntry {
-    NodeId dir;
-    MdsId original;
-    MdsId assigned;
-  };
-  std::vector<FailoverEntry> failover_log_;
-
-  /// Durable-recovery state (populated only when `faults_on_`).
-  std::vector<recovery::MetadataJournal> journals_;  // one per MDS
-  /// Per-directory time until which the fragment is unavailable while its
-  /// absorber replays the crashed owner's journal; arrivals park until then.
-  std::vector<SimTime> recovering_until_;
-  std::shared_ptr<recovery::RecoveryLedger> ledger_;
-  /// Subtrees with a PREPARE logged and the commit event still in flight.
-  std::unordered_set<NodeId> pending_two_phase_;
-  std::uint64_t next_op_id_ = 0;
-  std::uint64_t commit_seq_ = 0;  // global commit LSN (monotone epochs)
-
-  sim::EventQueue queue_;
-  std::vector<InFlight> pool_;
-  std::vector<std::size_t> free_slots_;
-
-  std::size_t cursor_ = 0;
-  std::uint32_t active_clients_ = 0;
-  std::uint32_t epoch_index_ = 0;
-  SimTime last_epoch_at_ = 0;
-  SimTime last_completion_ = 0;
-
-  std::vector<DirEpochStats> dir_stats_;
-  RunResult result_;
+  EngineCore core_;
+  RequestPlanner planner_;
+  ExecEngine exec_;
+  FailoverEngine failover_;
+  MigrationEngine migration_;
 };
 
-Plan Replayer::build_plan(const wl::MetaOp& op) {
-  const auto& tree = trace_.tree;
-  Plan plan;
-  plan.type = op.type;
-  plan.target = op.target;
-  plan.data_bytes = op.data_bytes;
-  plan.k = tree.depth(op.target);
-  plan.home_dir =
-      tree.is_dir(op.target) ? op.target : tree.parent(op.target);
-
-  const MdsId exec_owner = partition_.node_owner(op.target);
-  const SimTime t_inode = opt_.cost_params.t_inode;
-  const SimTime t_rpc = opt_.cost_params.t_rpc_handle;
-
-  auto add_visit = [&](MdsId mds, SimTime service, NodeId node,
-                       VisitRole role) {
-    if (!plan.visits.empty() && plan.visits.back().mds == mds) {
-      // Merged into the previous stop; the earlier anchor wins (a retry
-      // that re-resolves it still reaches an MDS serving part of the work).
-      plan.visits.back().service += service;
-      if (role == VisitRole::kExec) {
-        plan.visits.back().node = node;
-        plan.visits.back().role = role;
-        plan.visits.back().epoch = fence_epoch(node);
-      }
-    } else {
-      plan.visits.push_back({mds, service + t_rpc, node, role,
-                             fence_epoch(node)});
-    }
-  };
-
-  // Path resolution over the ancestor chain (root .. parent-of-target).
-  // Near-root components may be served from the client cache; a stale cache
-  // entry visits the old owner's forwarding stub first (§4.2).
-  const auto chain = tree.ancestors(op.target);
-  std::array<MdsId, 64> seen{};
-  std::size_t seen_n = 0;
-  auto note_owner = [&](MdsId mds) {
-    for (std::size_t i = 0; i < seen_n; ++i) {
-      if (seen[i] == mds) return;
-    }
-    if (seen_n < seen.size()) seen[seen_n++] = mds;
-  };
-
-  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-    const NodeId comp = chain[i];
-    const MdsId owner = partition_.dir_owner(comp);
-    const auto outcome =
-        cache_.access(comp, tree.depth(comp), partition_.dir_version(comp));
-    if (outcome == mds::NearRootCache::Outcome::kHit) continue;
-    if (outcome == mds::NearRootCache::Outcome::kStale) {
-      add_visit(partition_.prev_owner(comp), t_inode, comp,
-                VisitRole::kStub);  // forwarding stub
-      note_owner(partition_.prev_owner(comp));
-    }
-    add_visit(owner, t_inode, comp, VisitRole::kResolve);
-    note_owner(owner);
-  }
-
-  // Target read + execution at the owning MDS.
-  add_visit(exec_owner, t_inode + model_.exec_time(op.type), op.target,
-            VisitRole::kExec);
-  note_owner(exec_owner);
-
-  // lsdir fan-out: each extra MDS holding children of the listed directory
-  // serves its fragment (+RTT elapsed via the extra visit, Eq. 2).
-  if (op.type == OpType::kReaddir && tree.is_dir(op.target)) {
-    std::array<MdsId, 32> child_owners{};
-    std::array<NodeId, 32> child_nodes{};
-    std::size_t child_n = 0;
-    for (NodeId child : tree.node(op.target).children) {
-      if (!tree.is_dir(child)) continue;  // files live with the parent
-      const MdsId o = partition_.dir_owner(child);
-      if (o == exec_owner) continue;
-      bool dup = false;
-      for (std::size_t i = 0; i < child_n; ++i) {
-        if (child_owners[i] == o) dup = true;
-      }
-      if (dup) continue;
-      if (child_n < child_owners.size()) {
-        child_owners[child_n] = o;
-        child_nodes[child_n] = child;
-        ++child_n;
-      }
-    }
-    plan.lsdir_spread = static_cast<std::uint32_t>(child_n);
-    for (std::size_t i = 0; i < child_n; ++i) {
-      add_visit(child_owners[i], opt_.cost_params.t_exec_readdir / 2,
-                child_nodes[i], VisitRole::kFan);
-      note_owner(child_owners[i]);
-    }
-  }
-
-  // Distributed coordination for namespace mutations spanning two MDSs
-  // (mkdir/rmdir whose fragment lands elsewhere; cross-directory rename).
-  if (fsns::classify(op.type) == OpClass::kNsMutation) {
-    MdsId other = exec_owner;
-    NodeId other_node = op.target;
-    if ((op.type == OpType::kMkdir || op.type == OpType::kRmdir) &&
-        tree.is_dir(op.target) && op.target != fsns::kRootNode) {
-      other_node = tree.parent(op.target);
-      other = partition_.dir_owner(other_node);
-    } else if (op.type == OpType::kRename && op.aux != fsns::kInvalidNode) {
-      other_node = op.aux;
-      other = partition_.dir_owner(other_node);
-    } else if ((op.type == OpType::kCreate || op.type == OpType::kUnlink) &&
-               !tree.is_dir(op.target)) {
-      // Dirent lives with the parent directory; the file inode may be
-      // hashed elsewhere (fine-grained partitioning) — then the mutation
-      // is a distributed transaction.
-      other_node = tree.parent(op.target);
-      other = partition_.dir_owner(other_node);
-    }
-    if (other != exec_owner) {
-      plan.ns_cross = true;
-      const SimTime half = opt_.cost_params.t_coor / 2;
-      plan.visits.back().service += half;            // coordinator side
-      add_visit(other, half, other_node, VisitRole::kCoord);  // participant
-      note_owner(other);
-    }
-  }
-
-  plan.m = static_cast<std::uint32_t>(seen_n);
-  return plan;
-}
-
-void Replayer::account_issue(const Plan& plan) {
-  DirEpochStats& home = dir_stats_[plan.home_dir];
-  if (fsns::is_write(plan.type)) {
-    ++home.writes;
-  } else {
-    ++home.reads;
-  }
-  if (plan.type == OpType::kReaddir) ++dir_stats_[plan.target].lsdir;
-  if (fsns::classify(plan.type) == OpClass::kNsMutation &&
-      trace_.tree.is_dir(plan.target)) {
-    ++dir_stats_[plan.target].nsm_self;
-  }
-  const auto rct =
-      model_.rct(plan.type, plan.k, plan.m, plan.lsdir_spread, plan.ns_cross);
-  home.rct += rct.total();
-  const MdsId exec_owner = plan.visits.empty()
-                               ? partition_.node_owner(plan.target)
-                               : plan.visits.back().mds;
-  servers_[exec_owner].counters().rct_charged += rct.total();
-}
-
-void Replayer::issue_open_loop() {
-  if (trace_done()) {
-    active_clients_ = 0;
-    return;
-  }
-  if (cursor_ >= trace_.ops.size()) cursor_ = 0;  // loop_trace
-  const wl::MetaOp& op = trace_.ops[cursor_++];
-
-  const std::size_t slot = alloc_slot();
-  InFlight& fl = pool_[slot];
-  fl.plan = build_plan(op);
-  if (faults_on_ && fsns::is_write(op.type)) fl.plan.op_id = ++next_op_id_;
-  fl.next_visit = 0;
-  fl.issued = queue_.now();
-  fl.client = 0;
-  fl.attempts = 0;
-  account_issue(fl.plan);
-  const MdsId first = fl.plan.visits.front().mds;
-  const SimTime travel = network_.one_way(opt_.mds_count, first);
-  if (faults_on_ && delivery_fails(first, queue_.now() + travel)) {
-    retry_or_fail(slot, opt_.mds_count, 0);
-  } else {
-    queue_.schedule_after(travel, [this, slot] { hop(slot); });
-  }
-
-  // Next arrival: exponential inter-arrival at the offered rate.
-  const double mean_gap_s = 1.0 / opt_.open_loop_rate;
-  const SimTime gap = std::max<SimTime>(
-      1, static_cast<SimTime>(jitter_rng_.exponential(1.0 / mean_gap_s) *
-                              static_cast<double>(sim::kSecond)));
-  queue_.schedule_after(gap, [this] { issue_open_loop(); });
-}
-
-void Replayer::issue_for_client(std::uint32_t client) {
-  if (trace_done()) {
-    --active_clients_;
-    return;
-  }
-  if (cursor_ >= trace_.ops.size()) cursor_ = 0;  // loop_trace
-  const wl::MetaOp& op = trace_.ops[cursor_++];
-
-  const std::size_t slot = alloc_slot();
-  InFlight& fl = pool_[slot];
-  fl.plan = build_plan(op);
-  if (faults_on_ && fsns::is_write(op.type)) fl.plan.op_id = ++next_op_id_;
-  fl.next_visit = 0;
-  fl.issued = queue_.now();
-  fl.client = client;
-  fl.attempts = 0;
-  account_issue(fl.plan);
-
-  const MdsId first = fl.plan.visits.front().mds;
-  const SimTime travel = network_.one_way(opt_.mds_count + client, first);
-  if (faults_on_ && delivery_fails(first, queue_.now() + travel)) {
-    retry_or_fail(slot, opt_.mds_count + client, 0);
-  } else {
-    queue_.schedule_after(travel, [this, slot] { hop(slot); });
-  }
-}
-
-void Replayer::hop(std::size_t slot) {
-  InFlight& fl = pool_[slot];
-  Visit& v = fl.plan.visits[fl.next_visit];
-  if (faults_on_) {
-    // A fragment absorbed at failover is unavailable while its new owner
-    // replays the crashed MDS's journal: park the request until then.
-    const NodeId fd = fence_dir(v.node);
-    if (v.role != VisitRole::kStub && recovering_until_[fd] > queue_.now()) {
-      result_.faults.recovery_queue_time += recovering_until_[fd] - queue_.now();
-      queue_.schedule_at(recovering_until_[fd], [this, slot] { hop(slot); });
-      return;
-    }
-    // Fencing: a mutation/coordination arrival planned against an older
-    // ownership epoch is rejected cheaply and re-routed to the live owner.
-    // (Hashed file inodes never migrate, so their exec visits are exempt.)
-    if (opt_.recovery.fencing &&
-        (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
-        !(v.role == VisitRole::kExec && !trace_.tree.is_dir(v.node) &&
-          partition_.hash_file_inodes()) &&
-        fence_epoch(v.node) != v.epoch) {
-      ++result_.faults.fenced_rejections;
-      ++servers_[v.mds].counters().rpcs;
-      servers_[v.mds].serve(queue_.now(), opt_.cost_params.t_rpc_handle);
-      const MdsId stale = v.mds;
-      retarget(v);
-      v.epoch = fence_epoch(v.node);
-      const SimTime travel = network_.one_way(stale, v.mds);
-      if (delivery_fails(v.mds, queue_.now() + travel)) {
-        retry_or_fail(slot, stale, 0);
-      } else {
-        queue_.schedule_after(travel, [this, slot] { hop(slot); });
-      }
-      return;
-    }
-  }
-  fl.attempts = 0;  // delivery succeeded — fresh budget for the next send
-  mds::MdsServer& server = servers_[v.mds];
-  ++server.counters().rpcs;
-  SimTime service = v.service;
-  if (opt_.cost_params.service_jitter_frac > 0.0) {
-    const double factor = std::max(
-        0.25, 1.0 + opt_.cost_params.service_jitter_frac * jitter_rng_.normal());
-    service = static_cast<SimTime>(static_cast<double>(service) * factor);
-  }
-  if (faults_on_ && fl.plan.op_id != 0 &&
-      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord)) {
-    // Frame the mutation to this MDS's journal before acknowledging it;
-    // the fsync (and any checkpoint) cost rides on the service time.
-    service += journals_[v.mds].append_op(fl.plan.op_id, v.node);
-  }
-  const SimTime done = server.serve(queue_.now(), service);
-  if (faults_on_ && opt_.recovery.fencing && done > queue_.now() &&
-      (v.role == VisitRole::kExec || v.role == VisitRole::kCoord) &&
-      !(v.role == VisitRole::kExec && !trace_.tree.is_dir(v.node) &&
-        partition_.hash_file_inodes())) {
-    // The request waits in the server's queue until `done`; a subtree
-    // export can commit in that window (a busy source MDS queues requests
-    // across its own copy), so authority is re-checked at completion.
-    queue_.schedule_at(done, [this, slot] { recheck_fence(slot); });
-    return;
-  }
-  advance(slot, done);
-}
-
-void Replayer::recheck_fence(std::size_t slot) {
-  InFlight& fl = pool_[slot];
-  Visit& v = fl.plan.visits[fl.next_visit];
-  if (fence_epoch(v.node) != v.epoch) {
-    // The fragment was exported while the request sat in the queue: the
-    // execution is void and the op re-runs at the new owner (at-least-once,
-    // exactly like a lost final reply).
-    ++result_.faults.fenced_rejections;
-    const MdsId stale = v.mds;
-    retarget(v);
-    v.epoch = fence_epoch(v.node);
-    const SimTime travel = network_.one_way(stale, v.mds);
-    if (delivery_fails(v.mds, queue_.now() + travel)) {
-      retry_or_fail(slot, stale, 0);
-    } else {
-      queue_.schedule_after(travel, [this, slot] { hop(slot); });
-    }
-    return;
-  }
-  advance(slot, queue_.now());
-}
-
-void Replayer::advance(std::size_t slot, SimTime done) {
-  InFlight& fl = pool_[slot];
-  Visit& v = fl.plan.visits[fl.next_visit];
-  mds::MdsServer& server = servers_[v.mds];
-  ++fl.next_visit;
-
-  if (fl.next_visit < fl.plan.visits.size()) {
-    const MdsId next = fl.plan.visits[fl.next_visit].mds;
-    const SimTime arrive = done + network_.one_way(v.mds, next);
-    if (faults_on_ && delivery_fails(next, arrive)) {
-      retry_or_fail(slot, v.mds, done - queue_.now());
-      return;
-    }
-    queue_.schedule_at(arrive, [this, slot] { hop(slot); });
-    return;
-  }
-
-  // Final visit executed here.
-  ++server.counters().ops_executed;
-  if (opt_.kv_backing) {
-    auto& store = *stores_[v.mds];
-    if (fsns::is_write(fl.plan.type)) {
-      store.put(trace_.tree, fl.plan.target);
-    } else {
-      (void)store.lookup(trace_.tree, fl.plan.target);
-    }
-  }
-
-  SimTime reply_at = done + network_.one_way(v.mds, opt_.mds_count + fl.client);
-  if (faults_on_) {
-    // A lost/corrupted reply: the server did the work, but the client times
-    // out and re-sends the final visit (at-least-once execution).
-    const auto fate = network_.classify_delivery();
-    if (fate != net::Network::Delivery::kOk) {
-      ++result_.faults.timeouts;
-      --fl.next_visit;  // the final visit must run again
-      retry_or_fail(slot, opt_.mds_count + fl.client, done - queue_.now());
-      return;
-    }
-  }
-  if (opt_.data_path && fl.plan.data_bytes > 0) {
-    reply_at = data_.serve(fl.plan.target, reply_at, fl.plan.data_bytes) +
-               opt_.net_params.base_rtt / 2;
-  }
-  queue_.schedule_at(reply_at, [this, slot] { finish(slot); });
-}
-
-void Replayer::finish(std::size_t slot) {
-  InFlight& fl = pool_[slot];
-  const SimTime latency = queue_.now() - fl.issued;
-  result_.latency.add(static_cast<std::uint64_t>(latency));
-  result_.latency_by_class[static_cast<std::size_t>(fsns::classify(fl.plan.type))]
-      .add(static_cast<std::uint64_t>(latency));
-  ++result_.completed_ops;
-  result_.total_rpcs += fl.plan.visits.size();
-  if (fl.plan.visits.size() > 1) ++result_.forwarded_requests;
-  last_completion_ = std::max(last_completion_, queue_.now());
-  // The mutation is acknowledged here; its journal frame (written at the
-  // exec visit) must outlive any later crash — audited as invariant I6.
-  if (ledger_ && fl.plan.op_id != 0) {
-    ledger_->acked_mutations.push_back(fl.plan.op_id);
-  }
-
-  const std::uint32_t client = fl.client;
-  fl.in_use = false;
-  free_slots_.push_back(slot);
-  // Open-loop arrivals are self-scheduling; only the closed loop chains
-  // the next request off this completion.
-  if (opt_.open_loop_rate <= 0.0) issue_for_client(client);
-}
-
-// --------------------------------------------------------- fault handling --
-
-bool Replayer::delivery_fails(MdsId mds, SimTime arrival) {
-  const auto fate = network_.classify_delivery();
-  const bool bad =
-      fate != net::Network::Delivery::kOk || servers_[mds].is_down(arrival);
-  if (bad) ++result_.faults.timeouts;
-  return bad;
-}
-
-void Replayer::retry_or_fail(std::size_t slot, net::EndpointId from,
-                             SimTime extra_delay) {
-  InFlight& fl = pool_[slot];
-  ++fl.attempts;
-  if (fl.attempts > opt_.retry.max_retries) {
-    fail_request(slot);
-    return;
-  }
-  ++result_.faults.retries;
-  const SimTime delay = extra_delay + opt_.retry.timeout +
-                        opt_.retry.backoff_for(fl.attempts, retry_rng_);
-  queue_.schedule_after(delay, [this, slot, from] { resend(slot, from); });
-}
-
-void Replayer::resend(std::size_t slot, net::EndpointId from) {
-  InFlight& fl = pool_[slot];
-  Visit& v = fl.plan.visits[fl.next_visit];
-  retarget(v);  // failover may have moved the fragment while we backed off
-  const SimTime travel = network_.one_way(from, v.mds);
-  if (delivery_fails(v.mds, queue_.now() + travel)) {
-    retry_or_fail(slot, from, 0);
-    return;
-  }
-  queue_.schedule_after(travel, [this, slot] { hop(slot); });
-}
-
-void Replayer::retarget(Visit& v) const {
-  switch (v.role) {
-    case VisitRole::kExec:
-      v.mds = partition_.node_owner(v.node);
-      break;
-    case VisitRole::kResolve:
-    case VisitRole::kStub:  // skip the dead stub, go to the live owner
-    case VisitRole::kFan:
-    case VisitRole::kCoord:
-      v.mds = partition_.dir_owner(v.node);
-      break;
-  }
-}
-
-void Replayer::fail_request(std::size_t slot) {
-  InFlight& fl = pool_[slot];
-  ++result_.faults.failed_ops;
-  last_completion_ = std::max(last_completion_, queue_.now());
-  const std::uint32_t client = fl.client;
-  fl.in_use = false;
-  fl.attempts = 0;
-  free_slots_.push_back(slot);
-  if (opt_.open_loop_rate <= 0.0) issue_for_client(client);
-}
-
-void Replayer::schedule_epoch_faults(std::uint32_t epoch) {
-  const SimTime start = static_cast<SimTime>(epoch) * opt_.epoch_length;
-  const auto windows =
-      injector_.windows_for_epoch(epoch, start, opt_.epoch_length);
-  for (const fault::FaultWindow& w : windows) {
-    if (w.mds >= servers_.size()) continue;
-    if (w.kind == fault::FaultKind::kCrash) {
-      down_windows_[w.mds].push_back({w.from, w.until});
-      queue_.schedule_at(w.from, [this, w] { on_crash(w); });
-    } else {
-      queue_.schedule_at(w.from, [this, w] {
-        if (active_clients_ == 0) return;  // workload drained
-        servers_[w.mds].degrade(w.from, w.until, w.slow_factor);
-      });
-    }
-  }
-}
-
-void Replayer::on_crash(const fault::FaultWindow& w) {
-  // The queue drains every scheduled event, including faults timed after
-  // the last client finished; those must not touch servers or the map, or
-  // `final_dir_owner` would reflect post-workload churn.
-  if (active_clients_ == 0) return;
-  ++result_.faults.crashes;
-  servers_[w.mds].crash(queue_.now(), w.until);
-  // The append in flight at the crash instant dies half-written; recovery
-  // replay truncates it (it was never acknowledged, so nothing is lost).
-  journals_[w.mds].simulate_torn_write();
-  failover_from(w.mds);
-  queue_.schedule_at(w.until, [this, m = w.mds] { on_recover(m); });
-}
-
-void Replayer::failover_from(MdsId down) {
-  // Reassign every fragment owned by the crashed MDS to the least-loaded
-  // surviving MDS (by running inode tally), bumping directory versions so
-  // client caches go stale, and charge the survivors the hand-off work.
-  auto counts = partition_.inode_counts();
-  std::vector<std::uint64_t> absorbed(servers_.size(), 0);
-  std::vector<SimTime> journal_charge(servers_.size(), 0);
-  const SimTime now = queue_.now();
-  std::uint64_t moved_dirs = 0;
-  const std::size_t log_start = failover_log_.size();
-  for (NodeId d : trace_.tree.directories()) {
-    if (partition_.dir_owner(d) != down) continue;
-    MdsId best = cost::kInvalidMds;
-    for (MdsId s = 0; s < static_cast<MdsId>(servers_.size()); ++s) {
-      if (s == down || servers_[s].is_down(now)) continue;
-      if (best == cost::kInvalidMds || counts[s] < counts[best]) best = s;
-    }
-    if (best == cost::kInvalidMds) break;  // no survivors: nowhere to go
-    const std::uint64_t n = partition_.migrate_single(d, down, best);
-    if (n == 0) continue;
-    counts[best] += n;
-    absorbed[best] += n;
-    failover_log_.push_back({d, down, best});
-    ++moved_dirs;
-    journal_charge[best] += journals_[best].append_migration(
-        recovery::JournalRecordKind::kFailover, d, down, best,
-        partition_.ownership_epoch(d));
-  }
-  // The crashed MDS's journal is scanned exactly once per crash, even when
-  // it owned nothing at the crash instant (a re-crash while its fragments
-  // are still failed over): the restart must truncate the torn tail, or
-  // every record appended after recovery hides behind the garbage.
-  const auto outcome = journals_[down].recover_replay();
-  ++result_.faults.journal_replays;
-  result_.faults.journal_replayed_records += outcome.replayed_records;
-  if (moved_dirs == 0) return;
-  ++result_.faults.failovers;
-  result_.faults.failover_dirs += moved_dirs;
-
-  // Each survivor replays the crashed MDS's journal for the fragments it
-  // absorbed: scan once (truncating any torn tail), then keep the absorbed
-  // fragments unavailable until the absorber's replay work completes.
-  ++result_.faults.recovery_windows;
-  std::vector<SimTime> ready(servers_.size(), now);
-  for (std::size_t s = 0; s < absorbed.size(); ++s) {
-    if (absorbed[s] == 0) continue;
-    ready[s] = servers_[s].serve(
-        now, opt_.cost_params.t_migrate_per_inode *
-                     static_cast<SimTime>(absorbed[s]) +
-                 outcome.replay_time + journal_charge[s]);
-    result_.faults.recovery_window_time += ready[s] - now;
-  }
-  for (std::size_t i = log_start; i < failover_log_.size(); ++i) {
-    const FailoverEntry& e = failover_log_[i];
-    recovering_until_[e.dir] =
-        std::max(recovering_until_[e.dir], ready[e.assigned]);
-  }
-}
-
-void Replayer::on_recover(MdsId mds) {
-  if (active_clients_ == 0) return;  // workload drained; keep the final map
-  if (servers_[mds].is_down(queue_.now())) return;  // outage was extended
-  // Hand back the fragments lost at failover, unless the balancer has
-  // since moved them elsewhere.
-  std::uint64_t restored_inodes = 0;
-  SimTime restore_charge = 0;
-  std::size_t kept = 0;
-  for (FailoverEntry& e : failover_log_) {
-    if (e.original != mds) {
-      failover_log_[kept++] = e;
-      continue;
-    }
-    if (partition_.dir_owner(e.dir) == e.assigned) {
-      const std::uint64_t n = partition_.migrate_single(e.dir, e.assigned, mds);
-      if (n > 0) {
-        restored_inodes += n;
-        ++result_.faults.restored_dirs;
-        restore_charge += journals_[mds].append_migration(
-            recovery::JournalRecordKind::kRestore, e.dir, e.assigned, mds,
-            partition_.ownership_epoch(e.dir));
-      }
-    }
-  }
-  failover_log_.resize(kept);
-  if (restored_inodes > 0) {
-    servers_[mds].serve(queue_.now(),
-                        opt_.cost_params.t_migrate_per_inode *
-                                static_cast<SimTime>(restored_inodes) +
-                            restore_charge);
-  }
-}
-
-std::uint64_t Replayer::count_migratable(const MigrationDecision& d) const {
-  std::uint64_t total = 0;
-  if (d.whole_subtree) {
-    trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
-      if (trace_.tree.is_dir(id) && partition_.dir_owner(id) == d.from) {
-        total += 1 + trace_.tree.node(id).sub_files;
-      }
-    });
-  } else if (trace_.tree.is_dir(d.subtree) &&
-             partition_.dir_owner(d.subtree) == d.from) {
-    total = 1 + trace_.tree.node(d.subtree).sub_files;
-  }
-  return total;
-}
-
-void Replayer::start_two_phase(const MigrationDecision& d) {
-  if (pending_two_phase_.count(d.subtree) > 0) {
-    // A previous move of this subtree is still inside its copy window; the
-    // balancer is working off a stale snapshot. Refuse the new intent.
-    ++result_.faults.aborted_migrations;
-    return;
-  }
-  const std::uint64_t estimate = count_migratable(d);
-  if (estimate == 0) return;
-  const SimTime now = queue_.now();
-  const SimTime cost =
-      opt_.cost_params.t_migrate_per_inode * static_cast<SimTime>(estimate);
-  const std::uint32_t epoch = partition_.ownership_epoch(d.subtree);
-  const SimTime charge_from = journals_[d.from].append_migration(
-      recovery::JournalRecordKind::kPrepare, d.subtree, d.from, d.to, epoch);
-  const SimTime charge_to = journals_[d.to].append_migration(
-      recovery::JournalRecordKind::kPrepare, d.subtree, d.from, d.to, epoch);
-  ++result_.faults.prepared_migrations;
-  if (ledger_) {
-    ledger_->migrations.push_back({recovery::JournalRecordKind::kPrepare,
-                                   d.subtree, d.from, d.to, epoch, now});
-  }
-  pending_two_phase_.insert(d.subtree);
-  // The copy happens inside the prepare window; ownership only moves at the
-  // commit point, so a crash before then leaves the source authoritative.
-  servers_[d.from].serve(now, cost + charge_from);
-  servers_[d.to].serve(now, cost + charge_to);
-  queue_.schedule_at(now + cost, [this, d] { commit_migration(d); });
-}
-
-void Replayer::commit_migration(MigrationDecision d) {
-  pending_two_phase_.erase(d.subtree);
-  const SimTime now = queue_.now();
-  const bool from_up = !servers_[d.from].is_down(now);
-  const bool to_up = !servers_[d.to].is_down(now);
-  std::uint64_t moved = 0;
-  if (active_clients_ > 0 && from_up && to_up) {
-    moved = d.whole_subtree
-                ? partition_.migrate(d.subtree, d.from, d.to)
-                : partition_.migrate_single(d.subtree, d.from, d.to);
-  }
-  if (moved == 0) {
-    // An endpoint died during the copy window (or failover already moved
-    // the fragments): ABORT. Ownership never transferred, so there is no
-    // rollback — the wasted copy effort was charged at PREPARE.
-    const std::uint32_t epoch = partition_.ownership_epoch(d.subtree);
-    if (from_up) {
-      (void)journals_[d.from].append_migration(
-          recovery::JournalRecordKind::kAbort, d.subtree, d.from, d.to, epoch);
-    }
-    if (to_up) {
-      (void)journals_[d.to].append_migration(
-          recovery::JournalRecordKind::kAbort, d.subtree, d.from, d.to, epoch);
-    }
-    if (ledger_) {
-      ledger_->migrations.push_back({recovery::JournalRecordKind::kAbort,
-                                     d.subtree, d.from, d.to, epoch, now});
-    }
-    ++result_.faults.aborted_migrations;
-    return;
-  }
-  const auto epoch = static_cast<std::uint32_t>(++commit_seq_);
-  const SimTime charge_from = journals_[d.from].append_migration(
-      recovery::JournalRecordKind::kCommit, d.subtree, d.from, d.to, epoch);
-  const SimTime charge_to = journals_[d.to].append_migration(
-      recovery::JournalRecordKind::kCommit, d.subtree, d.from, d.to, epoch);
-  servers_[d.from].serve(now, charge_from);
-  servers_[d.to].serve(now, charge_to);
-  ++result_.faults.committed_migrations;
-  if (ledger_) {
-    ledger_->migrations.push_back({recovery::JournalRecordKind::kCommit,
-                                   d.subtree, d.from, d.to, epoch, now});
-  }
-  if (opt_.kv_backing) {
-    trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
-      if (partition_.node_owner(id) != d.to) return;
-      stores_[d.from]->erase(trace_.tree, id);
-      stores_[d.to]->put(trace_.tree, id);
-    });
-  }
-  ++result_.migrations;
-  result_.inodes_migrated += moved;
-  if (!result_.epochs.empty()) {
-    // Credit the epoch whose boundary decided the move (PR-1 semantics).
-    ++result_.epochs.back().migrations;
-    result_.epochs.back().inodes_moved += moved;
-  }
-}
-
-bool Replayer::mds_down_during(MdsId mds, SimTime t0, SimTime t1) const {
-  if (!faults_on_) return false;
-  for (const DownWindow& w : down_windows_[mds]) {
-    if (w.from < t1 && w.until > t0) return true;
-  }
-  return false;
-}
-
-std::size_t Replayer::alloc_slot() {
-  if (!free_slots_.empty()) {
-    const std::size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    pool_[slot].in_use = true;
-    return slot;
-  }
-  pool_.emplace_back();
-  pool_.back().in_use = true;
-  return pool_.size() - 1;
-}
-
-void Replayer::epoch_boundary() {
-  // Materialise the next epoch's fault windows before applying any
-  // migration decisions, so abort checks below can see upcoming crashes.
-  if (faults_on_) schedule_epoch_faults(epoch_index_ + 1);
-
-  EpochSnapshot snap;
-  snap.epoch = epoch_index_;
-  snap.now = queue_.now();
-  snap.epoch_length = opt_.epoch_length;
-  snap.mds.reserve(servers_.size());
-  for (auto& s : servers_) snap.mds.push_back(s.drain_counters());
-  snap.mds_inodes = partition_.inode_counts();
-  snap.dir_stats = &dir_stats_;
-  const std::size_t look_end =
-      std::min(trace_.ops.size(),
-               cursor_ + static_cast<std::size_t>(opt_.lookahead_ops));
-  snap.upcoming = std::span<const wl::MetaOp>(trace_.ops.data() + cursor_,
-                                              look_end - cursor_);
-
-  EpochMetrics em;
-  em.start = last_epoch_at_;
-  em.end = queue_.now();
-  em.mds.resize(servers_.size());
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    em.mds[i].ops = snap.mds[i].ops_executed;
-    em.mds[i].rpcs = snap.mds[i].rpcs;
-    em.mds[i].busy = snap.mds[i].busy;
-    em.mds[i].rct = snap.mds[i].rct_charged;
-    em.mds[i].inodes = snap.mds_inodes[i];
-  }
-
-  auto decisions = balancer_.rebalance(snap, trace_.tree, partition_);
-  for (const MigrationDecision& d : decisions) {
-    if (d.subtree == fsns::kInvalidNode || d.from == d.to) continue;
-    if (faults_on_ && (servers_[d.from].is_down(queue_.now()) ||
-                       servers_[d.to].is_down(queue_.now()))) {
-      // The partition map must never point at a down MDS: refuse moves
-      // touching one (the balancer saw a stale pre-crash snapshot).
-      ++result_.faults.aborted_migrations;
-      continue;
-    }
-    if (faults_on_ && opt_.recovery.two_phase_migration) {
-      start_two_phase(d);
-      continue;
-    }
-    const std::uint64_t moved =
-        d.whole_subtree ? partition_.migrate(d.subtree, d.from, d.to)
-                        : partition_.migrate_single(d.subtree, d.from, d.to);
-    if (moved == 0) continue;
-    const SimTime cost = opt_.cost_params.t_migrate_per_inode *
-                         static_cast<SimTime>(moved);
-    if (faults_on_ &&
-        (mds_down_during(d.from, queue_.now(), queue_.now() + cost) ||
-         mds_down_during(d.to, queue_.now(), queue_.now() + cost))) {
-      // An endpoint dies inside the copy window: abort and roll back.
-      // Ownership returns to the source atomically; the half-finished copy
-      // work is still charged to both ends (wasted effort is real).
-      const std::uint64_t rolled =
-          d.whole_subtree ? partition_.migrate(d.subtree, d.to, d.from)
-                          : partition_.migrate_single(d.subtree, d.to, d.from);
-      (void)rolled;
-      servers_[d.from].serve(queue_.now(), cost / 2);
-      servers_[d.to].serve(queue_.now(), cost / 2);
-      ++result_.faults.aborted_migrations;
-      continue;
-    }
-    servers_[d.from].serve(queue_.now(), cost);
-    servers_[d.to].serve(queue_.now(), cost);
-    if (opt_.kv_backing) {
-      trace_.tree.visit_subtree(d.subtree, [&](NodeId id) {
-        if (partition_.node_owner(id) != d.to) return;
-        stores_[d.from]->erase(trace_.tree, id);
-        stores_[d.to]->put(trace_.tree, id);
-      });
-    }
-    ++em.migrations;
-    em.inodes_moved += moved;
-    ++result_.migrations;
-    result_.inodes_migrated += moved;
-  }
-  result_.epochs.push_back(std::move(em));
-
-  std::fill(dir_stats_.begin(), dir_stats_.end(), DirEpochStats{});
-  ++epoch_index_;
-  last_epoch_at_ = queue_.now();
-  if (active_clients_ > 0) {
-    queue_.schedule_after(opt_.epoch_length, [this] { epoch_boundary(); });
-  }
-}
-
-RunResult Replayer::run() {
-  result_.balancer_name = balancer_.name();
-  result_.mds_count = opt_.mds_count;
-
-  if (faults_on_) schedule_epoch_faults(0);
-  if (opt_.open_loop_rate > 0.0) {
-    active_clients_ = 1;  // the arrival process counts as one driver
-    queue_.schedule_at(0, [this] { issue_open_loop(); });
-  } else {
-    active_clients_ = opt_.clients;
-    for (std::uint32_t c = 0; c < opt_.clients; ++c) {
-      // Slight stagger breaks lockstep between identical clients.
-      queue_.schedule_at(static_cast<SimTime>(c) * sim::kMicrosecond,
-                         [this, c] { issue_for_client(c); });
-    }
-  }
-  queue_.schedule_after(opt_.epoch_length, [this] { epoch_boundary(); });
-  queue_.run();
-
-  // ---- summary statistics ----
-  result_.makespan = last_completion_;
-  if (result_.makespan > 0) {
-    result_.throughput_ops = static_cast<double>(result_.completed_ops) /
-                             sim::to_seconds(result_.makespan);
-  }
-  result_.mean_latency_us = result_.latency.mean() / 1000.0;
-  result_.p50_latency_us =
-      static_cast<double>(result_.latency.quantile(0.5)) / 1000.0;
-  result_.p99_latency_us =
-      static_cast<double>(result_.latency.quantile(0.99)) / 1000.0;
-  if (result_.completed_ops > 0) {
-    result_.rpc_per_request = static_cast<double>(result_.total_rpcs) /
-                              static_cast<double>(result_.completed_ops);
-  }
-  result_.cache = cache_.stats();
-  if (faults_on_) {
-    result_.faults.rpcs_lost = network_.lost_count();
-    result_.faults.rpcs_corrupted = network_.corrupted_count();
-    for (const auto& s : servers_) {
-      result_.faults.time_down += s.time_down();
-      result_.faults.time_degraded += s.time_degraded();
-    }
-    for (const auto& j : journals_) {
-      result_.faults.journal_records += j.appended();
-      result_.faults.journal_checkpoints += j.checkpoints();
-      result_.faults.torn_tail_truncations += j.torn_truncations();
-    }
-  }
-
-  // Post-warm-up steady state: throughput and imbalance factors.
-  double imf_qps = 0, imf_rpc = 0, imf_inodes = 0, imf_busy = 0;
-  std::uint64_t steady_ops = 0;
-  SimTime steady_time = 0;
-  std::size_t counted = 0;
-  // The final epoch is truncated by trace exhaustion (clients drain), so it
-  // is excluded whenever at least one full post-warm-up epoch exists.
-  std::size_t steady_end = result_.epochs.size();
-  if (steady_end > opt_.warmup_epochs + 1) --steady_end;
-  for (std::size_t e = opt_.warmup_epochs; e < steady_end; ++e) {
-    const EpochMetrics& em = result_.epochs[e];
-    std::vector<double> qps, rpc, ino, busy;
-    std::uint64_t epoch_ops = 0;
-    for (const auto& m : em.mds) {
-      qps.push_back(static_cast<double>(m.ops));
-      rpc.push_back(static_cast<double>(m.rpcs));
-      ino.push_back(static_cast<double>(m.inodes));
-      busy.push_back(static_cast<double>(m.busy));
-      epoch_ops += m.ops;
-    }
-    if (epoch_ops == 0) continue;
-    imf_qps += cost::imbalance_factor(qps);
-    imf_rpc += cost::imbalance_factor(rpc);
-    imf_inodes += cost::imbalance_factor(ino);
-    imf_busy += cost::imbalance_factor(busy);
-    steady_ops += epoch_ops;
-    steady_time += em.end - em.start;
-    ++counted;
-  }
-  if (counted > 0) {
-    result_.imf_qps = imf_qps / static_cast<double>(counted);
-    result_.imf_rpc = imf_rpc / static_cast<double>(counted);
-    result_.imf_inodes = imf_inodes / static_cast<double>(counted);
-    result_.imf_busy = imf_busy / static_cast<double>(counted);
-  }
-  if (steady_time > 0) {
-    result_.steady_throughput_ops =
-        static_cast<double>(steady_ops) / sim::to_seconds(steady_time);
-  } else {
-    result_.steady_throughput_ops = result_.throughput_ops;
-  }
-
-  result_.final_dir_owner.resize(trace_.tree.size());
-  for (fsns::NodeId d = 0; d < trace_.tree.size(); ++d) {
-    result_.final_dir_owner[d] = partition_.node_owner(d);
-  }
-  result_.hash_file_inodes = partition_.hash_file_inodes();
-  result_.mds_down_at_end.resize(servers_.size());
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    result_.mds_down_at_end[i] = servers_[i].is_down(result_.makespan);
-  }
-  if (ledger_) {
-    ledger_->final_owner = result_.final_dir_owner;
-    ledger_->down_at_end = result_.mds_down_at_end;
-    ledger_->hash_file_inodes = partition_.hash_file_inodes();
-    ledger_->acked_mutations.shrink_to_fit();
-    ledger_->journals.reserve(journals_.size());
-    for (const auto& j : journals_) ledger_->journals.push_back(j.snapshot());
-    result_.ledger = ledger_;
-  }
-
-  result_.data_requests = data_.requests();
-  if (opt_.data_path && result_.makespan > 0) {
-    result_.data_throughput_mb_s =
-        static_cast<double>(data_.bytes_served()) / 1e6 /
-        sim::to_seconds(result_.makespan);
-  }
-  return result_;
-}
-
 }  // namespace
-
-common::Status write_epoch_csv(const RunResult& result,
-                               const std::string& path) {
-  common::CsvWriter csv(path);
-  if (!csv.is_open()) return common::Status::unavailable("cannot open " + path);
-  csv.header({"epoch", "t_start_s", "t_end_s", "mds", "ops", "rpcs",
-              "busy_ms", "rct_ms", "inodes", "migrations", "inodes_moved"});
-  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
-    const EpochMetrics& em = result.epochs[e];
-    for (std::size_t m = 0; m < em.mds.size(); ++m) {
-      csv.field(static_cast<std::uint64_t>(e))
-          .field(sim::to_seconds(em.start))
-          .field(sim::to_seconds(em.end))
-          .field(static_cast<std::uint64_t>(m))
-          .field(em.mds[m].ops)
-          .field(em.mds[m].rpcs)
-          .field(static_cast<double>(em.mds[m].busy) / 1e6)
-          .field(static_cast<double>(em.mds[m].rct) / 1e6)
-          .field(em.mds[m].inodes)
-          .field(static_cast<std::uint64_t>(em.migrations))
-          .field(em.inodes_moved);
-      csv.endrow();
-    }
-  }
-  return common::Status::ok();
-}
 
 RunResult replay_trace(const wl::Trace& trace, const ReplayOptions& options,
                        Balancer& balancer) {
   assert(!trace.ops.empty());
   Replayer replayer(trace, options, balancer);
   return replayer.run();
-}
-
-std::string StaticBalancer::name() const {
-  switch (kind_) {
-    case Kind::kSingle:
-      return "single";
-    case Kind::kCoarseHash:
-      return "c-hash";
-    case Kind::kFineHash:
-      return "f-hash";
-  }
-  return "static";
-}
-
-void StaticBalancer::prepare(const fsns::DirTree& tree, mds::PartitionMap& map) {
-  (void)tree;
-  switch (kind_) {
-    case Kind::kSingle:
-      mds::partitioner::single(map);
-      break;
-    case Kind::kCoarseHash:
-      mds::partitioner::coarse_hash(map, coarse_levels_);
-      break;
-    case Kind::kFineHash:
-      mds::partitioner::fine_hash(map);
-      break;
-  }
 }
 
 }  // namespace origami::cluster

@@ -223,3 +223,37 @@ std::vector<cluster::MigrationDecision> MlTreeBalancer::rebalance(
 }
 
 }  // namespace origami::core
+
+// StaticBalancer lives with the other balancing policies (it is a policy,
+// not part of the replay engine); its declaration stays in
+// origami/cluster/balancer.hpp so replay callers see one Balancer registry.
+namespace origami::cluster {
+
+std::string StaticBalancer::name() const {
+  switch (kind_) {
+    case Kind::kSingle:
+      return "single";
+    case Kind::kCoarseHash:
+      return "c-hash";
+    case Kind::kFineHash:
+      return "f-hash";
+  }
+  return "static";
+}
+
+void StaticBalancer::prepare(const fsns::DirTree& tree, mds::PartitionMap& map) {
+  (void)tree;
+  switch (kind_) {
+    case Kind::kSingle:
+      mds::partitioner::single(map);
+      break;
+    case Kind::kCoarseHash:
+      mds::partitioner::coarse_hash(map, coarse_levels_);
+      break;
+    case Kind::kFineHash:
+      mds::partitioner::fine_hash(map);
+      break;
+  }
+}
+
+}  // namespace origami::cluster

@@ -1,8 +1,12 @@
 #include "origami/fs/live_replay.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "origami/cluster/failover.hpp"
+#include "origami/cluster/migration.hpp"
 #include "origami/cost/cost_model.hpp"
 
 namespace origami::fs {
@@ -10,12 +14,17 @@ namespace origami::fs {
 namespace {
 
 /// Lazily materialises trace-tree nodes in the live service, caching which
-/// ids already exist.
+/// ids already exist and the live inode each directory node resolved to
+/// (the fencing layer keys its client cache by inode).
 class Materialiser {
  public:
   Materialiser(const fsns::DirTree& tree, OrigamiFs& fsys)
-      : tree_(tree), fsys_(fsys), created_(tree.size(), false) {
+      : tree_(tree),
+        fsys_(fsys),
+        created_(tree.size(), false),
+        ino_(tree.size(), kInvalidIno) {
     created_[fsns::kRootNode] = true;
+    ino_[fsns::kRootNode] = kRootIno;
   }
 
   /// Ensures every *directory* ancestor of `id` exists (not `id` itself
@@ -26,53 +35,332 @@ class Materialiser {
     for (std::size_t i = 1; i < end; ++i) {
       const fsns::NodeId node = chain[i];
       if (created_[node] || !tree_.is_dir(node)) continue;
-      (void)fsys_.mkdir(tree_.full_path(node));
+      if (auto r = fsys_.mkdir(tree_.full_path(node)); r.is_ok()) {
+        ino_[node] = r.value();
+      }
       created_[node] = true;
     }
   }
 
   void mark(fsns::NodeId id, bool exists) { created_[id] = exists; }
   [[nodiscard]] bool exists(fsns::NodeId id) const { return created_[id]; }
+  /// Live inode of a materialised directory node (kInvalidIno if unknown).
+  [[nodiscard]] Ino ino_of(fsns::NodeId id) const { return ino_[id]; }
 
  private:
   const fsns::DirTree& tree_;
   OrigamiFs& fsys_;
   std::vector<bool> created_;
+  std::vector<Ino> ino_;
 };
 
-}  // namespace
+/// The live-mode twin of the simulator's exec/failover/migration stack,
+/// sharing its building blocks (FaultInjector sampling, FaultTimeline,
+/// TwoPhaseLog, MetadataJournal). The virtual clock is the operation index,
+/// so fault-window durations are op counts and there is nothing to price:
+/// stragglers and timeout/backoff latencies are ignored, only outcomes
+/// (crashes, failovers, retries, fencing, journal records) are modelled.
+class LiveEngine final : public LiveFaultContext {
+ public:
+  LiveEngine(const wl::Trace& trace, OrigamiFs& fsys,
+             const LiveReplayOptions& opt)
+      : trace_(trace),
+        fsys_(fsys),
+        opt_(opt),
+        faults_on_(opt.faults.enabled()),
+        injector_(opt.faults, fsys.shard_count()),
+        loss_rng_(opt.faults.seed ^ 0x11febeefULL),
+        mat_(trace.tree, fsys) {
+    if (faults_on_) {
+      const std::uint32_t n = fsys_.shard_count();
+      down_.assign(n, false);
+      down_until_.assign(n, 0);
+      timeline_.resize(n);
+      journals_.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) journals_.emplace_back(opt_.recovery);
+      epoch_len_ = opt_.epoch_ops > 0
+                       ? opt_.epoch_ops
+                       : std::max<std::uint64_t>(std::uint64_t{1},
+                                                 trace.ops.size());
+    }
+  }
 
-LiveReplayStats replay_on_live(
-    const wl::Trace& trace, OrigamiFs& fsys, std::uint64_t epoch_ops,
-    const std::function<std::uint64_t(OrigamiFs&)>& on_epoch) {
-  LiveReplayStats stats;
-  Materialiser mat(trace.tree, fsys);
-  const auto& tree = trace.tree;
+  LiveReplayStats run() {
+    std::uint64_t since_epoch = 0;
+    for (std::size_t i = 0; i < trace_.ops.size(); ++i) {
+      t_ = static_cast<sim::SimTime>(i);
+      if (faults_on_) advance_faults();
 
-  std::uint64_t since_epoch = 0;
-  for (const wl::MetaOp& op : trace.ops) {
+      const wl::MetaOp& op = trace_.ops[i];
+      const fsns::NodeId home_node = trace_.tree.is_dir(op.target)
+                                         ? op.target
+                                         : trace_.tree.parent(op.target);
+
+      if (faults_on_ && !deliver_with_retries()) {
+        // Retry budget exhausted: the request is abandoned client-side.
+        ++stats_.faults.failed_ops;
+      } else {
+        if (faults_on_ && opt_.recovery.fencing) fence(mat_.ino_of(home_node));
+        const common::Status status = execute(op);
+        ++stats_.executed;
+        if (!status.is_ok()) ++stats_.failed;
+        if (faults_on_ && is_mutation(op.type)) journal_mutation(home_node);
+      }
+
+      if (opt_.on_epoch != nullptr && opt_.epoch_ops > 0 &&
+          ++since_epoch >= opt_.epoch_ops) {
+        since_epoch = 0;
+        ++stats_.epochs;
+        stats_.migrations += opt_.on_epoch(fsys_, *this);
+      }
+    }
+    finalize();
+    return std::move(stats_);
+  }
+
+  // --- LiveFaultContext ----------------------------------------------------
+  [[nodiscard]] bool shard_down(std::uint32_t shard) const override {
+    return faults_on_ && shard < down_.size() && down_[shard];
+  }
+
+  void record_prepare(Ino subtree, std::uint32_t from,
+                      std::uint32_t to) override {
+    if (!faults_on_) return;
+    two_phase_.add(subtree);
+    cluster::TwoPhaseLog::record(
+        recovery::JournalRecordKind::kPrepare,
+        static_cast<fsns::NodeId>(subtree), from, to,
+        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        journal_if_up(to), nullptr);
+    ++stats_.faults.prepared_migrations;
+  }
+
+  void record_commit(Ino subtree, std::uint32_t from,
+                     std::uint32_t to) override {
+    if (!faults_on_) return;
+    two_phase_.remove(subtree);
+    cluster::TwoPhaseLog::record(
+        recovery::JournalRecordKind::kCommit,
+        static_cast<fsns::NodeId>(subtree), from, to,
+        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        journal_if_up(to), nullptr);
+    ++stats_.faults.committed_migrations;
+  }
+
+  void record_abort(Ino subtree, std::uint32_t from,
+                    std::uint32_t to) override {
+    if (!faults_on_) return;
+    two_phase_.remove(subtree);
+    cluster::TwoPhaseLog::record(
+        recovery::JournalRecordKind::kAbort,
+        static_cast<fsns::NodeId>(subtree), from, to,
+        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        journal_if_up(to), nullptr);
+    ++stats_.faults.aborted_migrations;
+  }
+
+ private:
+  struct FailoverEntry {
+    Ino dir;
+    std::uint32_t original;
+    std::uint32_t assigned;
+  };
+
+  static bool is_mutation(fsns::OpType type) {
+    switch (type) {
+      case fsns::OpType::kCreate:
+      case fsns::OpType::kMkdir:
+      case fsns::OpType::kUnlink:
+      case fsns::OpType::kRmdir:
+      case fsns::OpType::kRename:
+      case fsns::OpType::kSetattr:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  [[nodiscard]] recovery::MetadataJournal* journal_if_up(std::uint32_t shard) {
+    if (shard >= journals_.size() || down_[shard]) return nullptr;
+    return &journals_[shard];
+  }
+
+  /// Materialises this epoch's fault windows at its first op, then fires
+  /// every recovery and crash due at the current op index.
+  void advance_faults() {
+    const auto t = static_cast<std::uint64_t>(t_);
+    if (t % epoch_len_ == 0) {
+      const auto epoch = static_cast<std::uint32_t>(t / epoch_len_);
+      const auto windows = injector_.windows_for_epoch(
+          epoch, t_, static_cast<sim::SimTime>(epoch_len_));
+      for (const fault::FaultWindow& w : windows) {
+        if (w.kind == fault::FaultKind::kCrash) pending_.push_back(w);
+      }
+      std::stable_sort(pending_.begin() +
+                           static_cast<std::ptrdiff_t>(cursor_),
+                       pending_.end(),
+                       [](const fault::FaultWindow& a,
+                          const fault::FaultWindow& b) {
+                         return a.from < b.from;
+                       });
+    }
+    // Recoveries first, so a shard may crash again inside the same epoch.
+    for (std::uint32_t s = 0; s < down_.size(); ++s) {
+      if (down_[s] && t_ >= down_until_[s]) recover(s);
+    }
+    while (cursor_ < pending_.size() && pending_[cursor_].from <= t_) {
+      const fault::FaultWindow w = pending_[cursor_++];
+      if (!down_[w.mds]) crash(w);
+    }
+  }
+
+  void crash(const fault::FaultWindow& w) {
+    const std::uint32_t s = w.mds;
+    const sim::SimTime until = std::max(w.until, t_ + 1);
+    ++stats_.faults.crashes;
+    stats_.faults.time_down += until - t_;
+    down_[s] = true;
+    down_until_[s] = until;
+    timeline_.note(s, t_, until);
+    journals_[s].simulate_torn_write();
+
+    // Fail the dead shard's fragments over to the least-loaded survivors,
+    // recording the handoff so recovery can restore it.
+    auto shard_stats = fsys_.shard_stats();
+    std::vector<std::uint64_t> entries(shard_stats.size(), 0);
+    for (std::size_t i = 0; i < shard_stats.size(); ++i) {
+      entries[i] = shard_stats[i].entries;
+    }
+    std::uint64_t moved_dirs = 0;
+    for (const Ino dir : fsys_.dirs_owned_by(s)) {
+      const std::uint32_t target = least_loaded_survivor(entries, s);
+      if (target == s) break;  // no survivor left to absorb anything
+      auto r = fsys_.reassign_dir(dir, target);
+      if (!r.is_ok()) continue;
+      entries[target] += r.value();
+      failover_log_.push_back({dir, s, target});
+      journals_[target].append_migration(
+          recovery::JournalRecordKind::kFailover,
+          static_cast<fsns::NodeId>(dir), s, target,
+          fsys_.ownership_epoch(dir));
+      ++moved_dirs;
+    }
+    // The survivors replay the dead shard's journal (torn tail truncated)
+    // to re-establish its acknowledged mutations.
+    const auto outcome = journals_[s].recover_replay();
+    ++stats_.faults.journal_replays;
+    stats_.faults.journal_replayed_records += outcome.replayed_records;
+    if (moved_dirs > 0) {
+      ++stats_.faults.failovers;
+      stats_.faults.failover_dirs += moved_dirs;
+      ++stats_.faults.recovery_windows;
+    }
+  }
+
+  void recover(std::uint32_t s) {
+    down_[s] = false;
+    for (const FailoverEntry& e : failover_log_) {
+      if (e.original != s) continue;
+      // Hand back only fragments still where failover parked them (the
+      // balancer may have legitimately moved them since).
+      if (fsys_.dir_shard(e.dir) != e.assigned) continue;
+      if (fsys_.reassign_dir(e.dir, s).is_ok()) {
+        journals_[s].append_migration(recovery::JournalRecordKind::kRestore,
+                                      static_cast<fsns::NodeId>(e.dir),
+                                      e.assigned, s,
+                                      fsys_.ownership_epoch(e.dir));
+        ++stats_.faults.restored_dirs;
+      }
+    }
+    std::erase_if(failover_log_, [s](const FailoverEntry& e) {
+      return e.original == s;
+    });
+  }
+
+  [[nodiscard]] std::uint32_t least_loaded_survivor(
+      const std::vector<std::uint64_t>& entries, std::uint32_t dead) const {
+    std::uint32_t best = dead;
+    for (std::uint32_t s = 0; s < entries.size(); ++s) {
+      if (s == dead || down_[s]) continue;
+      if (best == dead || entries[s] < entries[best]) best = s;
+    }
+    return best;
+  }
+
+  /// Client-side delivery: message loss/corruption triggers the bounded
+  /// retry loop. Returns false when the retry budget is exhausted.
+  bool deliver_with_retries() {
+    if (opt_.faults.rpc_loss_prob <= 0.0 &&
+        opt_.faults.rpc_corrupt_prob <= 0.0) {
+      return true;
+    }
+    std::uint32_t attempt = 0;
+    while (delivery_fails()) {
+      ++stats_.faults.timeouts;
+      if (attempt++ >= opt_.retry.max_retries) return false;
+      ++stats_.faults.retries;
+    }
+    return true;
+  }
+
+  bool delivery_fails() {
+    if (opt_.faults.rpc_loss_prob > 0.0 &&
+        loss_rng_.chance(opt_.faults.rpc_loss_prob)) {
+      ++stats_.faults.rpcs_lost;
+      return true;
+    }
+    if (opt_.faults.rpc_corrupt_prob > 0.0 &&
+        loss_rng_.chance(opt_.faults.rpc_corrupt_prob)) {
+      ++stats_.faults.rpcs_corrupted;
+      return true;
+    }
+    return false;
+  }
+
+  /// Ownership-epoch fencing: a client whose cached route predates the
+  /// fragment's current epoch is bounced once and re-resolves.
+  void fence(Ino home) {
+    if (home == kInvalidIno) return;
+    const std::uint32_t current = fsys_.ownership_epoch(home);
+    const auto [it, inserted] = cached_.try_emplace(home, current);
+    if (!inserted && it->second != current) {
+      ++stats_.faults.fenced_rejections;
+      it->second = current;
+    }
+  }
+
+  void journal_mutation(fsns::NodeId home_node) {
+    const Ino home = mat_.ino_of(home_node);
+    if (home == kInvalidIno) return;
+    const std::uint64_t op_id = ++next_op_id_;
+    journals_[fsys_.dir_shard(home)].append_op(
+        op_id, static_cast<fsns::NodeId>(home));
+  }
+
+  common::Status execute(const wl::MetaOp& op) {
+    const auto& tree = trace_.tree;
     const std::string path = tree.full_path(op.target);
     common::Status status = common::Status::ok();
     switch (op.type) {
       case fsns::OpType::kCreate: {
-        mat.ensure_dirs(op.target, false);
-        if (mat.exists(op.target)) {
-          status = fsys.setattr(path, {});  // replayed re-create = overwrite
+        mat_.ensure_dirs(op.target, false);
+        if (mat_.exists(op.target)) {
+          status = fsys_.setattr(path, {});  // replayed re-create = overwrite
         } else {
-          auto r = fsys.create(path);
+          auto r = fsys_.create(path);
           status = r.is_ok() ? common::Status::ok() : r.status();
-          if (r.is_ok()) mat.mark(op.target, true);
+          if (r.is_ok()) mat_.mark(op.target, true);
         }
         break;
       }
       case fsns::OpType::kMkdir: {
-        mat.ensure_dirs(op.target, true);
+        mat_.ensure_dirs(op.target, true);
         break;
       }
       case fsns::OpType::kUnlink: {
-        if (mat.exists(op.target)) {
-          status = fsys.unlink(path);
-          mat.mark(op.target, false);
+        if (mat_.exists(op.target)) {
+          status = fsys_.unlink(path);
+          mat_.mark(op.target, false);
         }
         break;
       }
@@ -83,59 +371,101 @@ LiveReplayStats replay_on_live(
       case fsns::OpType::kRename: {
         // Renames would desynchronise the path mapping; model the load as
         // a metadata write on the entry instead.
-        mat.ensure_dirs(op.target, tree.is_dir(op.target));
-        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
-          auto r = fsys.create(path);
-          if (r.is_ok()) mat.mark(op.target, true);
+        mat_.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat_.exists(op.target)) {
+          auto r = fsys_.create(path);
+          if (r.is_ok()) mat_.mark(op.target, true);
         }
-        status = fsys.setattr(path, {});
+        status = fsys_.setattr(path, {});
         break;
       }
       case fsns::OpType::kStat:
       case fsns::OpType::kOpen: {
-        mat.ensure_dirs(op.target, tree.is_dir(op.target));
-        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
-          auto r = fsys.create(path);
-          if (r.is_ok()) mat.mark(op.target, true);
+        mat_.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat_.exists(op.target)) {
+          auto r = fsys_.create(path);
+          if (r.is_ok()) mat_.mark(op.target, true);
         }
-        status = fsys.stat(path).is_ok() ? common::Status::ok()
-                                         : common::Status::not_found(path);
+        status = fsys_.stat(path).is_ok() ? common::Status::ok()
+                                          : common::Status::not_found(path);
         break;
       }
       case fsns::OpType::kSetattr: {
-        mat.ensure_dirs(op.target, tree.is_dir(op.target));
-        if (!tree.is_dir(op.target) && !mat.exists(op.target)) {
-          auto r = fsys.create(path);
-          if (r.is_ok()) mat.mark(op.target, true);
+        mat_.ensure_dirs(op.target, tree.is_dir(op.target));
+        if (!tree.is_dir(op.target) && !mat_.exists(op.target)) {
+          auto r = fsys_.create(path);
+          if (r.is_ok()) mat_.mark(op.target, true);
         }
-        status = fsys.setattr(path, {});
+        status = fsys_.setattr(path, {});
         break;
       }
       case fsns::OpType::kReaddir: {
-        mat.ensure_dirs(op.target, true);
-        status = fsys.readdir(path).is_ok() ? common::Status::ok()
-                                            : common::Status::not_found(path);
+        mat_.ensure_dirs(op.target, true);
+        status = fsys_.readdir(path).is_ok() ? common::Status::ok()
+                                             : common::Status::not_found(path);
         break;
       }
     }
-    ++stats.executed;
-    if (!status.is_ok()) ++stats.failed;
+    return status;
+  }
 
-    if (on_epoch != nullptr && ++since_epoch >= epoch_ops) {
-      since_epoch = 0;
-      ++stats.epochs;
-      stats.migrations += on_epoch(fsys);
+  void finalize() {
+    const auto shard_stats = fsys_.shard_stats();
+    std::vector<double> loads;
+    for (const ShardStats& st : shard_stats) {
+      stats_.shard_ops.push_back(st.lookups + st.mutations);
+      loads.push_back(static_cast<double>(st.lookups + st.mutations));
+    }
+    stats_.shard_imbalance = cost::imbalance_factor(loads);
+    for (const recovery::MetadataJournal& j : journals_) {
+      stats_.faults.journal_records += j.appended();
+      stats_.faults.journal_checkpoints += j.checkpoints();
+      stats_.faults.torn_tail_truncations += j.torn_truncations();
     }
   }
 
-  const auto shard_stats = fsys.shard_stats();
-  std::vector<double> loads;
-  for (const ShardStats& st : shard_stats) {
-    stats.shard_ops.push_back(st.lookups + st.mutations);
-    loads.push_back(static_cast<double>(st.lookups + st.mutations));
+  const wl::Trace& trace_;
+  OrigamiFs& fsys_;
+  const LiveReplayOptions& opt_;
+  bool faults_on_;
+  fault::FaultInjector injector_;
+  common::Xoshiro256 loss_rng_;
+  Materialiser mat_;
+
+  sim::SimTime t_ = 0;  // virtual clock = operation index
+  std::uint64_t epoch_len_ = 1;
+  std::vector<bool> down_;
+  std::vector<sim::SimTime> down_until_;
+  cluster::FaultTimeline timeline_;
+  std::vector<fault::FaultWindow> pending_;  // crash windows, sorted by from
+  std::size_t cursor_ = 0;
+  std::vector<recovery::MetadataJournal> journals_;
+  std::vector<FailoverEntry> failover_log_;
+  cluster::TwoPhaseLog two_phase_;
+  std::unordered_map<Ino, std::uint32_t> cached_;  // client route cache
+  std::uint64_t next_op_id_ = 0;
+  LiveReplayStats stats_;
+};
+
+}  // namespace
+
+LiveReplayStats replay_on_live(const wl::Trace& trace, OrigamiFs& fsys,
+                               const LiveReplayOptions& options) {
+  LiveEngine engine(trace, fsys, options);
+  return engine.run();
+}
+
+LiveReplayStats replay_on_live(
+    const wl::Trace& trace, OrigamiFs& fsys, std::uint64_t epoch_ops,
+    const std::function<std::uint64_t(OrigamiFs&)>& on_epoch) {
+  LiveReplayOptions options;
+  options.epoch_ops = epoch_ops;
+  if (on_epoch != nullptr) {
+    options.on_epoch = [&on_epoch](OrigamiFs& f, LiveFaultContext&) {
+      return on_epoch(f);
+    };
   }
-  stats.shard_imbalance = cost::imbalance_factor(loads);
-  return stats;
+  return replay_on_live(trace, fsys, options);
 }
 
 }  // namespace origami::fs

@@ -375,6 +375,7 @@ common::Status OrigamiFs::migrate_subtree_resolved(Ino root,
       stats_[target].entries += relocated.size();
       moved += relocated.size();
       owner_[dir] = target;
+      ++dir_epoch_[dir];  // ownership changed: fence stale cached routes
     }
     // Enumerate children from the (now-)owning shard and descend.
     shards_[dir_owner(dir)]->scan_prefix(
@@ -389,6 +390,48 @@ common::Status OrigamiFs::migrate_subtree_resolved(Ino root,
         });
   }
   return common::Status::ok();
+}
+
+std::uint32_t OrigamiFs::ownership_epoch(Ino dir) const {
+  const auto it = dir_epoch_.find(dir);
+  return it == dir_epoch_.end() ? 0 : it->second;
+}
+
+common::Result<std::uint64_t> OrigamiFs::reassign_dir(Ino dir,
+                                                      std::uint32_t target) {
+  if (target >= shards_.size()) {
+    return common::Status::invalid_argument("no such shard");
+  }
+  if (dirs_.find(dir) == dirs_.end()) {
+    return common::Status::not_found("no such directory inode");
+  }
+  const std::uint32_t from = dir_owner(dir);
+  if (from == target) return std::uint64_t{0};
+  std::vector<std::pair<std::string, std::string>> relocated;
+  shards_[from]->scan_prefix(dirent_prefix(dir),
+                             [&](std::string_view key, std::string_view value) {
+                               relocated.emplace_back(std::string(key),
+                                                      std::string(value));
+                               return true;
+                             });
+  for (const auto& [key, value] : relocated) {
+    if (auto s = shards_[target]->put(key, value); !s.is_ok()) return s;
+    if (auto s = shards_[from]->del(key); !s.is_ok()) return s;
+  }
+  stats_[from].entries -= relocated.size();
+  stats_[target].entries += relocated.size();
+  owner_[dir] = target;
+  ++dir_epoch_[dir];
+  return static_cast<std::uint64_t>(relocated.size());
+}
+
+std::vector<Ino> OrigamiFs::dirs_owned_by(std::uint32_t shard) const {
+  std::vector<Ino> out;
+  for (const auto& [ino, meta] : dirs_) {
+    if (dir_owner(ino) == shard) out.push_back(ino);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::uint32_t OrigamiFs::depth_of(Ino dir) const {
@@ -486,6 +529,7 @@ common::Status OrigamiFs::restore(const std::string& prefix) {
   std::size_t owners = 0;
   in >> owners;
   owner_.clear();
+  dir_epoch_.clear();  // epochs restart from 0 after a restore
   for (std::size_t i = 0; i < owners; ++i) {
     Ino ino = 0;
     std::uint32_t shard = 0;

@@ -19,6 +19,7 @@
 #include "origami/core/balancers.hpp"
 #include "origami/core/meta_opt.hpp"
 #include "origami/core/pipeline.hpp"
+#include "origami/fs/live_replay.hpp"
 #include "origami/wl/generators.hpp"
 
 namespace origami {
@@ -293,6 +294,60 @@ TEST(Determinism, ReplayCsvByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(csv_1, csv_8) << "seed " << seed;
     std::remove(p1.c_str());
     std::remove(p8.c_str());
+  }
+}
+
+// ------------------------------------------------- live-mode determinism --
+
+/// Serialises everything a live replay reports, so two runs can be compared
+/// for bit-identity with a single string equality.
+std::string live_stats_fingerprint(const fs::LiveReplayStats& s) {
+  std::ostringstream out;
+  out << s.executed << ' ' << s.failed << ' ' << s.epochs << ' '
+      << s.migrations << ' ' << s.shard_imbalance << '\n';
+  for (std::uint64_t ops : s.shard_ops) out << ops << ' ';
+  out << '\n';
+  const cluster::RobustnessStats& f = s.faults;
+  out << f.retries << ' ' << f.timeouts << ' ' << f.rpcs_lost << ' '
+      << f.rpcs_corrupted << ' ' << f.failed_ops << ' ' << f.crashes << ' '
+      << f.failovers << ' ' << f.failover_dirs << ' ' << f.restored_dirs
+      << ' ' << f.aborted_migrations << ' ' << f.time_down << ' '
+      << f.journal_records << ' ' << f.journal_checkpoints << ' '
+      << f.journal_replays << ' ' << f.journal_replayed_records << ' '
+      << f.torn_tail_truncations << ' ' << f.fenced_rejections << ' '
+      << f.prepared_migrations << ' ' << f.committed_migrations << ' '
+      << f.recovery_windows << '\n';
+  return out.str();
+}
+
+TEST(Determinism, LiveReplayBitIdenticalAcrossRunsPerSeed) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    wl::TraceRwConfig cfg;
+    cfg.ops = 20'000;
+    cfg.projects = 4;
+    cfg.modules_per_project = 3;
+    cfg.sources_per_module = 8;
+    cfg.headers_shared = 40;
+    cfg.seed = seed;
+    const wl::Trace trace = wl::make_trace_rw(cfg);
+
+    fs::LiveReplayOptions opt;
+    opt.epoch_ops = 4'000;
+    opt.faults.seed = seed * 1000 + 7;
+    opt.faults.crash_prob = 0.15;
+    opt.faults.crash_recovery = 3'000;  // the live clock counts ops
+    opt.faults.rpc_loss_prob = 0.003;
+
+    fs::OrigamiFs::Options fopt;
+    fopt.shards = 4;
+    fs::OrigamiFs fs_a(fopt);
+    fs::OrigamiFs fs_b(fopt);
+    const auto ra = fs::replay_on_live(trace, fs_a, opt);
+    const auto rb = fs::replay_on_live(trace, fs_b, opt);
+    EXPECT_EQ(live_stats_fingerprint(ra), live_stats_fingerprint(rb))
+        << "seed " << seed;
+    // The fault layer really fired (this is not vacuous determinism).
+    EXPECT_GT(ra.faults.crashes + ra.faults.rpcs_lost, 0u) << "seed " << seed;
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "origami/cluster/replay.hpp"
 #include "origami/fault/fault.hpp"
+#include "origami/fs/live_replay.hpp"
 #include "origami/mds/mds_server.hpp"
 #include "origami/net/network.hpp"
 #include "origami/wl/generators.hpp"
@@ -388,6 +389,134 @@ TEST(ReplayFaults, StragglersInflateTailLatency) {
   const auto rs = cluster::replay_trace(trace, slow, b);
   EXPECT_GT(rs.faults.time_degraded, 0);
   EXPECT_GT(rs.p99_latency_us, rc.p99_latency_us);
+}
+
+// ------------------------------------------------------- live-mode faults --
+// The same fault layers (injector sampling, failover, fencing, retries) run
+// against the real OrigamiFS service; the virtual clock is the op index.
+
+wl::Trace live_trace(std::uint64_t ops = 20'000) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = ops;
+  cfg.projects = 4;
+  cfg.modules_per_project = 3;
+  cfg.sources_per_module = 8;
+  cfg.headers_shared = 40;
+  cfg.seed = 23;
+  return wl::make_trace_rw(cfg);
+}
+
+TEST(LiveReplayFaults, DisabledPlanMatchesLegacyApiExactly) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+  fs::OrigamiFs legacy_fs(fopt);
+  fs::OrigamiFs armed_fs(fopt);
+  const auto legacy = fs::replay_on_live(trace, legacy_fs, 5'000);
+  const auto via_options =
+      fs::replay_on_live(trace, armed_fs, fs::LiveReplayOptions{});
+  EXPECT_EQ(via_options.executed, legacy.executed);
+  EXPECT_EQ(via_options.failed, legacy.failed);
+  EXPECT_EQ(via_options.faults.crashes, 0u);
+  EXPECT_EQ(via_options.faults.retries, 0u);
+  EXPECT_EQ(via_options.faults.journal_records, 0u);
+}
+
+TEST(LiveReplayFaults, CrashMidEpochFailsOverThenRecoveryRestores) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+  fs::OrigamiFs fsys(fopt);
+
+  // Without a balancer every fragment is born on shard 0: crash it from op
+  // 5,000 to op 12,000 (the live clock is the op index).
+  fs::LiveReplayOptions opt;
+  opt.faults.scheduled.push_back(
+      {0, 5'000, 12'000, fault::FaultKind::kCrash, 1.0});
+  const auto stats = fs::replay_on_live(trace, fsys, opt);
+
+  EXPECT_EQ(stats.faults.crashes, 1u);
+  EXPECT_GT(stats.faults.failovers, 0u);
+  EXPECT_GT(stats.faults.failover_dirs, 0u);
+  EXPECT_EQ(stats.faults.time_down, 7'000);
+  // The crashed shard's journal was torn + replayed by the survivors...
+  EXPECT_EQ(stats.faults.journal_replays, 1u);
+  EXPECT_GT(stats.faults.torn_tail_truncations, 0u);
+  EXPECT_GT(stats.faults.journal_records, 0u);
+  // ...and on recovery the parked fragments came home.
+  EXPECT_EQ(stats.faults.restored_dirs, stats.faults.failover_dirs);
+  EXPECT_EQ(stats.executed, trace.ops.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(LiveReplayFaults, FencingBouncesStaleRoutesAfterFailover) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+
+  fs::LiveReplayOptions fenced;
+  fenced.faults.scheduled.push_back(
+      {0, 5'000, 12'000, fault::FaultKind::kCrash, 1.0});
+  fenced.recovery.fencing = true;
+  fs::OrigamiFs fs_a(fopt);
+  const auto with_fencing = fs::replay_on_live(trace, fs_a, fenced);
+
+  fs::LiveReplayOptions unfenced = fenced;
+  unfenced.recovery.fencing = false;
+  fs::OrigamiFs fs_b(fopt);
+  const auto without = fs::replay_on_live(trace, fs_b, unfenced);
+
+  // Failover + restore changed ownership epochs under cached client routes:
+  // every stale route is bounced exactly once per epoch change.
+  EXPECT_GT(with_fencing.faults.fenced_rejections, 0u);
+  EXPECT_EQ(without.faults.fenced_rejections, 0u);
+  EXPECT_EQ(with_fencing.executed, without.executed);
+}
+
+TEST(LiveReplayFaults, RpcLossRunsBoundedRetryLoop) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+  fs::OrigamiFs fsys(fopt);
+
+  fs::LiveReplayOptions opt;
+  opt.faults.seed = 77;
+  opt.faults.rpc_loss_prob = 0.02;
+  opt.retry.max_retries = 5;
+  const auto stats = fs::replay_on_live(trace, fsys, opt);
+
+  EXPECT_GT(stats.faults.rpcs_lost, 0u);
+  EXPECT_GT(stats.faults.timeouts, 0u);
+  EXPECT_GT(stats.faults.retries, 0u);
+  // At p=0.02 with 5 retries, abandonment needs six straight losses: none
+  // expected in 20k ops, and every op is accounted exactly once.
+  EXPECT_EQ(stats.executed + stats.faults.failed_ops, trace.ops.size());
+  EXPECT_GT(stats.executed, trace.ops.size() - 5);
+}
+
+TEST(LiveReplayFaults, SameSeedIsReproducible) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 4;
+
+  fs::LiveReplayOptions opt;
+  opt.faults.seed = 91;
+  opt.faults.crash_prob = 0.2;
+  opt.faults.crash_recovery = 4'000;  // ops
+  opt.faults.rpc_loss_prob = 0.005;
+  opt.epoch_ops = 4'000;
+
+  fs::OrigamiFs fs_a(fopt);
+  fs::OrigamiFs fs_b(fopt);
+  const auto ra = fs::replay_on_live(trace, fs_a, opt);
+  const auto rb = fs::replay_on_live(trace, fs_b, opt);
+  EXPECT_EQ(ra.executed, rb.executed);
+  EXPECT_EQ(ra.shard_ops, rb.shard_ops);
+  EXPECT_EQ(ra.faults.crashes, rb.faults.crashes);
+  EXPECT_EQ(ra.faults.failover_dirs, rb.faults.failover_dirs);
+  EXPECT_EQ(ra.faults.retries, rb.faults.retries);
+  EXPECT_EQ(ra.faults.fenced_rejections, rb.faults.fenced_rejections);
+  EXPECT_EQ(ra.faults.journal_records, rb.faults.journal_records);
 }
 
 }  // namespace

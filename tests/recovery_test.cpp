@@ -9,7 +9,11 @@
 #include <vector>
 
 #include "origami/cluster/replay.hpp"
+#include "origami/common/rng.hpp"
 #include "origami/core/balancers.hpp"
+#include "origami/core/features.hpp"
+#include "origami/core/live_balancer.hpp"
+#include "origami/fs/live_replay.hpp"
 #include "origami/fsns/dir_tree.hpp"
 #include "origami/recovery/invariants.hpp"
 #include "origami/recovery/journal.hpp"
@@ -380,6 +384,91 @@ TEST(RecoveryReplay, StaleEpochRequestsAreFencedAndRerouted) {
   ASSERT_NE(r.ledger, nullptr);
   const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// ----------------------------------------------------- live-mode recovery --
+
+/// Activity-share benefit model, trained in-test (the live balancer takes a
+/// GbdtModel, not a raw predictor).
+std::shared_ptr<ml::GbdtModel> live_benefit_model() {
+  ml::Dataset data(core::feature_name_vector());
+  common::Xoshiro256 rng(5);
+  std::vector<float> row(core::kFeatureCount);
+  for (int i = 0; i < 1'500; ++i) {
+    for (auto& x : row) x = static_cast<float>(rng.uniform_double());
+    data.add_row(row, row[3] + row[4]);
+  }
+  ml::GbdtParams params;
+  params.rounds = 30;
+  return std::make_shared<ml::GbdtModel>(ml::GbdtModel::train(data, params));
+}
+
+TEST(LiveRecovery, TwoPhaseAbortRollsBackAndPairsPhases) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = 40'000;
+  cfg.projects = 6;
+  cfg.modules_per_project = 4;
+  cfg.sources_per_module = 10;
+  cfg.headers_shared = 60;
+  cfg.seed = 31;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+  fs::OrigamiFs fsys(fopt);
+
+  const auto model = live_benefit_model();
+  std::uint64_t aborts_seen = 0;
+  std::uint64_t commits_seen = 0;
+
+  fs::LiveReplayOptions opt;
+  opt.epoch_ops = 8'000;
+  // Arm the fault layer (journals, two-phase accounting) without letting a
+  // crash interfere: the only scheduled window opens far past the trace.
+  opt.faults.scheduled.push_back(
+      {0, 10'000'000, 10'000'100, fault::FaultKind::kCrash, 1.0});
+  opt.on_epoch = [&](fs::OrigamiFs& f,
+                     fs::LiveFaultContext& ctx) -> std::uint64_t {
+    core::LiveOrigamiBalancer::Params p;
+    p.min_subtree_ops = 16;
+    p.min_predicted_benefit = 0.0;
+    // Sabotage: the first move's destination "dies" right after PREPARE,
+    // forcing the commit check to roll the subtree back to its source.
+    auto doomed = std::make_shared<std::uint32_t>(UINT32_MAX);
+    p.shard_down = [doomed, &ctx](std::uint32_t s) {
+      return s == *doomed || ctx.shard_down(s);
+    };
+    p.on_phase = [&, doomed](core::MigrationPhase ph,
+                             const core::LiveOrigamiBalancer::Move& m) {
+      if (ph == core::MigrationPhase::kPrepare) {
+        ctx.record_prepare(m.subtree, m.from, m.to);
+        if (*doomed == UINT32_MAX) *doomed = m.to;
+      } else if (ph == core::MigrationPhase::kCommit) {
+        ++commits_seen;
+        ctx.record_commit(m.subtree, m.from, m.to);
+      } else {
+        ++aborts_seen;
+        ctx.record_abort(m.subtree, m.from, m.to);
+        // The rollback already ran: the subtree is home again.
+        EXPECT_EQ(f.dir_shard(m.subtree), m.from);
+      }
+    };
+    core::LiveOrigamiBalancer balancer(model, p);
+    return balancer.rebalance_epoch(f).size();
+  };
+
+  const auto stats = fs::replay_on_live(trace, fsys, opt);
+  EXPECT_GT(stats.epochs, 2u);
+  EXPECT_GT(stats.faults.prepared_migrations, 0u);
+  EXPECT_GT(stats.faults.aborted_migrations, 0u);
+  // Every PREPARE resolves to exactly one COMMIT or ABORT.
+  EXPECT_EQ(
+      stats.faults.prepared_migrations,
+      stats.faults.committed_migrations + stats.faults.aborted_migrations);
+  EXPECT_EQ(stats.faults.aborted_migrations, aborts_seen);
+  EXPECT_EQ(stats.faults.committed_migrations, commits_seen);
+  EXPECT_GT(stats.faults.journal_records, 0u);
+  EXPECT_EQ(stats.failed, 0u);
 }
 
 TEST(RecoveryReplay, RecoveryModelIsDeterministic) {

@@ -21,6 +21,21 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# 0. Header self-containment: every public header must compile as its own
+#    translation unit (no reliance on includes the caller happens to have).
+#    Cheap, so it runs first and fails fast on a missing #include.
+echo "=== [headers] self-containment check ==="
+check_header() {
+  echo "#include \"$1\"" |
+    g++ -std=c++20 -fsyntax-only -I "${ROOT}/include" -x c++ - ||
+    { echo "NOT self-contained: $1"; return 1; }
+}
+export ROOT
+export -f check_header
+find "${ROOT}/include/origami" -name '*.hpp' -printf 'origami/%P\n' | sort |
+  xargs -P "${JOBS}" -I{} bash -c 'check_header "$1"' _ {}
+echo "all public headers compile standalone"
+
 run_config release -DCMAKE_BUILD_TYPE=Release
 
 # Smoke-run the pipeline scaling bench from the release build: exercises the

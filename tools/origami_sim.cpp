@@ -138,56 +138,6 @@ void print_result(const cluster::RunResult& r, bool faults) {
   }
 }
 
-/// Parses "mds@start_ms+dur_ms[,mds@start_ms+dur_ms...]".
-std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
-  std::vector<fault::FaultWindow> out;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string item = spec.substr(pos, comma - pos);
-    unsigned mds = 0;
-    double start_ms = 0, dur_ms = 0;
-    if (std::sscanf(item.c_str(), "%u@%lf+%lf", &mds, &start_ms, &dur_ms) != 3) {
-      std::fprintf(stderr, "error: bad --fault-crash-at entry '%s'\n",
-                   item.c_str());
-      std::exit(1);
-    }
-    fault::FaultWindow w;
-    w.mds = mds;
-    w.kind = fault::FaultKind::kCrash;
-    w.from = sim::millis(start_ms);
-    w.until = w.from + sim::millis(dur_ms);
-    out.push_back(w);
-    pos = comma + 1;
-  }
-  return out;
-}
-
-void apply_fault_flags(const common::Flags& flags, cluster::ReplayOptions& opt) {
-  fault::FaultPlan& plan = opt.faults;
-  plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 2026));
-  plan.crash_prob = flags.get_double("fault-crash-prob", 0.0);
-  plan.crash_recovery =
-      sim::millis(static_cast<double>(flags.get_int("fault-recovery-ms", 2000)));
-  plan.straggler_prob = flags.get_double("fault-straggler-prob", 0.0);
-  plan.straggler_slow = flags.get_double("fault-straggler-slow", 4.0);
-  plan.straggler_duration = sim::millis(
-      static_cast<double>(flags.get_int("fault-straggler-ms", 1000)));
-  plan.rpc_loss_prob = flags.get_double("fault-loss-prob", 0.0);
-  plan.rpc_corrupt_prob = flags.get_double("fault-corrupt-prob", 0.0);
-  if (flags.has("fault-crash-at")) {
-    plan.scheduled = parse_crash_schedule(flags.get("fault-crash-at"));
-  }
-  fault::RetryPolicy& retry = opt.retry;
-  retry.max_retries =
-      static_cast<std::uint32_t>(flags.get_int("retry-max", 5));
-  retry.timeout = sim::millis(flags.get_double("retry-timeout-ms", 5.0));
-  retry.backoff_base = sim::millis(flags.get_double("retry-backoff-ms", 0.2));
-  retry.backoff_cap =
-      sim::millis(flags.get_double("retry-backoff-cap-ms", 50.0));
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,16 +163,12 @@ int main(int argc, char** argv) {
               trace.tree.dir_count(), trace.tree.file_count(),
               summary.max_depth, summary.write_fraction * 100);
 
-  cluster::ReplayOptions opt;
-  opt.mds_count = static_cast<std::uint32_t>(flags.get_int("mds", 5));
-  opt.clients = static_cast<std::uint32_t>(flags.get_int("clients", 50));
-  opt.epoch_length = sim::millis(static_cast<double>(flags.get_int("epoch-ms", 500)));
-  opt.cache_enabled = flags.get_bool("cache", true);
-  opt.cache_depth = static_cast<std::uint32_t>(flags.get_int("cache-depth", 3));
-  opt.data_path = flags.get_bool("data-path", false);
-  opt.kv_backing = flags.get_bool("kv-backing", false);
-  opt.warmup_epochs = 4;
-  apply_fault_flags(flags, opt);
+  // Shared CLI vocabulary (tools + benches): flags land on top of this
+  // tool's defaults — 500 ms epochs, 4 warm-up epochs.
+  cluster::ReplayOptions base;
+  base.epoch_length = sim::millis(500);
+  base.warmup_epochs = 4;
+  const cluster::ReplayOptions opt = cluster::options_from_flags(flags, base);
 
   const std::string strategy = flags.get("strategy", "all");
   std::vector<std::string> todo;
