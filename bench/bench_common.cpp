@@ -1,5 +1,8 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "origami/cluster/options.hpp"
 #include "origami/common/flags.hpp"
 
@@ -60,7 +63,18 @@ cluster::ReplayOptions paper_options() {
 cluster::ReplayOptions options_from_argv(int argc, const char* const* argv,
                                          cluster::ReplayOptions base) {
   const common::Flags flags(argc, argv);
-  return cluster::options_from_flags(flags, base);
+  auto parsed = cluster::options_from_flags(flags, std::move(base));
+  if (!parsed.is_ok()) {
+    // Benches must fail fast on a typoed fault/commit knob rather than
+    // silently producing fault-free numbers under the wrong label.
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "see cluster::options_from_flags for the shared --fault-* / "
+                 "--retry-* / --commit-* vocabulary\n",
+                 parsed.status().to_string().c_str());
+    std::exit(2);
+  }
+  return std::move(parsed).value();
 }
 
 core::TrainedModels train_for(const wl::Trace& training_trace,

@@ -52,6 +52,9 @@ struct EngineCore {
   mds::DataCluster data;
   common::Xoshiro256 jitter_rng;
   const bool faults_on;
+  /// Group-committed journaling (CommitMode::kAsync with faults armed);
+  /// false keeps every sync-mode run bit-identical to earlier trees.
+  const bool async_commit;
   std::vector<mds::MdsServer> servers;
   std::vector<std::unique_ptr<mds::InodeStore>> stores;  // when kv_backing
 
@@ -117,6 +120,13 @@ class ExecEngine {
   void finish(std::size_t slot);
 
  private:
+  /// Async commit: flush when the batch threshold is reached, or arm the
+  /// commit-window timer when this append opened a fresh batch.
+  void schedule_group_commit(std::uint32_t mds);
+  /// Group-commits one journal's buffer; the fsync cost is charged to the
+  /// MDS as background service, off every op's critical path.
+  void flush_journal(std::uint32_t mds);
+
   EngineCore& core_;
   const RequestPlanner& planner_;
   FailoverEngine* failover_ = nullptr;

@@ -60,6 +60,13 @@ struct RobustnessStats {
   std::uint64_t recovery_windows = 0;    ///< journal-replay outage windows
   sim::SimTime recovery_window_time = 0; ///< summed replay-window duration
   sim::SimTime recovery_queue_time = 0;  ///< request wait behind recovery
+
+  // Async-commit counters (zero in sync mode).
+  std::uint64_t group_commits = 0;        ///< batched WAL flush passes
+  std::uint64_t group_commit_records = 0; ///< op records flushed in batches
+  std::uint64_t acked_lost_ops = 0;   ///< acked records swept by a crash
+  std::uint64_t unacked_lost_ops = 0; ///< unacked records swept by a crash
+  sim::SimTime max_commit_lag = 0;    ///< worst ack-to-durable exposure
 };
 
 /// Complete result of one replay. All rates use the virtual clock.

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "origami/common/flags.hpp"
+#include "origami/common/status.hpp"
 #include "origami/cost/cost_model.hpp"
 #include "origami/fault/fault.hpp"
 #include "origami/mds/data_cluster.hpp"
@@ -67,11 +68,17 @@ struct ReplayOptions {
 std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec);
 
 /// Applies the shared command-line vocabulary (--mds, --clients, --epoch-ms,
-/// --cache*, --data-path, --kv-backing, every --fault-* / --retry-* knob) on
-/// top of `base`. Flags that are absent leave the corresponding `base` value
-/// untouched, so callers keep their own defaults (origami_sim's 500 ms
-/// epochs, the benches' paper presets) while sharing one parser.
-ReplayOptions options_from_flags(const common::Flags& flags,
-                                 ReplayOptions base = {});
+/// --cache*, --data-path, --kv-backing, every --fault-* / --retry-* /
+/// --commit-* knob) on top of `base`. Flags that are absent leave the
+/// corresponding `base` value untouched, so callers keep their own defaults
+/// (origami_sim's 500 ms epochs, the benches' paper presets) while sharing
+/// one parser.
+///
+/// Returns `kInvalidArgument` listing every `--fault-*` / `--retry-*` /
+/// `--commit-*` flag this parser does not recognize (a typoed fault knob
+/// must fail fast, not silently run the fault-free configuration), and for
+/// out-of-vocabulary `--commit-mode` values.
+common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
+                                                 ReplayOptions base = {});
 
 }  // namespace origami::cluster

@@ -50,6 +50,10 @@ struct LiveReplayOptions {
   /// deterministic (seed, epoch, shard) streams as the simulator.
   fault::FaultPlan faults;
   fault::RetryPolicy retry;
+  /// Journaling model, including the commit mode. With
+  /// `CommitMode::kAsync`, `commit_window` is measured on the live clock —
+  /// i.e. in *operations*, not nanoseconds — and a per-op sweep flushes any
+  /// shard whose oldest buffered record has aged past it.
   recovery::RecoveryParams recovery;
 };
 

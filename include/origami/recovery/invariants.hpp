@@ -45,7 +45,24 @@ struct RecoveryLedger {
   /// File inodes hashed independently of their parent (they never migrate,
   /// so ownership invariants apply to directory fragments only).
   bool hash_file_inodes = false;
+  /// Async-commit runs: the configured durability contract and the per-MDS
+  /// (acked_at, durable_at, lost_at) histories, for I6–I8. Empty/false in
+  /// sync mode.
+  bool async_commit = false;
+  sim::SimTime commit_window = 0;
+  std::uint32_t commit_batch = 0;
+  std::vector<std::vector<DurabilityWindow::OpRecord>> durability;
 };
+
+/// Global durability accounting for an async-commit run: every acked op is
+/// classified as durable or lost (an op with both a lost buffered record
+/// and a durable copy elsewhere — e.g. from a retry — counts as durable).
+struct DurabilityAudit {
+  std::uint64_t acked_durable = 0;  ///< acked ops with a durable record
+  std::uint64_t acked_lost = 0;     ///< acked ops missing from every journal
+  std::uint64_t unacked_lost_records = 0;  ///< never-acked records dropped
+};
+[[nodiscard]] DurabilityAudit audit_durability(const RecoveryLedger& ledger);
 
 /// Audits a finished run against the global namespace invariants:
 ///   I1  every node is owned by exactly one MDS that is live at run end;
@@ -61,7 +78,17 @@ struct RecoveryLedger {
 ///   I5  journal seqnos are strictly increasing within each MDS journal and
 ///       live records sit above the checkpoint watermark;
 ///   I6  every acknowledged mutation survives in some journal, either live
-///       or folded into a checkpoint — nothing acked is lost.
+///       or folded into a checkpoint — nothing acked is lost. In async
+///       mode an acked mutation may instead be *reported* lost (a crash
+///       swept it out of a commit buffer before the flush); a missing op
+///       with no loss report is still a violation — losses are never
+///       silent;
+///   I7  no durable op may be lost: every record a group-commit flush made
+///       durable is present in some journal, live or checkpointed;
+///   I8  acked-but-lost ops are bounded by the configured durability
+///       window: each lost record's buffered lifetime is at most
+///       `commit_window`, and no single crash loses more than
+///       `commit_batch` records from one MDS.
 class NamespaceInvariantChecker {
  public:
   struct Report {

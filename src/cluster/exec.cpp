@@ -23,6 +23,8 @@ EngineCore::EngineCore(const wl::Trace& trace_in, const ReplayOptions& options,
       data(options.data_params),
       jitter_rng(options.seed ^ 0x5eedULL),
       faults_on(options.faults.enabled()),
+      async_commit(faults_on && options.recovery.commit_mode ==
+                                    recovery::CommitMode::kAsync),
       dir_stats(trace_in.tree.size()) {
   for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
     servers.emplace_back(i, opt.mds_params);
@@ -207,9 +209,14 @@ void ExecEngine::hop(std::size_t slot) {
   }
   if (core_.faults_on && fl.plan.op_id != 0 &&
       (v.role == VisitRole::kExec || v.role == VisitRole::kCoord)) {
-    // Frame the mutation to this MDS's journal before acknowledging it;
-    // the fsync (and any checkpoint) cost rides on the service time.
-    service += core_.journals[v.mds].append_op(fl.plan.op_id, v.node);
+    // Frame the mutation to this MDS's journal before acknowledging it.
+    // Sync mode: the fsync (and any checkpoint) cost rides on the service
+    // time. Async mode: the record lands in the commit buffer for free and
+    // a group commit pays the fsync later, off the critical path.
+    service +=
+        core_.journals[v.mds].append_op(fl.plan.op_id, v.node,
+                                        core_.queue.now());
+    if (core_.async_commit) schedule_group_commit(v.mds);
   }
   const SimTime done = server.serve(core_.queue.now(), service);
   if (core_.faults_on && core_.opt.recovery.fencing &&
@@ -298,6 +305,31 @@ void ExecEngine::advance(std::size_t slot, SimTime done) {
   core_.queue.schedule_at(reply_at, [this, slot] { finish(slot); });
 }
 
+void ExecEngine::schedule_group_commit(std::uint32_t mds) {
+  recovery::MetadataJournal& journal = core_.journals[mds];
+  const std::size_t pending = journal.pending_records();
+  if (pending >= core_.opt.recovery.commit_batch) {
+    flush_journal(mds);
+    return;
+  }
+  if (pending == 1) {
+    // First record of a fresh batch: arm the commit-window timer. The
+    // generation guard turns the timer into a no-op if a batch flush or a
+    // crash already dispatched (or dropped) this batch.
+    const std::uint64_t gen = journal.flush_generation();
+    core_.queue.schedule_after(
+        core_.opt.recovery.commit_window, [this, mds, gen] {
+          if (core_.journals[mds].flush_generation() != gen) return;
+          flush_journal(mds);
+        });
+  }
+}
+
+void ExecEngine::flush_journal(std::uint32_t mds) {
+  const SimTime cost = core_.journals[mds].flush(core_.queue.now());
+  if (cost > 0) core_.servers[mds].serve(core_.queue.now(), cost);
+}
+
 void ExecEngine::finish(std::size_t slot) {
   InFlight& fl = core_.pool[slot];
   const SimTime latency = core_.queue.now() - fl.issued;
@@ -313,6 +345,16 @@ void ExecEngine::finish(std::size_t slot) {
   // exec visit) must outlive any later crash — audited as invariant I6.
   if (core_.ledger && fl.plan.op_id != 0) {
     core_.ledger->acked_mutations.push_back(fl.plan.op_id);
+  }
+  if (core_.async_commit && fl.plan.op_id != 0) {
+    // Stamp acked_at on every journal that framed this op (the durability
+    // window needs the client-visible completion time to classify a later
+    // crash as acked-but-lost vs unacked-and-lost).
+    for (const Visit& vv : fl.plan.visits) {
+      if (vv.role == VisitRole::kExec || vv.role == VisitRole::kCoord) {
+        core_.journals[vv.mds].note_acked(fl.plan.op_id, core_.queue.now());
+      }
+    }
   }
 
   const std::uint32_t client = fl.client;

@@ -93,6 +93,13 @@ void FailoverEngine::on_crash(const fault::FaultWindow& w) {
   if (core_.active_clients == 0) return;
   ++core_.result.faults.crashes;
   core_.servers[w.mds].crash(core_.queue.now(), w.until);
+  if (core_.async_commit) {
+    // The commit buffer dies with the process: records waiting for their
+    // group commit vanish, including ones whose op already acked. The
+    // durability window classifies them; finalize_run and the checker
+    // (I6–I8) account for every one — nothing is dropped silently.
+    (void)core_.journals[w.mds].crash_drop_pending(core_.queue.now());
+  }
   // The append in flight at the crash instant dies half-written; recovery
   // replay truncates it (it was never acknowledged, so nothing is lost).
   core_.journals[w.mds].simulate_torn_write();
@@ -126,7 +133,7 @@ void FailoverEngine::failover_from(MdsId down) {
     ++moved_dirs;
     journal_charge[best] += core_.journals[best].append_migration(
         recovery::JournalRecordKind::kFailover, d, down, best,
-        core_.partition.ownership_epoch(d));
+        core_.partition.ownership_epoch(d), now);
   }
   // The crashed MDS's journal is scanned exactly once per crash, even when
   // it owned nothing at the crash instant (a re-crash while its fragments
@@ -180,7 +187,7 @@ void FailoverEngine::on_recover(MdsId mds) {
         ++core_.result.faults.restored_dirs;
         restore_charge += core_.journals[mds].append_migration(
             recovery::JournalRecordKind::kRestore, e.dir, e.assigned, mds,
-            core_.partition.ownership_epoch(e.dir));
+            core_.partition.ownership_epoch(e.dir), core_.queue.now());
       }
     }
   }

@@ -14,10 +14,11 @@ TwoPhaseLog::Charges TwoPhaseLog::record(
     recovery::MetadataJournal* to_journal, recovery::RecoveryLedger* ledger) {
   Charges c;
   if (from_journal != nullptr) {
-    c.from = from_journal->append_migration(kind, subtree, from, to, epoch);
+    c.from =
+        from_journal->append_migration(kind, subtree, from, to, epoch, now);
   }
   if (to_journal != nullptr) {
-    c.to = to_journal->append_migration(kind, subtree, from, to, epoch);
+    c.to = to_journal->append_migration(kind, subtree, from, to, epoch, now);
   }
   if (ledger != nullptr) {
     ledger->migrations.push_back({kind, subtree, from, to, epoch, now});

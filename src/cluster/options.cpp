@@ -31,8 +31,49 @@ std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
   return out;
 }
 
-ReplayOptions options_from_flags(const common::Flags& flags,
-                                 ReplayOptions base) {
+namespace {
+
+/// The --fault-* / --retry-* / --commit-* vocabulary this parser owns. A
+/// flag with one of these prefixes that is not listed here is a typo, and
+/// typos in fault knobs must not silently run the fault-free config.
+constexpr const char* kOwnedFlags[] = {
+    "fault-seed",           "fault-crash-prob",    "fault-recovery-ms",
+    "fault-straggler-prob", "fault-straggler-slow", "fault-straggler-ms",
+    "fault-loss-prob",      "fault-corrupt-prob",  "fault-crash-at",
+    "retry-max",            "retry-timeout-ms",    "retry-backoff-ms",
+    "retry-backoff-cap-ms", "commit-mode",         "commit-window",
+    "commit-batch",
+};
+
+bool owned_prefix(const std::string& name) {
+  return name.rfind("fault-", 0) == 0 || name.rfind("retry-", 0) == 0 ||
+         name.rfind("commit-", 0) == 0;
+}
+
+}  // namespace
+
+common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
+                                                 ReplayOptions base) {
+  std::string unknown;
+  for (const std::string& name : flags.names()) {
+    if (!owned_prefix(name)) continue;
+    bool known = false;
+    for (const char* owned : kOwnedFlags) {
+      if (name == owned) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (!unknown.empty()) {
+    return common::Status::invalid_argument("unrecognized flag(s): " +
+                                            unknown);
+  }
+
   ReplayOptions opt = std::move(base);
   if (flags.has("mds")) {
     opt.mds_count = static_cast<std::uint32_t>(flags.get_int("mds", 5));
@@ -106,6 +147,26 @@ ReplayOptions options_from_flags(const common::Flags& flags,
   if (flags.has("retry-backoff-cap-ms")) {
     retry.backoff_cap =
         sim::millis(flags.get_double("retry-backoff-cap-ms", 50.0));
+  }
+
+  recovery::RecoveryParams& rec = opt.recovery;
+  if (flags.has("commit-mode")) {
+    const std::string mode = flags.get("commit-mode", "sync");
+    if (mode == "sync") {
+      rec.commit_mode = recovery::CommitMode::kSync;
+    } else if (mode == "async") {
+      rec.commit_mode = recovery::CommitMode::kAsync;
+    } else {
+      return common::Status::invalid_argument(
+          "bad --commit-mode '" + mode + "' (expected sync or async)");
+    }
+  }
+  if (flags.has("commit-window")) {
+    rec.commit_window = sim::millis(flags.get_double("commit-window", 2.0));
+  }
+  if (flags.has("commit-batch")) {
+    rec.commit_batch =
+        static_cast<std::uint32_t>(flags.get_int("commit-batch", 64));
   }
   return opt;
 }

@@ -87,10 +87,34 @@ void finalize_run(EngineCore& core) {
       result.faults.time_down += s.time_down();
       result.faults.time_degraded += s.time_degraded();
     }
+    if (core.async_commit) {
+      // Clean shutdown: the surviving commit buffers flush, so only
+      // crash-dropped records remain non-durable. No cost is charged —
+      // the workload is already drained.
+      for (auto& j : core.journals) {
+        (void)j.flush(core.queue.now());
+      }
+    }
     for (const auto& j : core.journals) {
       result.faults.journal_records += j.appended();
       result.faults.journal_checkpoints += j.checkpoints();
       result.faults.torn_tail_truncations += j.torn_truncations();
+    }
+    if (core.async_commit) {
+      for (const auto& j : core.journals) {
+        result.faults.group_commits += j.group_commits();
+        result.faults.group_commit_records += j.group_commit_records();
+        result.faults.max_commit_lag = std::max(
+            result.faults.max_commit_lag, j.durability().max_ack_to_durable());
+        for (const auto& rec : j.durability().history()) {
+          if (rec.lost_at == recovery::DurabilityWindow::kNever) continue;
+          if (rec.acked_at != recovery::DurabilityWindow::kNever) {
+            ++result.faults.acked_lost_ops;
+          } else {
+            ++result.faults.unacked_lost_ops;
+          }
+        }
+      }
     }
   }
 
@@ -153,6 +177,15 @@ void finalize_run(EngineCore& core) {
     core.ledger->journals.reserve(core.journals.size());
     for (const auto& j : core.journals) {
       core.ledger->journals.push_back(j.snapshot());
+    }
+    if (core.async_commit) {
+      core.ledger->async_commit = true;
+      core.ledger->commit_window = core.opt.recovery.commit_window;
+      core.ledger->commit_batch = core.opt.recovery.commit_batch;
+      core.ledger->durability.reserve(core.journals.size());
+      for (const auto& j : core.journals) {
+        core.ledger->durability.push_back(j.durability().history());
+      }
     }
     result.ledger = core.ledger;
   }

@@ -68,6 +68,8 @@ class LiveEngine final : public LiveFaultContext {
         fsys_(fsys),
         opt_(opt),
         faults_on_(opt.faults.enabled()),
+        async_(faults_on_ && opt.recovery.commit_mode ==
+                                 recovery::CommitMode::kAsync),
         injector_(opt.faults, fsys.shard_count()),
         loss_rng_(opt.faults.seed ^ 0x11febeefULL),
         mat_(trace.tree, fsys) {
@@ -90,6 +92,9 @@ class LiveEngine final : public LiveFaultContext {
     for (std::size_t i = 0; i < trace_.ops.size(); ++i) {
       t_ = static_cast<sim::SimTime>(i);
       if (faults_on_) advance_faults();
+      // The op-index clock has no timers; sweep for commit windows that
+      // aged out (after faults, so a crash sweeps its buffer first).
+      if (async_) flush_due();
 
       const wl::MetaOp& op = trace_.ops[i];
       const fsns::NodeId home_node = trace_.tree.is_dir(op.target)
@@ -222,6 +227,12 @@ class LiveEngine final : public LiveFaultContext {
     down_[s] = true;
     down_until_[s] = until;
     timeline_.note(s, t_, until);
+    if (async_) {
+      // The commit buffer dies with the shard; the durability window
+      // classifies the swept records (acked-but-lost vs unacked-and-lost)
+      // and finalize() rolls them into the stats.
+      (void)journals_[s].crash_drop_pending(t_);
+    }
     journals_[s].simulate_torn_write();
 
     // Fail the dead shard's fragments over to the least-loaded survivors,
@@ -333,8 +344,27 @@ class LiveEngine final : public LiveFaultContext {
     const Ino home = mat_.ino_of(home_node);
     if (home == kInvalidIno) return;
     const std::uint64_t op_id = ++next_op_id_;
-    journals_[fsys_.dir_shard(home)].append_op(
-        op_id, static_cast<fsns::NodeId>(home));
+    recovery::MetadataJournal& journal = journals_[fsys_.dir_shard(home)];
+    journal.append_op(op_id, static_cast<fsns::NodeId>(home), t_);
+    if (async_) {
+      // Live calls return synchronously, so the ack lands with the append;
+      // durability still waits for the group commit.
+      journal.note_acked(op_id, t_);
+      if (journal.pending_records() >= opt_.recovery.commit_batch) {
+        (void)journal.flush(t_);
+      }
+    }
+  }
+
+  /// Async mode: group-commit every shard whose oldest buffered record has
+  /// aged past the commit window (measured in operations on this clock).
+  void flush_due() {
+    for (recovery::MetadataJournal& journal : journals_) {
+      if (journal.pending_records() == 0) continue;
+      if (t_ - journal.oldest_pending_at() >= opt_.recovery.commit_window) {
+        (void)journal.flush(t_);
+      }
+    }
   }
 
   common::Status execute(const wl::MetaOp& op) {
@@ -417,10 +447,28 @@ class LiveEngine final : public LiveFaultContext {
       loads.push_back(static_cast<double>(st.lookups + st.mutations));
     }
     stats_.shard_imbalance = cost::imbalance_factor(loads);
+    if (async_) {
+      // Clean shutdown: surviving buffers flush, so only crash-dropped
+      // records stay non-durable.
+      for (recovery::MetadataJournal& j : journals_) (void)j.flush(t_);
+    }
     for (const recovery::MetadataJournal& j : journals_) {
       stats_.faults.journal_records += j.appended();
       stats_.faults.journal_checkpoints += j.checkpoints();
       stats_.faults.torn_tail_truncations += j.torn_truncations();
+      if (!async_) continue;
+      stats_.faults.group_commits += j.group_commits();
+      stats_.faults.group_commit_records += j.group_commit_records();
+      stats_.faults.max_commit_lag = std::max(
+          stats_.faults.max_commit_lag, j.durability().max_ack_to_durable());
+      for (const auto& rec : j.durability().history()) {
+        if (rec.lost_at == recovery::DurabilityWindow::kNever) continue;
+        if (rec.acked_at != recovery::DurabilityWindow::kNever) {
+          ++stats_.faults.acked_lost_ops;
+        } else {
+          ++stats_.faults.unacked_lost_ops;
+        }
+      }
     }
   }
 
@@ -428,6 +476,7 @@ class LiveEngine final : public LiveFaultContext {
   OrigamiFs& fsys_;
   const LiveReplayOptions& opt_;
   bool faults_on_;
+  bool async_;  ///< group-committed journaling (kAsync with faults armed)
   fault::FaultInjector injector_;
   common::Xoshiro256 loss_rng_;
   Materialiser mat_;

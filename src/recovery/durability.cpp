@@ -1,0 +1,58 @@
+#include "origami/recovery/durability.hpp"
+
+#include <algorithm>
+
+namespace origami::recovery {
+
+void DurabilityWindow::on_append(std::uint64_t op_id, sim::SimTime at) {
+  const std::size_t ix = history_.size();
+  OpRecord rec;
+  rec.op_id = op_id;
+  rec.appended_at = at;
+  history_.push_back(rec);
+  open_.push_back(ix);
+  awaiting_ack_[op_id].push_back(ix);
+}
+
+void DurabilityWindow::on_ack(std::uint64_t op_id, sim::SimTime at) {
+  const auto it = awaiting_ack_.find(op_id);
+  if (it == awaiting_ack_.end()) {
+    return;
+  }
+  for (const std::size_t ix : it->second) {
+    OpRecord& rec = history_[ix];
+    if (rec.acked_at == kNever) {
+      rec.acked_at = at;
+    }
+  }
+  awaiting_ack_.erase(it);
+}
+
+void DurabilityWindow::on_flush(sim::SimTime at) {
+  for (const std::size_t ix : open_) {
+    OpRecord& rec = history_[ix];
+    rec.durable_at = at;
+    if (rec.acked_at != kNever && rec.acked_at < at) {
+      // The record was exposed: client saw success before durability.
+      max_lag_ = std::max(max_lag_, at - rec.acked_at);
+    }
+  }
+  open_.clear();
+}
+
+DurabilityWindow::LossReport DurabilityWindow::on_crash(sim::SimTime at) {
+  LossReport report;
+  for (const std::size_t ix : open_) {
+    OpRecord& rec = history_[ix];
+    rec.lost_at = at;
+    if (rec.acked_at != kNever) {
+      report.acked_lost.push_back(rec);
+    } else {
+      ++report.unacked_lost;
+    }
+  }
+  open_.clear();
+  return report;
+}
+
+}  // namespace origami::recovery

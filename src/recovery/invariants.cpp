@@ -213,8 +213,7 @@ void check_journal_seqnos(const RecoveryLedger& ledger,
   }
 }
 
-void check_acked_durability(const RecoveryLedger& ledger,
-                            std::vector<std::string>& out) {
+std::unordered_set<std::uint64_t> durable_op_ids(const RecoveryLedger& ledger) {
   std::unordered_set<std::uint64_t> durable;
   for (const MetadataJournal::View& view : ledger.journals) {
     for (const JournalRecord& rec : view.live) {
@@ -222,22 +221,127 @@ void check_acked_durability(const RecoveryLedger& ledger,
     }
     durable.insert(view.checkpointed_ops.begin(), view.checkpointed_ops.end());
   }
+  return durable;
+}
+
+/// Op ids whose loss a crash reported through a durability history.
+std::unordered_set<std::uint64_t> reported_lost_op_ids(
+    const RecoveryLedger& ledger) {
+  std::unordered_set<std::uint64_t> reported;
+  for (const auto& history : ledger.durability) {
+    for (const DurabilityWindow::OpRecord& rec : history) {
+      if (rec.lost_at != DurabilityWindow::kNever) reported.insert(rec.op_id);
+    }
+  }
+  return reported;
+}
+
+void check_acked_durability(const RecoveryLedger& ledger,
+                            std::vector<std::string>& out) {
+  const std::unordered_set<std::uint64_t> durable = durable_op_ids(ledger);
+  const std::unordered_set<std::uint64_t> reported =
+      ledger.async_commit ? reported_lost_op_ids(ledger)
+                          : std::unordered_set<std::uint64_t>{};
   std::size_t lost = 0;
   std::uint64_t first_lost = 0;
   for (std::uint64_t op : ledger.acked_mutations) {
     if (durable.count(op) == 0) {
+      // Async mode tolerates acked-but-lost ops only when the crash path
+      // reported them; a silent drop is a violation in either mode.
+      if (ledger.async_commit && reported.count(op) != 0) continue;
       if (lost++ == 0) first_lost = op;
     }
   }
   if (lost > 0) {
     std::ostringstream os;
     os << "I6: " << lost << " acknowledged mutation(s) missing from every "
-       << "journal (first lost op id " << first_lost << ")";
+       << "journal";
+    if (ledger.async_commit) os << " and never reported lost";
+    os << " (first lost op id " << first_lost << ")";
     out.push_back(os.str());
   }
 }
 
+void check_durable_retention(const RecoveryLedger& ledger,
+                             std::vector<std::string>& out) {
+  // I7: a record the flush pipeline made durable can never be lost — it
+  // must still be decodable from some journal, live or checkpointed.
+  if (ledger.durability.empty()) return;
+  const std::unordered_set<std::uint64_t> durable = durable_op_ids(ledger);
+  std::size_t lost = 0;
+  std::uint64_t first_lost = 0;
+  for (const auto& history : ledger.durability) {
+    for (const DurabilityWindow::OpRecord& rec : history) {
+      if (rec.durable_at == DurabilityWindow::kNever) continue;
+      if (durable.count(rec.op_id) == 0) {
+        if (lost++ == 0) first_lost = rec.op_id;
+      }
+    }
+  }
+  if (lost > 0) {
+    std::ostringstream os;
+    os << "I7: " << lost << " op(s) made durable by a group commit are "
+       << "missing from every journal (first op id " << first_lost << ")";
+    out.push_back(os.str());
+  }
+}
+
+void check_bounded_acked_loss(const RecoveryLedger& ledger,
+                              std::vector<std::string>& out) {
+  // I8: a lost record's buffered lifetime may never exceed the configured
+  // commit window (the flush timer would have fired first), and one crash
+  // may not sweep more records off an MDS than the batch threshold allows.
+  if (!ledger.async_commit) return;
+  for (std::size_t mds = 0; mds < ledger.durability.size(); ++mds) {
+    // Lost records grouped per crash instant on this MDS.
+    std::unordered_map<sim::SimTime, std::uint64_t> per_crash;
+    for (const DurabilityWindow::OpRecord& rec : ledger.durability[mds]) {
+      if (rec.lost_at == DurabilityWindow::kNever) continue;
+      ++per_crash[rec.lost_at];
+      const sim::SimTime age = rec.lost_at - rec.appended_at;
+      if (ledger.commit_window > 0 && age > ledger.commit_window) {
+        std::ostringstream os;
+        os << "I8: mds " << mds << " lost op " << rec.op_id
+           << " after it sat buffered for " << age
+           << " (> commit window " << ledger.commit_window << ")";
+        out.push_back(os.str());
+        return;
+      }
+    }
+    for (const auto& [at, count] : per_crash) {
+      if (ledger.commit_batch > 0 && count > ledger.commit_batch) {
+        std::ostringstream os;
+        os << "I8: mds " << mds << " crash at " << at << " lost " << count
+           << " records (> commit batch " << ledger.commit_batch << ")";
+        out.push_back(os.str());
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
+
+DurabilityAudit audit_durability(const RecoveryLedger& ledger) {
+  DurabilityAudit audit;
+  const std::unordered_set<std::uint64_t> durable = durable_op_ids(ledger);
+  for (std::uint64_t op : ledger.acked_mutations) {
+    if (durable.count(op) != 0) {
+      ++audit.acked_durable;
+    } else {
+      ++audit.acked_lost;
+    }
+  }
+  for (const auto& history : ledger.durability) {
+    for (const DurabilityWindow::OpRecord& rec : history) {
+      if (rec.lost_at != DurabilityWindow::kNever &&
+          rec.acked_at == DurabilityWindow::kNever) {
+        ++audit.unacked_lost_records;
+      }
+    }
+  }
+  return audit;
+}
 
 std::string NamespaceInvariantChecker::Report::to_string() const {
   std::string joined;
@@ -257,6 +361,8 @@ NamespaceInvariantChecker::Report NamespaceInvariantChecker::check(
   check_two_phase(ledger, report.violations);
   check_journal_seqnos(ledger, report.violations);
   check_acked_durability(ledger, report.violations);
+  check_durable_retention(ledger, report.violations);
+  check_bounded_acked_loss(ledger, report.violations);
   return report;
 }
 

@@ -71,13 +71,24 @@ sim::SimTime MetadataJournal::append_record(const JournalRecord& rec) {
   return cost;
 }
 
-sim::SimTime MetadataJournal::append_op(std::uint64_t op_id,
-                                        fsns::NodeId node) {
+sim::SimTime MetadataJournal::append_op(std::uint64_t op_id, fsns::NodeId node,
+                                        sim::SimTime now) {
   JournalRecord rec;
   rec.kind = JournalRecordKind::kOp;
   rec.seqno = ++seqno_;
   rec.op_id = op_id;
   rec.node = node;
+  if (params_.commit_mode == CommitMode::kAsync) {
+    // Memtable-apply path: buffer the framed record and complete without a
+    // durability charge. flush() pays one fsync for the whole batch.
+    PendingRecord pending;
+    encode_payload(rec, pending.key, pending.value);
+    pending.seqno = rec.seqno;
+    pending_.push_back(std::move(pending));
+    ++appended_;
+    window_.on_append(op_id, now);
+    return 0;
+  }
   return append_record(rec);
 }
 
@@ -85,7 +96,8 @@ sim::SimTime MetadataJournal::append_migration(JournalRecordKind kind,
                                                fsns::NodeId subtree,
                                                std::uint32_t from,
                                                std::uint32_t to,
-                                               std::uint32_t epoch) {
+                                               std::uint32_t epoch,
+                                               sim::SimTime now) {
   JournalRecord rec;
   rec.kind = kind;
   rec.seqno = ++seqno_;
@@ -93,7 +105,44 @@ sim::SimTime MetadataJournal::append_migration(JournalRecordKind kind,
   rec.from = from;
   rec.to = to;
   rec.epoch = epoch;
-  return append_record(rec);
+  // Async mode: protocol records must hit the WAL behind every buffered op
+  // so WAL order stays seqno order (invariant I5); flush the batch first.
+  sim::SimTime cost = 0;
+  if (params_.commit_mode == CommitMode::kAsync) cost += flush(now);
+  return cost + append_record(rec);
+}
+
+void MetadataJournal::note_acked(std::uint64_t op_id, sim::SimTime now) {
+  if (params_.commit_mode != CommitMode::kAsync) return;
+  window_.on_ack(op_id, now);
+}
+
+sim::SimTime MetadataJournal::flush(sim::SimTime now) {
+  if (pending_.empty()) return 0;
+  for (const PendingRecord& p : pending_) {
+    (void)wal_.append(kv::WalRecordType::kPut, p.key, p.value, p.seqno);
+  }
+  const std::uint64_t flushed = pending_.size();
+  pending_.clear();
+  ++flush_gen_;
+  ++group_commits_;
+  group_commit_records_ += flushed;
+  since_checkpoint_ += flushed;
+  window_.on_flush(now);
+  sim::SimTime cost = params_.t_fsync;
+  if (params_.checkpoint_every > 0 &&
+      since_checkpoint_ >= params_.checkpoint_every) {
+    cost += checkpoint();
+  }
+  return cost;
+}
+
+DurabilityWindow::LossReport MetadataJournal::crash_drop_pending(
+    sim::SimTime now) {
+  if (pending_.empty()) return {};
+  pending_.clear();
+  ++flush_gen_;
+  return window_.on_crash(now);
 }
 
 void MetadataJournal::simulate_torn_write() {
@@ -138,6 +187,10 @@ sim::SimTime MetadataJournal::checkpoint() {
         }
       },
       &stats);
+  // A crash can land inside the checkpoint fold itself: the replay then
+  // truncates the torn tail, and that truncation must be accounted like
+  // any other so the audit sees every drop.
+  if (stats.torn_tail) ++torn_truncations_;
   (void)wal_.reset();
   checkpoint_seqno_ = seqno_;
   since_checkpoint_ = 0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "origami/cluster/replay.hpp"
+#include "origami/common/flags.hpp"
 #include "origami/wl/generators.hpp"
 
 namespace origami::cluster {
@@ -228,6 +229,51 @@ TEST(Replay, StaleCacheForwardsAfterMigration) {
   OneShotMigrator balancer(src);
   const RunResult r = replay_trace(trace, opt, balancer);
   EXPECT_GT(r.cache.stale, 0u);
+}
+
+// --------------------------------------------------------- shared CLI flags --
+
+common::Result<ReplayOptions> parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"test"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  const common::Flags flags(static_cast<int>(argv.size()), argv.data());
+  return options_from_flags(flags);
+}
+
+TEST(OptionsFromFlags, ParsesCommitVocabulary) {
+  auto parsed = parse({"--fault-crash-prob", "0.1", "--commit-mode", "async",
+                       "--commit-window", "1.5", "--commit-batch", "32"});
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const ReplayOptions opt = std::move(parsed).value();
+  EXPECT_EQ(opt.recovery.commit_mode, recovery::CommitMode::kAsync);
+  EXPECT_EQ(opt.recovery.commit_window, sim::millis(1.5));
+  EXPECT_EQ(opt.recovery.commit_batch, 32u);
+
+  auto sync = parse({"--commit-mode", "sync"});
+  ASSERT_TRUE(sync.is_ok());
+  EXPECT_EQ(std::move(sync).value().recovery.commit_mode,
+            recovery::CommitMode::kSync);
+}
+
+TEST(OptionsFromFlags, RejectsUnknownOwnedFlags) {
+  // A typo inside the owned --fault-*/--retry-*/--commit-* prefixes must
+  // fail fast, naming every offender — not silently run a different
+  // experiment under the right label.
+  auto parsed = parse({"--fault-crash-prb", "0.1", "--commit-windw", "2"});
+  ASSERT_FALSE(parsed.is_ok());
+  const std::string msg = parsed.status().to_string();
+  EXPECT_NE(msg.find("--fault-crash-prb"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("--commit-windw"), std::string::npos) << msg;
+
+  // Flags outside the owned prefixes belong to the caller: not an error.
+  auto foreign = parse({"--smoke", "--ops", "1000"});
+  EXPECT_TRUE(foreign.is_ok());
+}
+
+TEST(OptionsFromFlags, RejectsBadCommitMode) {
+  auto parsed = parse({"--commit-mode", "eventually"});
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().to_string().find("eventually"), std::string::npos);
 }
 
 }  // namespace

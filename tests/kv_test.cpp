@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -293,6 +295,83 @@ TEST(Wal, FileBackedTornTailTruncatedOnDisk) {
   EXPECT_EQ(stats2.records, 1u);
   EXPECT_FALSE(stats2.torn_tail);
   std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailPropertyEveryTruncationOffset) {
+  // Property: for a crash that truncates the log at ANY byte offset inside
+  // the final record, replay must deliver exactly the durable prefix — no
+  // crash, no phantom record, no record invented from the severed bytes —
+  // and leave the log clean enough that appends work again.
+  const std::string full_path =
+      ::testing::TempDir() + "/origami_wal_prop_full.log";
+  const std::string cut_path =
+      ::testing::TempDir() + "/origami_wal_prop_cut.log";
+  std::remove(full_path.c_str());
+
+  std::size_t prefix_end = 0;  // byte size of the first 4 records
+  {
+    WriteAheadLog wal(full_path);
+    // Varied key/value shapes, including an empty value and a long value,
+    // so the truncation sweep crosses every header field and body region.
+    ASSERT_TRUE(wal.append(WalRecordType::kPut, "k1", "v1", 1).is_ok());
+    ASSERT_TRUE(wal.append(WalRecordType::kDelete, "key-two", "", 2).is_ok());
+    ASSERT_TRUE(wal.append(WalRecordType::kPut, "k3", std::string(64, 'x'), 3)
+                    .is_ok());
+    ASSERT_TRUE(wal.append(WalRecordType::kPut, "", "empty-key", 4).is_ok());
+    prefix_end = wal.byte_size();
+    ASSERT_TRUE(
+        wal.append(WalRecordType::kPut, "final-key", "final-value", 5).is_ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(full_path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(in));
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>{});
+  }
+  ASSERT_GT(bytes.size(), prefix_end);
+
+  for (std::size_t cut = prefix_end; cut <= bytes.size(); ++cut) {
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    WriteAheadLog wal(cut_path);
+    WalReplayStats stats;
+    std::vector<std::uint64_t> seqnos;
+    ASSERT_TRUE(wal.replay(
+                       [&](WalRecordType, std::string_view, std::string_view,
+                           std::uint64_t seq) { seqnos.push_back(seq); },
+                       &stats)
+                    .is_ok())
+        << "cut at byte " << cut;
+    const bool whole = cut == prefix_end || cut == bytes.size();
+    const std::vector<std::uint64_t> expect =
+        cut == bytes.size() ? std::vector<std::uint64_t>{1, 2, 3, 4, 5}
+                            : std::vector<std::uint64_t>{1, 2, 3, 4};
+    EXPECT_EQ(seqnos, expect) << "cut at byte " << cut;
+    EXPECT_EQ(stats.torn_tail, !whole) << "cut at byte " << cut;
+    if (!whole) {
+      EXPECT_EQ(stats.dropped_bytes, cut - prefix_end)
+          << "cut at byte " << cut;
+    }
+    // The truncation left a writable log: one more append replays cleanly
+    // right behind the recovered prefix.
+    ASSERT_TRUE(wal.append(WalRecordType::kPut, "post", "crash", 9).is_ok());
+    WalReplayStats stats2;
+    std::vector<std::uint64_t> after;
+    ASSERT_TRUE(wal.replay(
+                       [&](WalRecordType, std::string_view, std::string_view,
+                           std::uint64_t seq) { after.push_back(seq); },
+                       &stats2)
+                    .is_ok());
+    EXPECT_FALSE(stats2.torn_tail) << "cut at byte " << cut;
+    ASSERT_FALSE(after.empty());
+    EXPECT_EQ(after.back(), 9u) << "cut at byte " << cut;
+    EXPECT_EQ(after.size(), expect.size() + 1) << "cut at byte " << cut;
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
 }
 
 TEST(Wal, ResetClears) {

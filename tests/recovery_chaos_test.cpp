@@ -142,5 +142,78 @@ TEST(RecoveryChaos, SweepHoldsNamespaceInvariants) {
               static_cast<unsigned long long>(runs_with_migrations));
 }
 
+// Async-commit chaos: the same schedules with group-committed journaling.
+// Beyond the namespace invariants this sweep audits the durability contract
+// on every run — I7 (nothing durable lost) and I8 (acked losses bounded by
+// the window and batch, reported per crash) — and checks that the sweep
+// actually loses acked records somewhere, so the I-checks aren't vacuous.
+TEST(RecoveryChaos, AsyncCommitSweepHoldsDurabilityContract) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = 15'000;
+  cfg.seed = 23;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+
+  std::uint64_t runs = 0;
+  std::uint64_t runs_with_group_commits = 0;
+  std::uint64_t total_acked_lost = 0;
+  std::uint64_t total_unacked_lost = 0;
+  for (Schedule sched : kSchedules) {
+    for (std::uint64_t seed = 0; seed < kSeedsPerSchedule; ++seed) {
+      const Strategy strat = kStrategies[(seed + static_cast<std::uint64_t>(
+                                                     sched)) %
+                                         std::size(kStrategies)];
+      cluster::ReplayOptions opt;
+      opt.mds_count = 4;
+      opt.clients = 16;
+      opt.epoch_length = sim::millis(200);
+      opt.warmup_epochs = 0;
+      opt.faults = plan_for(sched, seed);
+      opt.retry.timeout = sim::millis(2);
+      opt.recovery.commit_mode = recovery::CommitMode::kAsync;
+      // Rotate the contract so both the window and the batch threshold get
+      // to be the binding flush trigger across the sweep.
+      opt.recovery.commit_window = sim::millis(1 + seed % 3);
+      opt.recovery.commit_batch = (seed % 2 == 0) ? 32 : 512;
+
+      auto balancer = make_balancer(strat);
+      const auto r = cluster::replay_trace(trace, opt, *balancer);
+      ++runs;
+      runs_with_group_commits += r.faults.group_commits > 0;
+      total_acked_lost += r.faults.acked_lost_ops;
+      total_unacked_lost += r.faults.unacked_lost_ops;
+
+      EXPECT_EQ(r.completed_ops + r.faults.failed_ops, cfg.ops)
+          << schedule_name(sched) << " seed " << seed;
+
+      ASSERT_NE(r.ledger, nullptr);
+      ASSERT_TRUE(r.ledger->async_commit);
+      const auto report =
+          recovery::NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+      EXPECT_TRUE(report.ok())
+          << "schedule=" << schedule_name(sched) << " seed=" << seed
+          << " strategy=" << r.balancer_name << "\n"
+          << report.to_string();
+
+      // Per-run closure of the global accounting: acked ops partition into
+      // durable and (reported) lost.
+      const auto audit = recovery::audit_durability(*r.ledger);
+      EXPECT_EQ(audit.acked_durable + audit.acked_lost,
+                r.ledger->acked_mutations.size())
+          << schedule_name(sched) << " seed " << seed;
+      EXPECT_LE(audit.acked_lost, r.faults.acked_lost_ops)
+          << schedule_name(sched) << " seed " << seed;
+    }
+  }
+  EXPECT_EQ(runs, kSeedsPerSchedule * std::size(kSchedules));
+  EXPECT_EQ(runs_with_group_commits, runs);  // async journaling always runs
+  // Crash-heavy schedules must actually expose the durability window.
+  EXPECT_GT(total_acked_lost + total_unacked_lost, 0u);
+  std::printf("async chaos sweep: %llu runs, %llu acked-lost + %llu "
+              "unacked-lost records\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(total_acked_lost),
+              static_cast<unsigned long long>(total_unacked_lost));
+}
+
 }  // namespace
 }  // namespace origami

@@ -115,6 +115,146 @@ TEST(MetadataJournal, TornTailTruncatedAndReplayPriced) {
   EXPECT_EQ(again.dropped_bytes, 0u);
 }
 
+// ----------------------------------------------------------- async commit --
+
+RecoveryParams async_params() {
+  RecoveryParams p;
+  p.commit_mode = recovery::CommitMode::kAsync;
+  return p;
+}
+
+TEST(MetadataJournal, AsyncAppendsBufferUntilGroupCommit) {
+  const RecoveryParams p = async_params();
+  MetadataJournal j(p);
+  // Memtable-apply completion: no durability charge at append time.
+  EXPECT_EQ(j.append_op(1, 5, sim::micros(10)), 0);
+  EXPECT_EQ(j.append_op(2, 6, sim::micros(20)), 0);
+  EXPECT_EQ(j.pending_records(), 2u);
+  EXPECT_EQ(j.oldest_pending_at(), sim::micros(10));
+  EXPECT_TRUE(j.snapshot().live.empty());  // nothing in the WAL yet
+
+  // Op 1 is acked before the flush: it rides the durability window.
+  j.note_acked(1, sim::micros(12));
+  EXPECT_EQ(j.flush(sim::micros(30)), p.t_fsync);  // one fsync for the batch
+  EXPECT_EQ(j.pending_records(), 0u);
+  EXPECT_EQ(j.group_commits(), 1u);
+  EXPECT_EQ(j.group_commit_records(), 2u);
+  EXPECT_EQ(j.durability().max_ack_to_durable(), sim::micros(18));
+
+  const auto view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 2u);
+  EXPECT_EQ(view.live[0].op_id, 1u);
+  EXPECT_EQ(view.live[1].op_id, 2u);
+  EXPECT_LT(view.live[0].seqno, view.live[1].seqno);
+
+  // Nothing pending: a second flush is free and not a group commit.
+  EXPECT_EQ(j.flush(sim::micros(40)), 0);
+  EXPECT_EQ(j.group_commits(), 1u);
+}
+
+TEST(MetadataJournal, AsyncCrashDropsPendingAndClassifiesLosses) {
+  MetadataJournal j(async_params());
+  (void)j.append_op(1, 5, sim::micros(10));
+  (void)j.append_op(2, 6, sim::micros(20));
+  (void)j.append_op(3, 7, sim::micros(30));
+  j.note_acked(1, sim::micros(12));
+  j.note_acked(2, sim::micros(22));
+
+  const auto loss = j.crash_drop_pending(sim::micros(50));
+  ASSERT_EQ(loss.acked_lost.size(), 2u);
+  EXPECT_EQ(loss.unacked_lost, 1u);
+  EXPECT_EQ(loss.acked_lost[0].op_id, 1u);
+  EXPECT_EQ(loss.acked_lost[0].acked_at, sim::micros(12));
+  EXPECT_EQ(loss.acked_lost[0].lost_at, sim::micros(50));
+  EXPECT_EQ(j.pending_records(), 0u);
+  EXPECT_TRUE(j.snapshot().live.empty());  // the buffer never hit the WAL
+  // The drop bumped the generation, so a stale flush timer would no-op,
+  // and there is nothing left for a flush to commit.
+  EXPECT_EQ(j.flush_generation(), 1u);
+  EXPECT_EQ(j.flush(sim::micros(60)), 0);
+
+  // An ack that was in flight at the crash still lands in the history:
+  // finalization re-classifies op 3 as acked-but-lost from these stamps.
+  j.note_acked(3, sim::micros(70));
+  const auto& hist = j.durability().history();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[2].op_id, 3u);
+  EXPECT_EQ(hist[2].acked_at, sim::micros(70));
+  EXPECT_EQ(hist[2].lost_at, sim::micros(50));
+}
+
+TEST(MetadataJournal, AsyncMigrationRecordsFlushPendingFirst) {
+  const RecoveryParams p = async_params();
+  MetadataJournal j(p);
+  (void)j.append_op(1, 5, sim::micros(10));
+  (void)j.append_op(2, 6, sim::micros(20));
+  // Protocol records are durable on return: the pending batch group-commits
+  // first (one fsync) and the PREPARE pays its own (second fsync), so the
+  // WAL order stays seqno order for I5.
+  EXPECT_EQ(j.append_migration(JournalRecordKind::kPrepare, 9, 0, 1, 3,
+                               sim::micros(40)),
+            2 * p.t_fsync);
+  EXPECT_EQ(j.pending_records(), 0u);
+  EXPECT_EQ(j.group_commits(), 1u);
+
+  const auto view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 3u);
+  EXPECT_EQ(view.live[0].op_id, 1u);
+  EXPECT_EQ(view.live[1].op_id, 2u);
+  EXPECT_EQ(view.live[2].kind, JournalRecordKind::kPrepare);
+  EXPECT_LT(view.live[0].seqno, view.live[1].seqno);
+  EXPECT_LT(view.live[1].seqno, view.live[2].seqno);
+}
+
+// ------------------------------------------------------- checkpoint edges --
+
+TEST(MetadataJournal, CheckpointOnEmptyJournalIsConsistent) {
+  RecoveryParams p;
+  MetadataJournal j(p);
+  EXPECT_EQ(j.checkpoint_now(), p.t_checkpoint);
+  EXPECT_EQ(j.checkpoints(), 1u);
+
+  auto view = j.snapshot();
+  EXPECT_TRUE(view.live.empty());
+  EXPECT_TRUE(view.checkpointed_ops.empty());
+  EXPECT_EQ(view.checkpoint_seqno, 0u);
+
+  // Post-checkpoint appends land above the (zero) watermark and replay.
+  (void)j.append_op(1, 4);
+  view = j.snapshot();
+  ASSERT_EQ(view.live.size(), 1u);
+  EXPECT_GT(view.live[0].seqno, view.checkpoint_seqno);
+  const auto out = j.recover_replay();
+  EXPECT_EQ(out.replayed_records, 1u);
+  EXPECT_FALSE(out.torn_tail);
+}
+
+TEST(MetadataJournal, CrashInsideCheckpointTruncatesAndKeepsFoldedOps) {
+  RecoveryParams p;
+  MetadataJournal j(p);
+  (void)j.append_op(1, 5);
+  (void)j.append_op(2, 6);
+  (void)j.append_op(3, 7);
+  // The crash lands while the checkpoint fold is scanning the log: the torn
+  // partial record must be truncated AND accounted, while every complete
+  // op still folds into the summary.
+  j.simulate_torn_write();
+  EXPECT_EQ(j.checkpoint_now(), p.t_checkpoint);
+  EXPECT_EQ(j.torn_truncations(), 1u);
+
+  const auto view = j.snapshot();
+  EXPECT_TRUE(view.live.empty());
+  ASSERT_EQ(view.checkpointed_ops.size(), 3u);
+  EXPECT_EQ(view.checkpointed_ops[0], 1u);
+  EXPECT_EQ(view.checkpointed_ops[2], 3u);
+
+  // The reset log is clean: recovery finds nothing torn.
+  const auto out = j.recover_replay();
+  EXPECT_EQ(out.replayed_records, 0u);
+  EXPECT_FALSE(out.torn_tail);
+  EXPECT_EQ(j.torn_truncations(), 1u);
+}
+
 // ---------------------------------------------------------------- checker --
 
 struct CheckerFixture {
@@ -273,6 +413,107 @@ TEST(InvariantChecker, FlagsAckedMutationMissingFromEveryJournal) {
   EXPECT_TRUE(folded.ok()) << folded.to_string();
 }
 
+using recovery::DurabilityWindow;
+
+/// Switches a clean ledger into async-commit mode with a small contract.
+RecoveryLedger async_ledger(const CheckerFixture& fx) {
+  RecoveryLedger led = fx.clean();
+  led.async_commit = true;
+  led.commit_window = sim::micros(100);
+  led.commit_batch = 4;
+  led.durability.resize(2);
+  return led;
+}
+
+DurabilityWindow::OpRecord lost_record(std::uint64_t op_id,
+                                       sim::SimTime appended,
+                                       sim::SimTime acked, sim::SimTime lost) {
+  DurabilityWindow::OpRecord rec;
+  rec.op_id = op_id;
+  rec.appended_at = appended;
+  rec.acked_at = acked;
+  rec.lost_at = lost;
+  return rec;
+}
+
+TEST(InvariantChecker, AsyncReportedAckedLossSatisfiesI6) {
+  CheckerFixture fx;
+  auto led = async_ledger(fx);
+  led.acked_mutations.push_back(42);
+  // The crash path reported the loss: acked-but-lost is legal in async
+  // mode as long as it is never silent.
+  led.durability[0].push_back(
+      lost_record(42, sim::micros(10), sim::micros(12), sim::micros(80)));
+  const auto reported = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(reported.ok()) << reported.to_string();
+
+  const auto audit = recovery::audit_durability(led);
+  EXPECT_EQ(audit.acked_lost, 1u);
+  EXPECT_EQ(audit.acked_durable, 0u);
+  EXPECT_EQ(audit.unacked_lost_records, 0u);
+
+  // The same missing op with NO loss report is still an I6 violation.
+  led.durability[0].clear();
+  const auto silent = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(silent.ok());
+  EXPECT_NE(silent.to_string().find("I6"), std::string::npos);
+  EXPECT_NE(silent.to_string().find("never reported lost"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsDurableOpVanished) {
+  CheckerFixture fx;
+  auto led = async_ledger(fx);
+  // A group commit stamped op 7 durable, but no journal holds it: I7.
+  DurabilityWindow::OpRecord rec;
+  rec.op_id = 7;
+  rec.appended_at = sim::micros(1);
+  rec.acked_at = sim::micros(2);
+  rec.durable_at = sim::micros(3);
+  led.durability[1].push_back(rec);
+  const auto vanished = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(vanished.ok());
+  EXPECT_NE(vanished.to_string().find("I7"), std::string::npos);
+
+  // Folded into a checkpoint counts as retained.
+  led.journals[0].checkpointed_ops.push_back(7);
+  const auto folded = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(folded.ok()) << folded.to_string();
+}
+
+TEST(InvariantChecker, FlagsAckedLossBeyondWindowBound) {
+  CheckerFixture fx;
+  auto led = async_ledger(fx);
+  // Buffered lifetime 150us exceeds the 100us window: the flush timer
+  // would have fired first, so this loss breaks the contract (I8).
+  led.durability[0].push_back(
+      lost_record(11, sim::micros(0), sim::micros(10), sim::micros(150)));
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I8"), std::string::npos);
+  EXPECT_NE(report.to_string().find("commit window"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsCrashLossBeyondBatchBound) {
+  CheckerFixture fx;
+  auto led = async_ledger(fx);
+  led.commit_batch = 2;
+  // One crash instant sweeping 3 records off one MDS exceeds batch=2 (I8);
+  // each record's age stays inside the window so only the batch bound fires.
+  for (std::uint64_t op = 1; op <= 3; ++op) {
+    led.durability[0].push_back(lost_record(
+        op, sim::micros(40 + op), sim::micros(45 + op), sim::micros(90)));
+  }
+  const auto report = NamespaceInvariantChecker::check(fx.tree, led);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("I8"), std::string::npos);
+  EXPECT_NE(report.to_string().find("commit batch"), std::string::npos);
+
+  // The same sweep within the batch bound is a legal crash artifact.
+  led.commit_batch = 4;
+  const auto within = NamespaceInvariantChecker::check(fx.tree, led);
+  EXPECT_TRUE(within.ok()) << within.to_string();
+}
+
 // ------------------------------------------------------------ integration --
 
 cluster::ReplayOptions small_options() {
@@ -363,6 +604,88 @@ TEST(RecoveryReplay, TwoPhaseMigrationSurvivesCrashWithOneOwner) {
   ASSERT_NE(r.ledger, nullptr);
   const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RecoveryReplay, BackToBackCrashesReplayTheJournalEachTime) {
+  const auto trace = small_trace();
+  cluster::ReplayOptions opt = small_options();
+  // Same MDS crashes again at the very instant its first outage ends, i.e.
+  // before the restore hands its fragments back: the second crash finds the
+  // MDS owning nothing, but its journal must still be scanned (and the torn
+  // tail truncated) or post-recovery appends would hide behind garbage.
+  fault::FaultWindow w1;
+  w1.mds = 2;
+  w1.kind = fault::FaultKind::kCrash;
+  w1.from = sim::millis(250);
+  w1.until = sim::millis(300);
+  fault::FaultWindow w2 = w1;
+  w2.from = sim::millis(300);
+  w2.until = sim::millis(420);
+  opt.faults.scheduled.push_back(w1);
+  opt.faults.scheduled.push_back(w2);
+  cluster::StaticBalancer balancer(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+
+  EXPECT_EQ(r.faults.crashes, 2u);
+  EXPECT_EQ(r.faults.journal_replays, 2u);
+  EXPECT_EQ(r.faults.torn_tail_truncations, 2u);
+  ASSERT_NE(r.ledger, nullptr);
+  const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+cluster::ReplayOptions async_crash_options() {
+  cluster::ReplayOptions opt = small_options();
+  opt.faults.seed = 90;
+  opt.faults.crash_prob = 0.10;
+  opt.faults.crash_recovery = sim::millis(150);
+  opt.recovery.commit_mode = recovery::CommitMode::kAsync;
+  opt.recovery.commit_window = sim::millis(2);
+  opt.recovery.commit_batch = 64;
+  return opt;
+}
+
+TEST(RecoveryReplay, AsyncCommitCrashesHoldInvariantsAndReportLosses) {
+  const auto trace = small_trace();
+  const auto opt = async_crash_options();
+  cluster::StaticBalancer balancer(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto r = cluster::replay_trace(trace, opt, balancer);
+
+  EXPECT_GT(r.faults.crashes, 0u);
+  EXPECT_GT(r.faults.group_commits, 0u);
+  EXPECT_GT(r.faults.group_commit_records, 0u);
+  // This schedule crashes into non-empty commit buffers: losses happen,
+  // and every one is reported rather than silent (I6/I8 below).
+  EXPECT_GT(r.faults.acked_lost_ops + r.faults.unacked_lost_ops, 0u);
+
+  ASSERT_NE(r.ledger, nullptr);
+  EXPECT_TRUE(r.ledger->async_commit);
+  EXPECT_EQ(r.ledger->commit_window, opt.recovery.commit_window);
+  const auto report = NamespaceInvariantChecker::check(trace.tree, *r.ledger);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Global accounting closes: every acked op is durable or lost, and the
+  // per-record loss count upper-bounds the per-op one (a retried op can
+  // lose one buffered copy yet survive through another journal).
+  const auto audit = recovery::audit_durability(*r.ledger);
+  EXPECT_EQ(audit.acked_durable + audit.acked_lost,
+            r.ledger->acked_mutations.size());
+  EXPECT_LE(audit.acked_lost, r.faults.acked_lost_ops);
+}
+
+TEST(RecoveryReplay, AsyncCommitModelIsDeterministic) {
+  const auto trace = small_trace();
+  const auto opt = async_crash_options();
+  cluster::StaticBalancer a(cluster::StaticBalancer::Kind::kCoarseHash);
+  cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
+  const auto ra = cluster::replay_trace(trace, opt, a);
+  const auto rb = cluster::replay_trace(trace, opt, b);
+  EXPECT_EQ(ra.makespan, rb.makespan);
+  EXPECT_EQ(ra.faults.group_commits, rb.faults.group_commits);
+  EXPECT_EQ(ra.faults.group_commit_records, rb.faults.group_commit_records);
+  EXPECT_EQ(ra.faults.acked_lost_ops, rb.faults.acked_lost_ops);
+  EXPECT_EQ(ra.faults.unacked_lost_ops, rb.faults.unacked_lost_ops);
+  EXPECT_EQ(ra.faults.max_commit_lag, rb.faults.max_commit_lag);
 }
 
 TEST(RecoveryReplay, StaleEpochRequestsAreFencedAndRerouted) {
@@ -469,6 +792,35 @@ TEST(LiveRecovery, TwoPhaseAbortRollsBackAndPairsPhases) {
   EXPECT_EQ(stats.faults.committed_migrations, commits_seen);
   EXPECT_GT(stats.faults.journal_records, 0u);
   EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(LiveRecovery, AsyncCommitGroupCommitsOnTheOpClock) {
+  wl::TraceRwConfig cfg;
+  cfg.ops = 40'000;
+  cfg.seed = 23;
+  const wl::Trace trace = wl::make_trace_rw(cfg);
+
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+  fs::OrigamiFs fsys(fopt);
+
+  fs::LiveReplayOptions opt;
+  // One crash window on the op-index clock, landing mid-trace.
+  opt.faults.scheduled.push_back(
+      {1, 10'000, 12'000, fault::FaultKind::kCrash, 1.0});
+  opt.recovery.commit_mode = recovery::CommitMode::kAsync;
+  opt.recovery.commit_window = 64;  // live clock: measured in operations
+  opt.recovery.commit_batch = 16;
+
+  const auto stats = fs::replay_on_live(trace, fsys, opt);
+  EXPECT_EQ(stats.faults.crashes, 1u);
+  EXPECT_GT(stats.faults.journal_records, 0u);
+  EXPECT_GT(stats.faults.group_commits, 0u);
+  EXPECT_GT(stats.faults.group_commit_records, 0u);
+  // Acked mutations flushed by count or age; only the crash loses records,
+  // and never more than one batch's worth from the crashed shard.
+  EXPECT_LE(stats.faults.acked_lost_ops + stats.faults.unacked_lost_ops,
+            static_cast<std::uint64_t>(opt.recovery.commit_batch));
 }
 
 TEST(RecoveryReplay, RecoveryModelIsDeterministic) {

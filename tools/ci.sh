@@ -57,6 +57,41 @@ echo "=== [chaos] ctest (fault + recovery sweeps, 300s timeout) ==="
 ctest --test-dir "${BUILD_ROOT}/sanitize" --output-on-failure --timeout 300 \
   -R '(Fault|Recovery|MetadataJournal|InvariantChecker)'
 
+# 3b. Async-commit chaos (same sanitized build): drive the simulator in
+#     group-commit mode across seeds x crash rates and require the full
+#     I1-I8 verdict on every run — acked-but-lost records must be reported
+#     per crash and bounded by the window/batch contract, never silent.
+echo "=== [chaos] async-commit sweep (sanitized origami_sim) ==="
+for seed in 11 12 13; do
+  for crash in 0.05 0.15; do
+    echo "--- async commit: seed ${seed} crash p=${crash} ---"
+    out="$("${BUILD_ROOT}/sanitize/tools/origami_sim" \
+      --trace rw --ops 30000 --strategy c-hash --seed "${seed}" \
+      --fault-seed "$((900 + seed))" --fault-crash-prob "${crash}" \
+      --fault-recovery-ms 300 \
+      --commit-mode async --commit-window 2 --commit-batch 64)"
+    echo "${out}"
+    grep -q 'invariants: I1-I8 hold' <<<"${out}" ||
+      { echo "async-commit run missing the I1-I8 verdict"; exit 1; }
+  done
+done
+
+# 3c. Flag vocabulary guard: a typoed --fault-*/--commit-* knob must fail
+#     fast with usage, not silently run a different experiment.
+echo "=== [chaos] unknown-flag rejection ==="
+if "${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
+    --fault-crash-prb 0.1 >/dev/null 2>&1; then
+  echo "origami_sim accepted a typoed --fault-* flag"; exit 1
+fi
+echo "typoed fault flag rejected with usage"
+
+# 3d. Async-commit bench smoke from the release build: keeps the
+#     BENCH_async_commit.json schema alive and enforces the throughput-
+#     monotone-in-window contract plus the per-run I1-I8 audit.
+echo "=== [release] fig12_async_commit smoke ==="
+(cd "${BUILD_ROOT}/release" && \
+  ./bench/fig12_async_commit --smoke --out BENCH_async_commit.json)
+
 # 4. ThreadSanitizer over the parallel analysis plane: the determinism
 #    suite drives window analysis / Meta-OPT scoring / feature extraction
 #    at 8 threads, so any data race in the sharded reductions trips here.

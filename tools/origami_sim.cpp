@@ -7,6 +7,7 @@
 // Strategies: single | c-hash | f-hash | ml-tree | origami | meta-opt | all.
 // ml-tree/origami train their model on a sibling run (seed+98) first.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -57,6 +58,13 @@ fault injection (all off by default; seeded, deterministic):
   --retry-timeout-ms F     per-RPC timeout (default 5)
   --retry-backoff-ms F     initial backoff, doubles per attempt (default 0.2)
   --retry-backoff-cap-ms F backoff ceiling (default 50)
+
+async metadata commit (journaling; only active with faults armed):
+  --commit-mode MODE       sync (durable before ack, default) | async
+                           (group-committed; ack on memtable apply)
+  --commit-window F        async: max ms a record may sit buffered (default 2)
+  --commit-batch N         async: flush at this many buffered records
+                           (default 64)
 )";
 
 wl::Trace build_trace(const common::Flags& flags) {
@@ -96,7 +104,7 @@ wl::Trace build_trace(const common::Flags& flags) {
   std::exit(1);
 }
 
-void print_result(const cluster::RunResult& r, bool faults) {
+void print_result(const cluster::RunResult& r, bool faults, bool async) {
   std::printf("%-9s %4u MDS  %9.0f ops/s (steady %9.0f)  lat %7.1f us "
               "(p99 %8.1f)  RPC/req %.3f  IF busy/qps %.2f/%.2f  "
               "migr %lu (%lu inodes)\n",
@@ -135,6 +143,50 @@ void print_result(const cluster::RunResult& r, bool faults) {
                 static_cast<unsigned long>(f.committed_migrations),
                 sim::to_seconds(f.recovery_window_time),
                 sim::to_seconds(f.recovery_queue_time));
+    if (async) {
+      std::printf("          async commit: %lu group commits (%lu records)  "
+                  "%lu acked-lost  %lu unacked-lost  max ack->durable "
+                  "%.3fms\n",
+                  static_cast<unsigned long>(f.group_commits),
+                  static_cast<unsigned long>(f.group_commit_records),
+                  static_cast<unsigned long>(f.acked_lost_ops),
+                  static_cast<unsigned long>(f.unacked_lost_ops),
+                  sim::to_seconds(f.max_commit_lag) * 1e3);
+    }
+  }
+}
+
+/// Per-crash acked-vs-unacked loss report from the durability histories:
+/// lost records grouped by (mds, crash instant).
+void print_crash_losses(const recovery::RecoveryLedger& ledger) {
+  for (std::size_t mds = 0; mds < ledger.durability.size(); ++mds) {
+    // Crash instants appear in append order; collect them in first-seen
+    // order so the report reads chronologically.
+    std::vector<sim::SimTime> crashes;
+    for (const auto& rec : ledger.durability[mds]) {
+      if (rec.lost_at == recovery::DurabilityWindow::kNever) continue;
+      if (std::find(crashes.begin(), crashes.end(), rec.lost_at) ==
+          crashes.end()) {
+        crashes.push_back(rec.lost_at);
+      }
+    }
+    for (const sim::SimTime at : crashes) {
+      unsigned long acked = 0;
+      unsigned long unacked = 0;
+      for (const auto& rec : ledger.durability[mds]) {
+        if (rec.lost_at != at) continue;
+        if (rec.acked_at != recovery::DurabilityWindow::kNever) {
+          ++acked;
+        } else {
+          ++unacked;
+        }
+      }
+      std::printf("            mds %zu crash @%.3fs: lost %lu acked + %lu "
+                  "unacked buffered records (window %.2fms, batch %u)\n",
+                  mds, sim::to_seconds(at), acked, unacked,
+                  sim::to_seconds(ledger.commit_window) * 1e3,
+                  ledger.commit_batch);
+    }
   }
 }
 
@@ -168,7 +220,13 @@ int main(int argc, char** argv) {
   cluster::ReplayOptions base;
   base.epoch_length = sim::millis(500);
   base.warmup_epochs = 4;
-  const cluster::ReplayOptions opt = cluster::options_from_flags(flags, base);
+  auto parsed = cluster::options_from_flags(flags, base);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "error: %s\n%s", parsed.status().to_string().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const cluster::ReplayOptions opt = std::move(parsed).value();
 
   const std::string strategy = flags.get("strategy", "all");
   std::vector<std::string> todo;
@@ -232,6 +290,7 @@ int main(int argc, char** argv) {
 
   const cost::CostModel cost_model(opt.cost_params);
   const core::RebalanceTrigger trigger{0.05};
+  bool violations = false;
   for (const std::string& name : todo) {
     cluster::ReplayOptions run_opt = opt;
     std::unique_ptr<cluster::Balancer> balancer;
@@ -266,18 +325,23 @@ int main(int argc, char** argv) {
                    kUsage);
       return 1;
     }
+    const bool async_commit =
+        opt.recovery.commit_mode == recovery::CommitMode::kAsync;
     const auto r = cluster::replay_trace(trace, run_opt, *balancer);
-    print_result(r, opt.faults.enabled());
+    print_result(r, opt.faults.enabled(), async_commit);
     if (opt.faults.enabled() && r.ledger) {
+      if (async_commit) print_crash_losses(*r.ledger);
       const auto report =
           recovery::NamespaceInvariantChecker::check(trace.tree, *r.ledger);
       if (report.ok()) {
-        std::printf("          invariants: I1-I6 hold (%zu transfers, "
+        std::printf("          invariants: I1-I%c hold (%zu transfers, "
                     "%zu migration events audited)\n",
-                    r.ledger->transfers.size(), r.ledger->migrations.size());
+                    async_commit ? '8' : '6', r.ledger->transfers.size(),
+                    r.ledger->migrations.size());
       } else {
         std::printf("          invariants: VIOLATED\n%s",
                     report.to_string().c_str());
+        violations = true;
       }
     }
     if (flags.has("epochs-csv")) {
@@ -301,5 +365,5 @@ int main(int argc, char** argv) {
       csv->endrow();
     }
   }
-  return 0;
+  return violations ? 1 : 0;
 }
