@@ -21,6 +21,7 @@
 // trace for CI.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,8 @@ constexpr std::uint32_t kAsyncBatch = 1024;
 constexpr double kCrashRates[] = {0.0, 0.05, 0.10};
 
 cluster::ReplayOptions options_for(const cluster::ReplayOptions& base,
-                                   const CommitConfig& cfg, double rate) {
+                                   const CommitConfig& cfg, double rate,
+                                   const std::string& kv_wal_dir) {
   cluster::ReplayOptions opt = base;
   fault::FaultPlan& plan = opt.faults;
   plan.seed = 2027;
@@ -68,6 +70,7 @@ cluster::ReplayOptions options_for(const cluster::ReplayOptions& base,
     opt.recovery.commit_mode = recovery::CommitMode::kAsync;
     opt.recovery.commit_window = sim::millis(cfg.window_ms);
     opt.recovery.commit_batch = kAsyncBatch;
+    opt.kv_wal_dir = kv_wal_dir;  // ignored unless kv_backing is on
   }
   return opt;
 }
@@ -88,9 +91,24 @@ int main(int argc, char** argv) {
   const std::string out_path = raw.get("out", "BENCH_async_commit.json");
   const std::uint64_t ops = smoke ? 40'000 : 150'000;
 
+  // --kv-backing runs the grid on the real store: each MDS's InodeStore
+  // group-commits a file-backed WAL, crashes sweep real commit buffers, and
+  // the JSON (--kv-out) reports the *measured* fsync distribution next to
+  // the modeled t_fsync — Fig. 12's measured-vs-modeled companion.
+  const bool kv_backing = raw.get_bool("kv-backing", false);
+  const std::string kv_out = raw.get("kv-out", "BENCH_kv_commit.json");
+  std::string kv_wal_dir = raw.get("kv-wal-dir", "");
+  if (kv_backing && kv_wal_dir.empty()) {
+    kv_wal_dir = (std::filesystem::temp_directory_path() /
+                  "origami_fig12_kv_wal")
+                     .string();
+    std::filesystem::create_directories(kv_wal_dir);
+  }
+
   const wl::Trace trace = bench::standard_rw(/*seed=*/1, ops);
-  const cluster::ReplayOptions base =
+  cluster::ReplayOptions base =
       bench::options_from_argv(argc, argv, bench::paper_options());
+  base.kv_backing = base.kv_backing || kv_backing;
 
   common::CsvWriter csv(bench::csv_path("fig12", "async_commit"));
   csv.header({"mode", "commit_window_ms", "commit_batch", "crash_prob",
@@ -104,7 +122,7 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (double rate : kCrashRates) {
     for (const CommitConfig& cfg : kConfigs) {
-      const auto opt = options_for(base, cfg, rate);
+      const auto opt = options_for(base, cfg, rate, kv_wal_dir);
       const bool async = opt.recovery.commit_mode == recovery::CommitMode::kAsync;
       auto r = bench::run_strategy(bench::Strategy::kCHash, trace, opt,
                                    /*models=*/nullptr);
@@ -214,6 +232,55 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
+  }
+
+  if (kv_backing) {
+    // Measured-vs-modeled: the DES prices every sync commit at t_fsync
+    // (100us in this figure) while the real store *measures* each group
+    // commit's fsync on the WAL files under --kv-wal-dir.
+    std::FILE* kvf = std::fopen(kv_out.c_str(), "w");
+    if (kvf != nullptr) {
+      std::fprintf(kvf,
+                   "{\n  \"bench\": \"kv_commit\",\n  \"ops\": %llu,\n"
+                   "  \"smoke\": %s,\n  \"modeled_t_fsync_us\": 100,\n"
+                   "  \"commit_batch\": %u,\n  \"results\": [\n",
+                   static_cast<unsigned long long>(ops),
+                   smoke ? "true" : "false", kAsyncBatch);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        const kv::DbStats& kv = c.r.kv_stats;
+        const auto& f = c.r.faults;
+        std::fprintf(
+            kvf,
+            "    {\"mode\": \"%s\", \"commit_window_ms\": %.2f, "
+            "\"crash_prob\": %.2f, \"group_commits\": %llu, "
+            "\"group_commit_records\": %llu, \"wal_fsyncs\": %llu, "
+            "\"commit_buffer_bytes_max\": %llu, "
+            "\"fsync_us_p50\": %llu, \"fsync_us_p99\": %llu, "
+            "\"fsync_us_max\": %llu, \"fsync_us_mean\": %.1f, "
+            "\"fsync_samples\": %llu, \"kv_crash_recoveries\": %llu, "
+            "\"kv_replayed_records\": %llu, "
+            "\"kv_acked_lost_records\": %llu}%s\n",
+            c.cfg.mode, c.cfg.window_ms, c.rate,
+            static_cast<unsigned long long>(kv.group_commits),
+            static_cast<unsigned long long>(kv.group_commit_records),
+            static_cast<unsigned long long>(kv.wal_fsyncs),
+            static_cast<unsigned long long>(kv.commit_buffer_bytes_max),
+            static_cast<unsigned long long>(kv.fsync_micros.quantile(0.5)),
+            static_cast<unsigned long long>(kv.fsync_micros.quantile(0.99)),
+            static_cast<unsigned long long>(kv.fsync_micros.max()),
+            kv.fsync_micros.mean(),
+            static_cast<unsigned long long>(kv.fsync_micros.count()),
+            static_cast<unsigned long long>(f.kv_crash_recoveries),
+            static_cast<unsigned long long>(f.kv_replayed_records),
+            static_cast<unsigned long long>(f.kv_acked_lost_records),
+            i + 1 < cells.size() ? "," : "");
+      }
+      std::fprintf(kvf, "  ]\n}\n");
+      std::fclose(kvf);
+      std::printf("measured group-commit JSON: %s (WAL dir %s)\n",
+                  kv_out.c_str(), kv_wal_dir.c_str());
+    }
   }
 
   if (violations > 0 || regressions > 0) {

@@ -8,6 +8,7 @@
 
 #include "origami/common/histogram.hpp"
 #include "origami/common/status.hpp"
+#include "origami/kv/db.hpp"
 #include "origami/mds/client_cache.hpp"
 #include "origami/mds/mds_server.hpp"
 #include "origami/recovery/invariants.hpp"
@@ -67,6 +68,13 @@ struct RobustnessStats {
   std::uint64_t acked_lost_ops = 0;   ///< acked records swept by a crash
   std::uint64_t unacked_lost_ops = 0; ///< unacked records swept by a crash
   sim::SimTime max_commit_lag = 0;    ///< worst ack-to-durable exposure
+
+  // Real-store crash accounting (zero unless `kv_backing` runs async):
+  // every crash tears down the measured store too, and its WAL replay is
+  // audited against the durable watermark (I7/I8 on real bytes).
+  std::uint64_t kv_crash_recoveries = 0;    ///< real-store WAL replays
+  std::uint64_t kv_replayed_records = 0;    ///< records replayed from real WALs
+  std::uint64_t kv_acked_lost_records = 0;  ///< real buffered records swept
 };
 
 /// Complete result of one replay. All rates use the virtual clock.
@@ -115,6 +123,11 @@ struct RunResult {
   /// End-to-end (data path) figures; zero when the data path is off.
   std::uint64_t data_requests = 0;
   double data_throughput_mb_s = 0.0;
+
+  /// Merged per-MDS store counters when `kv_backing` ran (group-commit
+  /// pipeline totals and the *measured* fsync-latency distribution).
+  bool kv_backed = false;
+  kv::DbStats kv_stats;
 
   /// Directory ownership at the end of the run (indexed by NodeId; file
   /// entries mirror their parent). Feed into `FixedPartitionBalancer` to

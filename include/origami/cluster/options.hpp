@@ -45,6 +45,11 @@ struct ReplayOptions {
   /// Back each MDS with a real fragmented-LSM inode store and execute
   /// KV reads/writes during replay (integration realism; adds host time).
   bool kv_backing = false;
+  /// Directory for the real per-MDS WAL files (`mds_<i>.wal`) when
+  /// `kv_backing` runs with `CommitMode::kAsync`: the group-commit fsyncs
+  /// are then *measured* against real files. Required (and validated
+  /// writable) for that combination; ignored otherwise.
+  std::string kv_wal_dir;
 
   bool data_path = false;
   mds::DataClusterParams data_params;

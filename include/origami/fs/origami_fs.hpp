@@ -89,6 +89,14 @@ class OrigamiFs {
   [[nodiscard]] std::uint32_t shard_count() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
   }
+  /// Direct access to one shard's store — the live fault engine drives the
+  /// real group-commit/crash-recovery pipeline through this.
+  [[nodiscard]] kv::Db& shard_db(std::uint32_t shard) noexcept {
+    return *shards_[shard];
+  }
+  [[nodiscard]] const kv::Db& shard_db(std::uint32_t shard) const noexcept {
+    return *shards_[shard];
+  }
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   [[nodiscard]] std::uint64_t entry_count() const noexcept { return entries_; }
 

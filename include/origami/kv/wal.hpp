@@ -19,6 +19,7 @@ enum class WalRecordType : std::uint8_t { kPut = 1, kDelete = 2 };
 struct WalReplayStats {
   std::uint64_t records = 0;       ///< records decoded and delivered
   std::uint64_t dropped_bytes = 0; ///< bytes discarded after the torn point
+  std::uint64_t max_seqno = 0;     ///< highest seqno among delivered records
   bool torn_tail = false;
 };
 
@@ -32,6 +33,22 @@ class WriteAheadLog {
 
   common::Status append(WalRecordType type, std::string_view key,
                         std::string_view value, std::uint64_t seqno);
+
+  /// Frames one record into `out` exactly as `append` would write it —
+  /// group-commit callers accumulate framed records in their own buffer
+  /// and hand the whole batch to `append_encoded` in one write.
+  static void encode(std::string& out, WalRecordType type, std::string_view key,
+                     std::string_view value, std::uint64_t seqno);
+
+  /// Appends a batch of pre-framed records (built with `encode`) as a single
+  /// write — the group-commit fast path: one file append per batch instead
+  /// of one per record.
+  common::Status append_encoded(std::string_view bytes);
+
+  /// Durably flushes the file-backed log (`::fsync`), reporting the measured
+  /// wall-clock latency in `micros`. In-memory logs have nothing to sync:
+  /// the call succeeds with `micros` = 0 and is not a real fsync.
+  common::Status sync(std::uint64_t* micros = nullptr);
 
   /// Appends raw bytes without framing them as a record — a fault-injection
   /// hook that simulates a torn write (a record the writer crashed inside).

@@ -33,6 +33,17 @@ class InodeStore {
   void list_dir(fsns::NodeId dir,
                 const std::function<bool(std::string_view name)>& fn) const;
 
+  // Group-commit pipeline passthroughs (CommitMode::kAsync stores): the
+  // cluster engines drive the real store's commit in lockstep with the
+  // modeled journal and audit crashes against the measured WAL.
+  common::Status commit() { return db_.commit(); }
+  kv::Db::LossReport simulate_crash(bool tear_wal_tail = false) {
+    return db_.simulate_crash(tear_wal_tail);
+  }
+  common::Status recover(kv::WalReplayStats* replay = nullptr) {
+    return db_.recover(replay);
+  }
+
   [[nodiscard]] const kv::Db& db() const noexcept { return db_; }
   [[nodiscard]] kv::Db& db() noexcept { return db_; }
 

@@ -52,6 +52,26 @@ struct RecoveryLedger {
   sim::SimTime commit_window = 0;
   std::uint32_t commit_batch = 0;
   std::vector<std::vector<DurabilityWindow::OpRecord>> durability;
+
+  /// One crash of the *real* KV store (kv_backing under async commit): the
+  /// measured counterpart of the modeled loss above. Recorded at the crash
+  /// after the store's WAL replay, so the checker can hold I7/I8 against
+  /// real bytes: the replay must reproduce the durable watermark exactly,
+  /// and the swept commit buffer is bounded by the batch threshold.
+  struct KvCrashAudit {
+    std::uint32_t mds = 0;
+    sim::SimTime at = 0;
+    std::uint64_t wal_durable_seqno = 0;  ///< synced-WAL watermark at crash
+    std::uint64_t recovered_seqno = 0;    ///< max seqno the replay delivered
+    std::uint64_t replayed_records = 0;   ///< records the replay delivered
+    std::uint64_t acked_lost_records = 0; ///< buffered records swept away
+    bool torn_tail = false;               ///< WAL tail was torn mid-write
+  };
+  /// True when the run backed MDSes with real stores in async commit mode
+  /// (arms the KV-side I7/I8 checks; `kv_crashes` may still be empty).
+  bool kv_backed = false;
+  std::uint32_t kv_commit_batch = 0;
+  std::vector<KvCrashAudit> kv_crashes;
 };
 
 /// Global durability accounting for an async-commit run: every acked op is
@@ -89,6 +109,10 @@ struct DurabilityAudit {
 ///       window: each lost record's buffered lifetime is at most
 ///       `commit_window`, and no single crash loses more than
 ///       `commit_batch` records from one MDS.
+/// When the run backed MDSes with real KV stores in async commit mode
+/// (`kv_backed`), I7/I8 are additionally held against the *measured* store:
+/// every crash's WAL replay must reproduce the synced-log watermark exactly
+/// and its swept commit buffer must fit one batch.
 class NamespaceInvariantChecker {
  public:
   struct Report {

@@ -1,6 +1,8 @@
 #include "origami/cluster/exec.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "origami/cluster/failover.hpp"
 #include "origami/cluster/stats.hpp"
@@ -56,11 +58,31 @@ EngineCore::EngineCore(const wl::Trace& trace_in, const ReplayOptions& options,
   if (opt.kv_backing) {
     stores.reserve(opt.mds_count);
     for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
-      stores.push_back(std::make_unique<mds::InodeStore>());
+      kv::DbOptions db_opt;
+      if (async_commit) {
+        // The real store rides the same group-commit contract as the
+        // modeled journal: acked on memtable apply, durable at the batch
+        // flush. The DES timer drives the window trigger (flush_journal
+        // commits both in lockstep), so the store's own age trigger stays
+        // off and the batch threshold is the shared safety net.
+        db_opt.commit_mode = kv::CommitMode::kAsync;
+        db_opt.commit_batch = opt.recovery.commit_batch;
+        if (!opt.kv_wal_dir.empty()) {
+          db_opt.wal_path =
+              opt.kv_wal_dir + "/mds_" + std::to_string(i) + ".wal";
+          std::remove(db_opt.wal_path.c_str());  // fresh run, fresh log
+        }
+      }
+      stores.push_back(std::make_unique<mds::InodeStore>(std::move(db_opt)));
     }
     const auto n = static_cast<NodeId>(trace.tree.size());
     for (NodeId id = 0; id < n; ++id) {
       stores[partition.node_owner(id)]->put(trace.tree, id);
+    }
+    if (async_commit) {
+      // The seeded namespace is the run's initial condition, not workload:
+      // make it durable so crash loss accounting starts from zero.
+      for (auto& store : stores) (void)store->commit();
     }
   }
 }
@@ -328,6 +350,13 @@ void ExecEngine::schedule_group_commit(std::uint32_t mds) {
 void ExecEngine::flush_journal(std::uint32_t mds) {
   const SimTime cost = core_.journals[mds].flush(core_.queue.now());
   if (cost > 0) core_.servers[mds].serve(core_.queue.now(), cost);
+  // Lockstep with the real store: every modeled group commit (batch-full
+  // or window timer) also drains this MDS's KV commit buffer, so the
+  // measured fsync distribution reflects the same flush cadence the model
+  // prices. The store's own batch trigger covers writes between flushes.
+  if (core_.opt.kv_backing && core_.async_commit) {
+    (void)core_.stores[mds]->commit();
+  }
 }
 
 void ExecEngine::finish(std::size_t slot) {

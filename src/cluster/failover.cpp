@@ -99,6 +99,28 @@ void FailoverEngine::on_crash(const fault::FaultWindow& w) {
     // durability window classifies them; finalize_run and the checker
     // (I6–I8) account for every one — nothing is dropped silently.
     (void)core_.journals[w.mds].crash_drop_pending(core_.queue.now());
+    if (core_.opt.kv_backing) {
+      // The real store crashes with the process too: its commit buffer is
+      // swept, its WAL tail torn, and recovery replays the surviving
+      // prefix into a fresh memtable. The outcome is recorded for the
+      // checker to hold I7/I8 against the measured store.
+      auto& store = *core_.stores[w.mds];
+      const kv::Db::LossReport loss =
+          store.simulate_crash(/*tear_wal_tail=*/true);
+      kv::WalReplayStats replay;
+      (void)store.recover(&replay);
+      RobustnessStats& faults = core_.result.faults;
+      ++faults.kv_crash_recoveries;
+      faults.kv_replayed_records += replay.records;
+      faults.kv_acked_lost_records += loss.acked_lost.size();
+      if (core_.ledger) {
+        core_.ledger->kv_crashes.push_back(
+            {w.mds, core_.queue.now(), loss.wal_durable_seqno,
+             replay.max_seqno, replay.records,
+             static_cast<std::uint64_t>(loss.acked_lost.size()),
+             replay.torn_tail});
+      }
+    }
   }
   // The append in flight at the crash instant dies half-written; recovery
   // replay truncates it (it was never acknowledged, so nothing is lost).

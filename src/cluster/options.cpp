@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 namespace origami::cluster {
@@ -96,6 +97,9 @@ common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
   if (flags.has("kv-backing")) {
     opt.kv_backing = flags.get_bool("kv-backing", false);
   }
+  if (flags.has("kv-wal-dir")) {
+    opt.kv_wal_dir = flags.get("kv-wal-dir");
+  }
   if (flags.has("warmup-epochs")) {
     opt.warmup_epochs =
         static_cast<std::uint32_t>(flags.get_int("warmup-epochs", 4));
@@ -167,6 +171,26 @@ common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
   if (flags.has("commit-batch")) {
     rec.commit_batch =
         static_cast<std::uint32_t>(flags.get_int("commit-batch", 64));
+  }
+
+  // Async commit over the real store needs a real log to group-commit: the
+  // measured-fsync contract is meaningless against an in-memory WAL, so the
+  // combination without a writable --kv-wal-dir is a configuration error
+  // (fails fast with usage, same as a typoed --fault-* knob).
+  if (opt.kv_backing && rec.commit_mode == recovery::CommitMode::kAsync) {
+    if (opt.kv_wal_dir.empty()) {
+      return common::Status::invalid_argument(
+          "--commit-mode=async with --kv-backing requires --kv-wal-dir "
+          "(a writable directory for the per-MDS WAL files)");
+    }
+    const std::string probe = opt.kv_wal_dir + "/.wal_probe";
+    std::ofstream probe_out(probe, std::ios::binary | std::ios::trunc);
+    if (!probe_out) {
+      return common::Status::invalid_argument(
+          "--kv-wal-dir '" + opt.kv_wal_dir + "' is not a writable directory");
+    }
+    probe_out.close();
+    std::remove(probe.c_str());
   }
   return opt;
 }

@@ -90,9 +90,13 @@ void finalize_run(EngineCore& core) {
     if (core.async_commit) {
       // Clean shutdown: the surviving commit buffers flush, so only
       // crash-dropped records remain non-durable. No cost is charged —
-      // the workload is already drained.
+      // the workload is already drained. The real stores drain their
+      // buffers in lockstep, as they did all run.
       for (auto& j : core.journals) {
         (void)j.flush(core.queue.now());
+      }
+      if (core.opt.kv_backing) {
+        for (auto& s : core.stores) (void)s->commit();
       }
     }
     for (const auto& j : core.journals) {
@@ -186,8 +190,19 @@ void finalize_run(EngineCore& core) {
       for (const auto& j : core.journals) {
         core.ledger->durability.push_back(j.durability().history());
       }
+      if (core.opt.kv_backing) {
+        // kv_crashes were recorded at each crash; arm the measured-store
+        // I7/I8 checks and hand them the batch bound.
+        core.ledger->kv_backed = true;
+        core.ledger->kv_commit_batch = core.opt.recovery.commit_batch;
+      }
     }
     result.ledger = core.ledger;
+  }
+
+  if (core.opt.kv_backing) {
+    result.kv_backed = true;
+    for (const auto& s : core.stores) result.kv_stats.merge(s->db().stats());
   }
 
   result.data_requests = core.data.requests();

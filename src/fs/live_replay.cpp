@@ -70,6 +70,9 @@ class LiveEngine final : public LiveFaultContext {
         faults_on_(opt.faults.enabled()),
         async_(faults_on_ && opt.recovery.commit_mode ==
                                  recovery::CommitMode::kAsync),
+        kv_async_(async_ && fsys.shard_count() > 0 &&
+                  fsys.shard_db(0).options().commit_mode ==
+                      kv::CommitMode::kAsync),
         injector_(opt.faults, fsys.shard_count()),
         loss_rng_(opt.faults.seed ^ 0x11febeefULL),
         mat_(trace.tree, fsys) {
@@ -232,6 +235,19 @@ class LiveEngine final : public LiveFaultContext {
       // classifies the swept records (acked-but-lost vs unacked-and-lost)
       // and finalize() rolls them into the stats.
       (void)journals_[s].crash_drop_pending(t_);
+      if (kv_async_) {
+        // The real store crashes with the process: its commit buffer is
+        // swept, its WAL tail torn, and recovery replays the surviving
+        // durable prefix into a fresh memtable.
+        kv::Db& store = fsys_.shard_db(s);
+        const kv::Db::LossReport loss =
+            store.simulate_crash(/*tear_wal_tail=*/true);
+        kv::WalReplayStats replay;
+        (void)store.recover(&replay);
+        ++stats_.faults.kv_crash_recoveries;
+        stats_.faults.kv_replayed_records += replay.records;
+        stats_.faults.kv_acked_lost_records += loss.acked_lost.size();
+      }
     }
     journals_[s].simulate_torn_write();
 
@@ -344,7 +360,8 @@ class LiveEngine final : public LiveFaultContext {
     const Ino home = mat_.ino_of(home_node);
     if (home == kInvalidIno) return;
     const std::uint64_t op_id = ++next_op_id_;
-    recovery::MetadataJournal& journal = journals_[fsys_.dir_shard(home)];
+    const std::uint32_t shard = fsys_.dir_shard(home);
+    recovery::MetadataJournal& journal = journals_[shard];
     journal.append_op(op_id, static_cast<fsns::NodeId>(home), t_);
     if (async_) {
       // Live calls return synchronously, so the ack lands with the append;
@@ -352,6 +369,7 @@ class LiveEngine final : public LiveFaultContext {
       journal.note_acked(op_id, t_);
       if (journal.pending_records() >= opt_.recovery.commit_batch) {
         (void)journal.flush(t_);
+        if (kv_async_) (void)fsys_.shard_db(shard).commit();
       }
     }
   }
@@ -359,10 +377,12 @@ class LiveEngine final : public LiveFaultContext {
   /// Async mode: group-commit every shard whose oldest buffered record has
   /// aged past the commit window (measured in operations on this clock).
   void flush_due() {
-    for (recovery::MetadataJournal& journal : journals_) {
+    for (std::uint32_t s = 0; s < journals_.size(); ++s) {
+      recovery::MetadataJournal& journal = journals_[s];
       if (journal.pending_records() == 0) continue;
       if (t_ - journal.oldest_pending_at() >= opt_.recovery.commit_window) {
         (void)journal.flush(t_);
+        if (kv_async_) (void)fsys_.shard_db(s).commit();
       }
     }
   }
@@ -449,8 +469,13 @@ class LiveEngine final : public LiveFaultContext {
     stats_.shard_imbalance = cost::imbalance_factor(loads);
     if (async_) {
       // Clean shutdown: surviving buffers flush, so only crash-dropped
-      // records stay non-durable.
+      // records stay non-durable. The real stores drain in lockstep.
       for (recovery::MetadataJournal& j : journals_) (void)j.flush(t_);
+      if (kv_async_) {
+        for (std::uint32_t s = 0; s < fsys_.shard_count(); ++s) {
+          (void)fsys_.shard_db(s).commit();
+        }
+      }
     }
     for (const recovery::MetadataJournal& j : journals_) {
       stats_.faults.journal_records += j.appended();
@@ -476,7 +501,8 @@ class LiveEngine final : public LiveFaultContext {
   OrigamiFs& fsys_;
   const LiveReplayOptions& opt_;
   bool faults_on_;
-  bool async_;  ///< group-committed journaling (kAsync with faults armed)
+  bool async_;     ///< group-committed journaling (kAsync with faults armed)
+  bool kv_async_;  ///< the shard stores group-commit too (kAsync DbOptions)
   fault::FaultInjector injector_;
   common::Xoshiro256 loss_rng_;
   Materialiser mat_;

@@ -45,10 +45,24 @@ common::Status Db::put(std::string_view key, std::string_view value) {
   std::lock_guard lock(mutex_);
   ++stats_.puts;
   const std::uint64_t seqno = next_seqno_++;
-  if (auto s = wal_.append(WalRecordType::kPut, key, value, seqno); !s.is_ok()) {
-    return s;
+  if (options_.commit_mode == CommitMode::kAsync) {
+    if (pending_.empty()) oldest_pending_at_ = std::chrono::steady_clock::now();
+    WriteAheadLog::encode(commit_buf_, WalRecordType::kPut, key, value, seqno);
+    pending_.push_back({seqno, std::string(key), false});
+    stats_.commit_buffer_bytes_max =
+        std::max<std::uint64_t>(stats_.commit_buffer_bytes_max,
+                                commit_buf_.size());
+    mem_.put(key, value, seqno);  // acked here; durability comes later
+    maybe_group_commit_locked();
+  } else {
+    if (auto s = wal_.append(WalRecordType::kPut, key, value, seqno);
+        !s.is_ok()) {
+      return s;
+    }
+    durable_seqno_ = seqno;
+    wal_tail_seqno_ = seqno;
+    mem_.put(key, value, seqno);
   }
-  mem_.put(key, value, seqno);
   maybe_flush_locked();
   return common::Status::ok();
 }
@@ -57,12 +71,112 @@ common::Status Db::del(std::string_view key) {
   std::lock_guard lock(mutex_);
   ++stats_.deletes;
   const std::uint64_t seqno = next_seqno_++;
-  if (auto s = wal_.append(WalRecordType::kDelete, key, {}, seqno); !s.is_ok()) {
-    return s;
+  if (options_.commit_mode == CommitMode::kAsync) {
+    if (pending_.empty()) oldest_pending_at_ = std::chrono::steady_clock::now();
+    WriteAheadLog::encode(commit_buf_, WalRecordType::kDelete, key, {}, seqno);
+    pending_.push_back({seqno, std::string(key), true});
+    stats_.commit_buffer_bytes_max =
+        std::max<std::uint64_t>(stats_.commit_buffer_bytes_max,
+                                commit_buf_.size());
+    mem_.del(key, seqno);
+    maybe_group_commit_locked();
+  } else {
+    if (auto s = wal_.append(WalRecordType::kDelete, key, {}, seqno);
+        !s.is_ok()) {
+      return s;
+    }
+    durable_seqno_ = seqno;
+    wal_tail_seqno_ = seqno;
+    mem_.del(key, seqno);
   }
-  mem_.del(key, seqno);
   maybe_flush_locked();
   return common::Status::ok();
+}
+
+void Db::maybe_group_commit_locked() {
+  if (pending_.empty()) return;
+  if (pending_.size() >= options_.commit_batch) {
+    (void)commit_locked();
+    return;
+  }
+  if (options_.commit_window_micros > 0) {
+    const auto age = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - oldest_pending_at_)
+                         .count();
+    if (age >= 0 &&
+        static_cast<std::uint64_t>(age) >= options_.commit_window_micros) {
+      (void)commit_locked();
+    }
+  }
+}
+
+common::Status Db::commit_locked() {
+  if (pending_.empty()) return common::Status::ok();
+  if (auto s = wal_.append_encoded(commit_buf_); !s.is_ok()) return s;
+  std::uint64_t micros = 0;
+  if (auto s = wal_.sync(&micros); !s.is_ok()) return s;
+  ++stats_.wal_fsyncs;
+  ++stats_.group_commits;
+  stats_.group_commit_records += pending_.size();
+  if (wal_.file_backed()) {
+    stats_.fsync_micros.add(std::max<std::uint64_t>(1, micros));
+  }
+  durable_seqno_ = std::max(durable_seqno_, pending_.back().seqno);
+  wal_tail_seqno_ = std::max(wal_tail_seqno_, pending_.back().seqno);
+  pending_.clear();
+  commit_buf_.clear();
+  return common::Status::ok();
+}
+
+common::Status Db::commit() {
+  std::lock_guard lock(mutex_);
+  return commit_locked();
+}
+
+std::size_t Db::pending_commit_records() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+std::uint64_t Db::last_seqno() const {
+  std::lock_guard lock(mutex_);
+  return next_seqno_ - 1;
+}
+
+std::uint64_t Db::durable_seqno() const {
+  std::lock_guard lock(mutex_);
+  return durable_seqno_;
+}
+
+Db::Durability Db::durability_of(std::string_view key) const {
+  std::lock_guard lock(mutex_);
+  auto e = lookup(key);
+  if (!e || e->tombstone) return Durability::kNotFound;
+  return e->seqno <= durable_seqno_ ? Durability::kDurable
+                                    : Durability::kPending;
+}
+
+Db::LossReport Db::simulate_crash(bool tear_wal_tail) {
+  std::lock_guard lock(mutex_);
+  LossReport report;
+  report.durable_seqno = durable_seqno_;
+  report.wal_durable_seqno = wal_tail_seqno_;
+  report.acked_lost.reserve(pending_.size());
+  for (PendingRecord& p : pending_) {
+    report.acked_lost.push_back({p.seqno, std::move(p.key), p.tombstone});
+  }
+  pending_.clear();
+  commit_buf_.clear();
+  // Volatile state dies with the process; the durable prefix (sorted runs
+  // + synced WAL) survives and recover() rebuilds the memtable from it.
+  mem_ = MemTable{};
+  if (tear_wal_tail) {
+    // A record the writer crashed inside: garbage that decodes as neither a
+    // valid header nor a checksummed body, so replay truncates it.
+    report.wal_tail_torn = true;
+    wal_.append_raw(std::string(24, '\x7f'));
+  }
+  return report;
 }
 
 std::optional<Entry> Db::lookup(std::string_view key) const {
@@ -212,10 +326,19 @@ void Db::maybe_flush_locked() {
 
 void Db::flush_locked() {
   if (mem_.empty()) return;
+  // Async mode: the buffered records are about to become durable via the
+  // sorted run, but resetting the WAL without committing them first would
+  // skip their fsync — the run write below IS their durability point, so
+  // group-commit the buffer to keep the watermark and loss accounting
+  // honest (a crash after this flush must lose nothing).
+  if (options_.commit_mode == CommitMode::kAsync && !pending_.empty()) {
+    (void)commit_locked();
+  }
   ++stats_.memtable_flushes;
   std::vector<std::pair<std::string, Entry>> entries = mem_.snapshot();
   mem_ = MemTable{};
   wal_.reset();
+  wal_tail_seqno_ = 0;  // the log is empty; runs now carry the entries
   place_into_level_locked(0, std::move(entries));
 }
 
@@ -427,17 +550,26 @@ common::Status Db::checkpoint(const std::string& path) const {
   return common::Status::ok();
 }
 
-common::Status Db::recover() {
+common::Status Db::recover(WalReplayStats* replay) {
   std::lock_guard lock(mutex_);
-  auto status = wal_.replay([&](WalRecordType type, std::string_view key,
-                                std::string_view value, std::uint64_t seqno) {
-    next_seqno_ = std::max(next_seqno_, seqno + 1);
-    if (type == WalRecordType::kPut) {
-      mem_.put(key, value, seqno);
-    } else {
-      mem_.del(key, seqno);
-    }
-  });
+  WalReplayStats local;
+  auto status = wal_.replay(
+      [&](WalRecordType type, std::string_view key, std::string_view value,
+          std::uint64_t seqno) {
+        next_seqno_ = std::max(next_seqno_, seqno + 1);
+        if (type == WalRecordType::kPut) {
+          mem_.put(key, value, seqno);
+        } else {
+          mem_.del(key, seqno);
+        }
+      },
+      &local);
+  // The replayed prefix is exactly what the synced log held: anything the
+  // commit buffer lost at the crash was never appended, and a torn tail
+  // was truncated above, so the watermark is the max replayed seqno.
+  wal_tail_seqno_ = local.max_seqno;
+  durable_seqno_ = std::max(durable_seqno_, local.max_seqno);
+  if (replay != nullptr) *replay = local;
   return status;
 }
 

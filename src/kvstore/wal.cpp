@@ -1,6 +1,13 @@
 #include "origami/kv/wal.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "origami/common/hash.hpp"
 
@@ -71,13 +78,43 @@ common::Status WriteAheadLog::append(WalRecordType type, std::string_view key,
   std::string record;
   record.reserve(21 + key.size() + value.size());
   encode_record(record, type, key, value, seqno);
-  buffer_.append(record);
+  return append_encoded(record);
+}
+
+void WriteAheadLog::encode(std::string& out, WalRecordType type,
+                           std::string_view key, std::string_view value,
+                           std::uint64_t seqno) {
+  encode_record(out, type, key, value, seqno);
+}
+
+common::Status WriteAheadLog::append_encoded(std::string_view bytes) {
+  buffer_.append(bytes);
   if (!path_.empty()) {
     std::ofstream out(path_, std::ios::binary | std::ios::app);
     if (!out) return common::Status::unavailable("wal: cannot open " + path_);
-    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!out) return common::Status::unavailable("wal: write failed");
   }
+  return common::Status::ok();
+}
+
+common::Status WriteAheadLog::sync(std::uint64_t* micros) {
+  if (micros != nullptr) *micros = 0;
+  if (path_.empty()) return common::Status::ok();
+#ifndef _WIN32
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = ::open(path_.c_str(), O_WRONLY);
+  if (fd < 0) return common::Status::unavailable("wal: cannot open " + path_);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return common::Status::unavailable("wal: fsync failed " + path_);
+  if (micros != nullptr) {
+    *micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+#endif
   return common::Status::ok();
 }
 
@@ -116,7 +153,10 @@ std::size_t WriteAheadLog::decode_prefix(
     const std::string_view value = data.substr(body + klen, vlen);
     if (record_checksum(type, key, value, seqno) != checksum) break;
     fn(type, key, value, seqno);
-    if (stats != nullptr) ++stats->records;
+    if (stats != nullptr) {
+      ++stats->records;
+      stats->max_seqno = std::max(stats->max_seqno, seqno);
+    }
     pos = body + klen + vlen;
   }
   if (stats != nullptr && pos != data.size()) {

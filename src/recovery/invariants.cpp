@@ -320,6 +320,36 @@ void check_bounded_acked_loss(const RecoveryLedger& ledger,
   }
 }
 
+void check_kv_store_recovery(const RecoveryLedger& ledger,
+                             std::vector<std::string>& out) {
+  // The measured-store refinement of I7/I8: each crash of a real KV store
+  // must have recovered exactly the synced-WAL prefix — max replayed seqno
+  // equal to the durable watermark (nothing durable lost, nothing phantom
+  // resurrected past a torn tail) — and may not have swept more buffered
+  // records than one commit batch holds.
+  if (!ledger.kv_backed) return;
+  for (const RecoveryLedger::KvCrashAudit& c : ledger.kv_crashes) {
+    if (c.recovered_seqno != c.wal_durable_seqno) {
+      std::ostringstream os;
+      os << "I7(kv): mds " << c.mds << " crash at " << c.at
+         << " replayed the real WAL up to seqno " << c.recovered_seqno
+         << " but the durable watermark was " << c.wal_durable_seqno
+         << (c.recovered_seqno < c.wal_durable_seqno
+                 ? " (durable records lost)"
+                 : " (phantom records recovered)");
+      out.push_back(os.str());
+    }
+    if (ledger.kv_commit_batch > 0 &&
+        c.acked_lost_records > ledger.kv_commit_batch) {
+      std::ostringstream os;
+      os << "I8(kv): mds " << c.mds << " crash at " << c.at << " swept "
+         << c.acked_lost_records << " buffered records from the real store "
+         << "(> commit batch " << ledger.kv_commit_batch << ")";
+      out.push_back(os.str());
+    }
+  }
+}
+
 }  // namespace
 
 DurabilityAudit audit_durability(const RecoveryLedger& ledger) {
@@ -363,6 +393,7 @@ NamespaceInvariantChecker::Report NamespaceInvariantChecker::check(
   check_acked_durability(ledger, report.violations);
   check_durable_retention(ledger, report.violations);
   check_bounded_acked_loss(ledger, report.violations);
+  check_kv_store_recovery(ledger, report.violations);
   return report;
 }
 

@@ -276,5 +276,41 @@ TEST(OptionsFromFlags, RejectsBadCommitMode) {
   EXPECT_NE(parsed.status().to_string().find("eventually"), std::string::npos);
 }
 
+TEST(OptionsFromFlags, AsyncKvBackingRequiresWritableWalDir) {
+  // Async group commit over the real store fsyncs a real log; without a
+  // writable --kv-wal-dir the measured-durability contract is meaningless,
+  // so the combination must fail fast instead of silently running with an
+  // in-memory WAL.
+  auto parsed = parse({"--kv-backing", "--commit-mode", "async"});
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().to_string().find("--kv-wal-dir"),
+            std::string::npos)
+      << parsed.status().to_string();
+
+  const std::string dir = ::testing::TempDir();
+  auto with_dir = parse(
+      {"--kv-backing", "--commit-mode", "async", "--kv-wal-dir", dir.c_str()});
+  ASSERT_TRUE(with_dir.is_ok()) << with_dir.status().to_string();
+  EXPECT_EQ(std::move(with_dir).value().kv_wal_dir, dir);
+
+  auto bad_dir = parse({"--kv-backing", "--commit-mode", "async",
+                        "--kv-wal-dir", "/nonexistent/origami/wal/dir"});
+  ASSERT_FALSE(bad_dir.is_ok());
+  EXPECT_NE(bad_dir.status().to_string().find("not a writable"),
+            std::string::npos)
+      << bad_dir.status().to_string();
+}
+
+TEST(OptionsFromFlags, KvWalDirOptionalOutsideAsyncKvBacking) {
+  // Sync mode appends every record inline — no group commit, no fsync
+  // batching — so the real store runs fine without a log directory.
+  auto sync_kv = parse({"--kv-backing", "--commit-mode", "sync"});
+  EXPECT_TRUE(sync_kv.is_ok()) << sync_kv.status().to_string();
+
+  // Async without the real store only drives the modeled journal.
+  auto async_model = parse({"--commit-mode", "async"});
+  EXPECT_TRUE(async_model.is_ok()) << async_model.status().to_string();
+}
+
 }  // namespace
 }  // namespace origami::cluster

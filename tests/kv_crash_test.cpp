@@ -1,0 +1,323 @@
+// Crash-consistency tests for the real store's async group-commit pipeline:
+// acked-vs-durable visibility, exact loss reporting, torn-tail recovery of
+// the on-disk WAL at every byte offset, and a seeded chaos sweep holding the
+// durable-prefix contract (I7) and the bounded-loss contract (I8) against
+// kv::Db::simulate_crash / recover.
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "origami/common/rng.hpp"
+#include "origami/kv/db.hpp"
+#include "origami/kv/wal.hpp"
+
+namespace origami::kv {
+namespace {
+
+DbOptions async_options(std::string wal_path = {}, std::size_t batch = 64) {
+  DbOptions opts;
+  opts.commit_mode = CommitMode::kAsync;
+  opts.commit_batch = batch;
+  opts.wal_path = std::move(wal_path);
+  return opts;
+}
+
+std::string tmp_wal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(DbAsyncCommit, AckedWritesVisibleBeforeDurable) {
+  Db db(async_options());
+  ASSERT_TRUE(db.put("a", "1").is_ok());
+  ASSERT_TRUE(db.put("b", "2").is_ok());
+  // Reads are memtable-authoritative: a get racing the unflushed mutation
+  // sees the acked value even though its WAL record is still buffered.
+  ASSERT_TRUE(db.get("a").is_ok());
+  EXPECT_EQ(db.get("a").value(), "1");
+  EXPECT_EQ(db.pending_commit_records(), 2u);
+  EXPECT_EQ(db.durability_of("a"), Db::Durability::kPending);
+  EXPECT_EQ(db.durable_seqno(), 0u);
+
+  ASSERT_TRUE(db.commit().is_ok());
+  EXPECT_EQ(db.pending_commit_records(), 0u);
+  EXPECT_EQ(db.durability_of("a"), Db::Durability::kDurable);
+  EXPECT_EQ(db.durability_of("b"), Db::Durability::kDurable);
+  EXPECT_EQ(db.durability_of("missing"), Db::Durability::kNotFound);
+  EXPECT_EQ(db.durable_seqno(), db.last_seqno());
+}
+
+TEST(DbAsyncCommit, BatchTriggerGroupCommits) {
+  Db db(async_options({}, /*batch=*/4));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.put("k" + std::to_string(i), "v").is_ok());
+  }
+  EXPECT_EQ(db.pending_commit_records(), 0u);
+  const DbStats stats = db.stats();
+  EXPECT_EQ(stats.group_commits, 2u);
+  EXPECT_EQ(stats.group_commit_records, 8u);
+  EXPECT_EQ(stats.wal_fsyncs, 2u);
+  EXPECT_GT(stats.commit_buffer_bytes_max, 0u);
+  // In-memory log: nothing real to fsync, so no measured latency samples.
+  EXPECT_EQ(stats.fsync_micros.count(), 0u);
+  EXPECT_EQ(db.durable_seqno(), 8u);
+}
+
+TEST(DbAsyncCommit, MeasuredFsyncLatencyOnFileBackedWal) {
+  const std::string path = tmp_wal("kv_crash_fsync.wal");
+  Db db(async_options(path, /*batch=*/2));
+  ASSERT_TRUE(db.put("a", "1").is_ok());
+  ASSERT_TRUE(db.put("b", "2").is_ok());  // batch full -> commit + fsync
+  const DbStats stats = db.stats();
+  EXPECT_EQ(stats.wal_fsyncs, 1u);
+  ASSERT_EQ(stats.fsync_micros.count(), 1u);
+  EXPECT_GE(stats.fsync_micros.min(), 1u);  // measured wall clock, >= 1us
+  std::remove(path.c_str());
+}
+
+TEST(DbAsyncCommit, MemtableFlushGroupCommitsPendingFirst) {
+  Db db(async_options());
+  ASSERT_TRUE(db.put("a", "1").is_ok());
+  ASSERT_TRUE(db.put("b", "2").is_ok());
+  ASSERT_TRUE(db.flush().is_ok());
+  // The sorted run is the pending records' durability point: flushing the
+  // memtable without committing them first would drop them from both the
+  // WAL (reset) and the buffer.
+  EXPECT_EQ(db.pending_commit_records(), 0u);
+  EXPECT_EQ(db.durable_seqno(), db.last_seqno());
+  Db::LossReport loss = db.simulate_crash();
+  EXPECT_TRUE(loss.acked_lost.empty());
+  ASSERT_TRUE(db.recover().is_ok());
+  EXPECT_EQ(db.get("a").value(), "1");
+  EXPECT_EQ(db.get("b").value(), "2");
+}
+
+TEST(DbCrash, ReportsExactAckedLoss) {
+  Db db(async_options({}, /*batch=*/64));
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(db.put("d" + std::to_string(i), "v").is_ok());
+  }
+  ASSERT_TRUE(db.commit().is_ok());
+  for (int i = 6; i <= 8; ++i) {
+    ASSERT_TRUE(db.put("p" + std::to_string(i), "v").is_ok());
+  }
+  ASSERT_TRUE(db.del("d5").is_ok());  // pending tombstone
+
+  const Db::LossReport loss = db.simulate_crash();
+  ASSERT_EQ(loss.acked_lost.size(), 4u);
+  EXPECT_EQ(loss.acked_lost[0].key, "p6");
+  EXPECT_EQ(loss.acked_lost[1].key, "p7");
+  EXPECT_EQ(loss.acked_lost[2].key, "p8");
+  EXPECT_EQ(loss.acked_lost[3].key, "d5");
+  EXPECT_TRUE(loss.acked_lost[3].tombstone);
+  EXPECT_EQ(loss.acked_lost[0].seqno, 6u);
+  EXPECT_EQ(loss.durable_seqno, 5u);
+  EXPECT_EQ(loss.wal_durable_seqno, 5u);
+  EXPECT_FALSE(loss.wal_tail_torn);
+
+  WalReplayStats replay;
+  ASSERT_TRUE(db.recover(&replay).is_ok());
+  // I7 on real bytes: the recovered store reproduces the durable watermark
+  // exactly — nothing durable lost, nothing acked-but-lost resurrected.
+  EXPECT_EQ(replay.max_seqno, loss.wal_durable_seqno);
+  EXPECT_EQ(replay.records, 5u);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(db.get("d" + std::to_string(i)).is_ok());
+  }
+  for (int i = 6; i <= 8; ++i) {
+    EXPECT_FALSE(db.get("p" + std::to_string(i)).is_ok());
+  }
+  // The store keeps working after recovery; seqnos continue past the hole.
+  ASSERT_TRUE(db.put("after", "crash").is_ok());
+  ASSERT_TRUE(db.commit().is_ok());
+  EXPECT_EQ(db.durability_of("after"), Db::Durability::kDurable);
+}
+
+TEST(DbCrash, TornWalTailTruncatedOnRecovery) {
+  const std::string path = tmp_wal("kv_crash_torn.wal");
+  Db db(async_options(path, /*batch=*/64));
+  ASSERT_TRUE(db.put("durable", "yes").is_ok());
+  ASSERT_TRUE(db.commit().is_ok());
+  ASSERT_TRUE(db.put("buffered", "lost").is_ok());
+
+  const Db::LossReport loss = db.simulate_crash(/*tear_wal_tail=*/true);
+  EXPECT_TRUE(loss.wal_tail_torn);
+  ASSERT_EQ(loss.acked_lost.size(), 1u);
+  EXPECT_EQ(loss.acked_lost[0].key, "buffered");
+
+  WalReplayStats replay;
+  ASSERT_TRUE(db.recover(&replay).is_ok());
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_EQ(replay.max_seqno, loss.wal_durable_seqno);
+  EXPECT_EQ(db.get("durable").value(), "yes");
+  EXPECT_FALSE(db.get("buffered").is_ok());
+  // The truncation left a writable log: commit + re-recover round-trips.
+  ASSERT_TRUE(db.put("post", "crash").is_ok());
+  ASSERT_TRUE(db.commit().is_ok());
+  std::remove(path.c_str());
+}
+
+// Satellite: the WAL-level torn-tail property test, lifted to the store.
+// A fresh Db opened over an on-disk log truncated at EVERY byte offset of
+// the final record must recover exactly the durable prefix — no crash, no
+// phantom entry — and accept new writes afterwards.
+TEST(DbCrash, FileBackedTornTailEveryTruncationOffset) {
+  const std::string full_path = tmp_wal("kv_crash_prop_full.wal");
+  const std::string cut_path = tmp_wal("kv_crash_prop_cut.wal");
+
+  std::size_t prefix_end = 0;
+  {
+    Db db(async_options(full_path, /*batch=*/64));
+    ASSERT_TRUE(db.put("k1", "v1").is_ok());
+    ASSERT_TRUE(db.put("k2", std::string(64, 'x')).is_ok());
+    ASSERT_TRUE(db.put("gone", "tmp").is_ok());
+    ASSERT_TRUE(db.del("gone").is_ok());
+    ASSERT_TRUE(db.commit().is_ok());
+    {
+      std::ifstream in(full_path, std::ios::binary | std::ios::ate);
+      ASSERT_TRUE(static_cast<bool>(in));
+      prefix_end = static_cast<std::size_t>(in.tellg());
+    }
+    ASSERT_TRUE(db.put("final-key", "final-value").is_ok());
+    ASSERT_TRUE(db.commit().is_ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(full_path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(in));
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>{});
+  }
+  ASSERT_GT(bytes.size(), prefix_end);
+
+  for (std::size_t cut = prefix_end; cut <= bytes.size(); ++cut) {
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    Db db(async_options(cut_path, /*batch=*/64));
+    WalReplayStats replay;
+    ASSERT_TRUE(db.recover(&replay).is_ok()) << "cut at byte " << cut;
+    const bool whole = cut == bytes.size();
+    EXPECT_EQ(replay.max_seqno, whole ? 5u : 4u) << "cut at byte " << cut;
+    EXPECT_EQ(replay.torn_tail, cut != prefix_end && !whole)
+        << "cut at byte " << cut;
+    EXPECT_EQ(db.get("k1").value(), "v1") << "cut at byte " << cut;
+    EXPECT_FALSE(db.get("gone").is_ok()) << "cut at byte " << cut;
+    EXPECT_EQ(db.get("final-key").is_ok(), whole) << "cut at byte " << cut;
+    // Recovery restored the durable watermark: fresh writes group-commit
+    // cleanly behind the surviving prefix.
+    ASSERT_TRUE(db.put("post", "crash").is_ok()) << "cut at byte " << cut;
+    ASSERT_TRUE(db.commit().is_ok()) << "cut at byte " << cut;
+    EXPECT_EQ(db.durability_of("post"), Db::Durability::kDurable)
+        << "cut at byte " << cut;
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+// Satellite: seeded chaos sweep. Random put/del/commit traffic interleaved
+// with crashes (half of them tearing the WAL tail); after every crash the
+// recovered store must match an independently tracked durable model (I7),
+// and the reported acked loss must be exactly the pending set, bounded by
+// the commit batch (I8).
+TEST(DbCrash, SeededChaosSweepHoldsDurablePrefixContract) {
+  constexpr std::size_t kBatch = 8;
+  for (const std::uint64_t seed : {7u, 21u, 99u}) {
+    common::Xoshiro256 rng(seed);
+    const std::string path =
+        tmp_wal("kv_crash_chaos_" + std::to_string(seed) + ".wal");
+    Db db(async_options(path, kBatch));
+
+    // Independent shadow models: `acked` mirrors every acknowledged write,
+    // `durable` only those whose group commit ran.
+    std::map<std::string, std::optional<std::string>> acked;
+    std::map<std::string, std::optional<std::string>> durable;
+    std::vector<std::string> pending_keys;  // since the last commit, in order
+    std::uint64_t crashes = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t dice = rng.uniform(100);
+      const std::string key = "key" + std::to_string(rng.uniform(40));
+      if (dice < 55) {
+        const std::string value = "v" + std::to_string(step);
+        ASSERT_TRUE(db.put(key, value).is_ok());
+        acked[key] = value;
+        pending_keys.push_back(key);
+      } else if (dice < 70) {
+        ASSERT_TRUE(db.del(key).is_ok());
+        acked[key] = std::nullopt;
+        pending_keys.push_back(key);
+      } else if (dice < 85) {
+        ASSERT_TRUE(db.commit().is_ok());
+        durable = acked;
+        pending_keys.clear();
+      } else if (dice < 95) {
+        // Acked view always serves the latest acked value (memtable
+        // authoritative), pending or not.
+        const auto it = acked.find(key);
+        const auto got = db.get(key);
+        if (it != acked.end() && it->second.has_value()) {
+          ASSERT_TRUE(got.is_ok()) << "seed " << seed << " step " << step;
+          EXPECT_EQ(got.value(), *it->second);
+        } else {
+          EXPECT_FALSE(got.is_ok()) << "seed " << seed << " step " << step;
+        }
+      } else {
+        // Crash. The Db's own batch trigger flushed whenever kBatch records
+        // piled up, so the tracked pending set can never exceed the batch.
+        const bool tear = rng.uniform(2) == 1;
+        const Db::LossReport loss = db.simulate_crash(tear);
+        ++crashes;
+        ASSERT_LE(loss.acked_lost.size(), kBatch)
+            << "seed " << seed << " step " << step;
+        EXPECT_EQ(loss.wal_tail_torn, tear);
+        // The loss report is exact: every swept record is named, in order.
+        ASSERT_EQ(loss.acked_lost.size(), pending_keys.size())
+            << "seed " << seed << " step " << step;
+        for (std::size_t i = 0; i < pending_keys.size(); ++i) {
+          EXPECT_EQ(loss.acked_lost[i].key, pending_keys[i]);
+        }
+        WalReplayStats replay;
+        ASSERT_TRUE(db.recover(&replay).is_ok());
+        // I7 on real bytes: replay reproduces the durable watermark.
+        EXPECT_EQ(replay.max_seqno, loss.wal_durable_seqno)
+            << "seed " << seed << " step " << step;
+        // The acked-but-lost records are gone; the durable model is what
+        // survives.
+        acked = durable;
+        pending_keys.clear();
+        for (const auto& [k, v] : durable) {
+          const auto got = db.get(k);
+          if (v.has_value()) {
+            ASSERT_TRUE(got.is_ok())
+                << "seed " << seed << " step " << step << " key " << k;
+            EXPECT_EQ(got.value(), *v);
+          } else {
+            EXPECT_FALSE(got.is_ok())
+                << "seed " << seed << " step " << step << " key " << k;
+          }
+        }
+      }
+      // The batch trigger keeps the pending window bounded; mirror the
+      // commits it performed so the shadow models stay in sync.
+      if (db.pending_commit_records() == 0 && !pending_keys.empty()) {
+        durable = acked;
+        pending_keys.clear();
+      }
+    }
+    EXPECT_GT(crashes, 0u) << "seed " << seed;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace origami::kv

@@ -76,6 +76,29 @@ for seed in 11 12 13; do
   done
 done
 
+# 3b'. KV-crash sweep (same sanitized build): the async-commit contract on
+#      the *real* store — each MDS's InodeStore group-commits a file-backed
+#      WAL, crashes sweep the commit buffers and tear the log tail, and the
+#      checker holds I7/I8 against the measured recovery, not just the
+#      modeled journal. Sync mode rides along as the loss-free baseline.
+echo "=== [chaos] kv-crash sweep (sanitized origami_sim, real store) ==="
+KV_WAL_DIR="$(mktemp -d)"
+trap 'rm -rf "${KV_WAL_DIR}"' EXIT
+for seed in 11 12 13; do
+  for mode in sync async; do
+    echo "--- kv ${mode} commit: seed ${seed} ---"
+    args=(--trace rw --ops 30000 --strategy c-hash --seed "${seed}"
+      --kv-backing --fault-seed "$((900 + seed))" --fault-crash-prob 0.3
+      --fault-recovery-ms 300 --commit-mode "${mode}")
+    [[ "${mode}" == async ]] &&
+      args+=(--commit-window 2 --commit-batch 64 --kv-wal-dir "${KV_WAL_DIR}")
+    out="$("${BUILD_ROOT}/sanitize/tools/origami_sim" "${args[@]}")"
+    echo "${out}"
+    grep -q 'invariants: I1-I8 hold' <<<"${out}" ||
+      { echo "kv ${mode}-commit run missing the I1-I8 verdict"; exit 1; }
+  done
+done
+
 # 3c. Flag vocabulary guard: a typoed --fault-*/--commit-* knob must fail
 #     fast with usage, not silently run a different experiment.
 echo "=== [chaos] unknown-flag rejection ==="
@@ -85,12 +108,32 @@ if "${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
 fi
 echo "typoed fault flag rejected with usage"
 
+# 3c'. Config guard: async group commit over the real store fsyncs a real
+#      log, so --kv-backing --commit-mode=async without a writable
+#      --kv-wal-dir must fail fast rather than silently measure an
+#      in-memory WAL.
+echo "=== [chaos] async kv-backing without --kv-wal-dir rejection ==="
+if "${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
+    --kv-backing --commit-mode async >/dev/null 2>&1; then
+  echo "origami_sim accepted async kv-backing without a WAL dir"; exit 1
+fi
+echo "async kv-backing without --kv-wal-dir rejected with usage"
+
 # 3d. Async-commit bench smoke from the release build: keeps the
 #     BENCH_async_commit.json schema alive and enforces the throughput-
 #     monotone-in-window contract plus the per-run I1-I8 audit.
 echo "=== [release] fig12_async_commit smoke ==="
 (cd "${BUILD_ROOT}/release" && \
   ./bench/fig12_async_commit --smoke --out BENCH_async_commit.json)
+
+# 3d'. Measured-store companion: the same grid on the real KV path, keeping
+#      the BENCH_kv_commit.json schema (measured fsync percentiles per
+#      cell) alive.
+echo "=== [release] fig12_async_commit --kv-backing smoke ==="
+(cd "${BUILD_ROOT}/release" && \
+  ./bench/fig12_async_commit --smoke --kv-backing \
+    --kv-wal-dir "${KV_WAL_DIR}" --out BENCH_async_commit_kv.json \
+    --kv-out BENCH_kv_commit.json)
 
 # 4. ThreadSanitizer over the parallel analysis plane: the determinism
 #    suite drives window analysis / Meta-OPT scoring / feature extraction

@@ -65,6 +65,10 @@ async metadata commit (journaling; only active with faults armed):
   --commit-window F        async: max ms a record may sit buffered (default 2)
   --commit-batch N         async: flush at this many buffered records
                            (default 64)
+  --kv-wal-dir DIR         writable directory for the real per-MDS WAL files;
+                           required by --commit-mode=async with --kv-backing
+                           (group commits then fsync real files and the
+                           measured latency is reported)
 )";
 
 wl::Trace build_trace(const common::Flags& flags) {
@@ -152,6 +156,25 @@ void print_result(const cluster::RunResult& r, bool faults, bool async) {
                   static_cast<unsigned long>(f.acked_lost_ops),
                   static_cast<unsigned long>(f.unacked_lost_ops),
                   sim::to_seconds(f.max_commit_lag) * 1e3);
+      if (r.kv_backed) {
+        const auto& kv = r.kv_stats;
+        std::printf("          kv commit: %lu group commits (%lu records)  "
+                    "%lu fsyncs  buffer max %lu B  fsync us "
+                    "p50/p99/max %lu/%lu/%lu (measured)\n",
+                    static_cast<unsigned long>(kv.group_commits),
+                    static_cast<unsigned long>(kv.group_commit_records),
+                    static_cast<unsigned long>(kv.wal_fsyncs),
+                    static_cast<unsigned long>(kv.commit_buffer_bytes_max),
+                    static_cast<unsigned long>(kv.fsync_micros.quantile(0.5)),
+                    static_cast<unsigned long>(kv.fsync_micros.quantile(0.99)),
+                    static_cast<unsigned long>(kv.fsync_micros.max()));
+        std::printf("          kv crashes: %lu recoveries (%lu records "
+                    "replayed)  %lu acked records lost from real commit "
+                    "buffers\n",
+                    static_cast<unsigned long>(f.kv_crash_recoveries),
+                    static_cast<unsigned long>(f.kv_replayed_records),
+                    static_cast<unsigned long>(f.kv_acked_lost_records));
+      }
     }
   }
 }
