@@ -5,6 +5,7 @@
 
 #include "origami/cluster/options.hpp"
 #include "origami/common/flags.hpp"
+#include "origami/policy/registry.hpp"
 
 namespace origami::bench {
 
@@ -93,55 +94,50 @@ core::TrainedModels train_for(const wl::Trace& training_trace,
   return core::train_from_trace(training_trace, lg, gbdt);
 }
 
+cluster::RunResult run_policy(const std::string& spec, const wl::Trace& trace,
+                              const cluster::ReplayOptions& options,
+                              const core::TrainedModels* models) {
+  policy::PolicyContext ctx;
+  ctx.options = &options;
+  if (models != nullptr) {
+    ctx.benefit_model = models->benefit;
+    ctx.popularity_model = models->popularity;
+  }
+  auto made = policy::Registry::builtin().make(spec, ctx);
+  if (!made.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", made.status().to_string().c_str());
+    std::exit(2);
+  }
+  const std::unique_ptr<cluster::Balancer> balancer = std::move(made).value();
+  return cluster::replay_trace(trace, options, *balancer);
+}
+
 cluster::RunResult run_strategy(Strategy strategy, const wl::Trace& trace,
                                 const cluster::ReplayOptions& options,
                                 const core::TrainedModels* models,
                                 bool single_on_cluster) {
   cluster::ReplayOptions opt = options;
-  const core::RebalanceTrigger trigger{0.05};
-  const cost::CostModel cost_model(opt.cost_params);
 
+  // The benches' historical parameterisation, expressed as registry specs
+  // (ml-tree/meta-opt run with the low-op-count thresholds the small bench
+  // traces need). Construction goes through the registry so these runs are
+  // bit-identical with `--policy` runs of the same spec.
   switch (strategy) {
-    case Strategy::kSingle: {
+    case Strategy::kSingle:
       if (!single_on_cluster) opt.mds_count = 1;
-      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
-      return cluster::replay_trace(trace, opt, b);
-    }
-    case Strategy::kCHash: {
-      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kCoarseHash);
-      return cluster::replay_trace(trace, opt, b);
-    }
-    case Strategy::kFHash: {
-      cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kFineHash);
-      return cluster::replay_trace(trace, opt, b);
-    }
-    case Strategy::kMlTree: {
-      core::MlTreeBalancer::Params p;
-      p.min_subtree_ops = 8;
-      core::MlTreeBalancer b(models != nullptr ? models->popularity : nullptr,
-                             p, trigger);
-      return cluster::replay_trace(trace, opt, b);
-    }
-    case Strategy::kOrigami: {
-      core::OrigamiBalancer::Params p;
-      p.cache_enabled = opt.cache_enabled;
-      p.cache_depth = opt.cache_depth;
-      core::OrigamiBalancer b(models != nullptr ? models->benefit : nullptr,
-                              cost_model, p, trigger);
-      return cluster::replay_trace(trace, opt, b);
-    }
-    case Strategy::kMetaOpt: {
-      core::MetaOptParams p;
-      p.min_subtree_ops = 8;
-      p.stop_threshold = sim::micros(500);
-      p.cache_enabled = opt.cache_enabled;
-      p.cache_depth = opt.cache_depth;
-      core::MetaOptOracleBalancer b(cost_model, p, trigger);
-      return cluster::replay_trace(trace, opt, b);
-    }
+      return run_policy("single", trace, opt, models);
+    case Strategy::kCHash:
+      return run_policy("c-hash", trace, opt, models);
+    case Strategy::kFHash:
+      return run_policy("f-hash", trace, opt, models);
+    case Strategy::kMlTree:
+      return run_policy("ml-tree:min-ops=8", trace, opt, models);
+    case Strategy::kOrigami:
+      return run_policy("origami", trace, opt, models);
+    case Strategy::kMetaOpt:
+      return run_policy("meta-opt:min-ops=8,stop-us=500", trace, opt, models);
   }
-  cluster::StaticBalancer b(cluster::StaticBalancer::Kind::kSingle);
-  return cluster::replay_trace(trace, opt, b);
+  return run_policy("single", trace, opt, models);
 }
 
 cluster::RunResult run_latency_probe(const wl::Trace& trace,

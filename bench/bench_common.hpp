@@ -52,10 +52,20 @@ core::TrainedModels train_for(const wl::Trace& training_trace,
 /// Runs one strategy; consumes `models` for ml-tree/origami (may be null
 /// for the others). `mds_count` overrides options.mds_count except for
 /// kSingle which always runs on 1 MDS unless `single_on_cluster`.
+/// Internally resolves through the policy registry (the legacy enum maps
+/// onto registry specs), so bench runs and `--policy` runs are the same
+/// construction path.
 cluster::RunResult run_strategy(Strategy strategy, const wl::Trace& trace,
                                 const cluster::ReplayOptions& options,
                                 const core::TrainedModels* models,
                                 bool single_on_cluster = false);
+
+/// Registry-backed runner: resolves a `name[:k=v,...]` policy spec against
+/// `policy::Registry::builtin()` and replays `trace` with it. Exits 2 on
+/// an invalid spec (same strictness as the CLIs).
+cluster::RunResult run_policy(const std::string& spec, const wl::Trace& trace,
+                              const cluster::ReplayOptions& options,
+                              const core::TrainedModels* models);
 
 /// Single-client latency probe against a *converged* partition (the
 /// paper's Fig. 5b methodology: re-run with one thread after rebalancing):

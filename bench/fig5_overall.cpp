@@ -10,13 +10,23 @@
 
 #include "bench_common.hpp"
 #include "origami/common/csv.hpp"
+#include "origami/policy/registry.hpp"
 
 using namespace origami;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 5 — overall performance on Trace-RW ===\n\n");
   const wl::Trace trace = bench::standard_rw(/*seed=*/1);
-  const cluster::ReplayOptions opt = bench::paper_options();
+  const cluster::ReplayOptions opt =
+      bench::options_from_argv(argc, argv, bench::paper_options());
+  if (!opt.policy.empty()) {
+    // Validate before the expensive training step so a typo fails fast.
+    if (auto ok = policy::Registry::builtin().validate(opt.policy);
+        !ok.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", ok.to_string().c_str());
+      return 2;
+    }
+  }
 
   std::printf("training ML models on a sibling run (seed 99)...\n\n");
   const auto models =
@@ -45,6 +55,24 @@ int main() {
     const double speedup = hot.steady_throughput_ops / single_tput;
     const double lat_pct =
         100.0 * (cold.mean_latency_us / single_lat - 1.0);
+    std::printf("%-10s %14.0f %8.2fx %12.1fus %+9.1f%% %9.3f\n",
+                hot.balancer_name.c_str(), hot.steady_throughput_ops, speedup,
+                cold.mean_latency_us, lat_pct, hot.rpc_per_request);
+    csv.field(hot.balancer_name)
+        .field(hot.steady_throughput_ops)
+        .field(speedup)
+        .field(cold.mean_latency_us)
+        .field(lat_pct)
+        .field(hot.rpc_per_request);
+    csv.endrow();
+  }
+
+  if (!opt.policy.empty()) {
+    // Extra facet: the requested registry policy, same methodology.
+    const auto hot = bench::run_policy(opt.policy, trace, opt, &models);
+    const auto cold = bench::run_latency_probe(trace, opt, hot);
+    const double speedup = hot.steady_throughput_ops / single_tput;
+    const double lat_pct = 100.0 * (cold.mean_latency_us / single_lat - 1.0);
     std::printf("%-10s %14.0f %8.2fx %12.1fus %+9.1f%% %9.3f\n",
                 hot.balancer_name.c_str(), hot.steady_throughput_ops, speedup,
                 cold.mean_latency_us, lat_pct, hot.rpc_per_request);

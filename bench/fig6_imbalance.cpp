@@ -11,13 +11,22 @@
 
 #include "bench_common.hpp"
 #include "origami/common/csv.hpp"
+#include "origami/policy/registry.hpp"
 
 using namespace origami;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Fig. 6 — imbalance factors on Trace-RW ===\n\n");
   const wl::Trace trace = bench::standard_rw(/*seed=*/1);
-  const cluster::ReplayOptions opt = bench::paper_options();
+  const cluster::ReplayOptions opt =
+      bench::options_from_argv(argc, argv, bench::paper_options());
+  if (!opt.policy.empty()) {
+    if (auto ok = policy::Registry::builtin().validate(opt.policy);
+        !ok.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", ok.to_string().c_str());
+      return 2;
+    }
+  }
   const auto models = bench::train_for(bench::standard_rw(/*seed=*/99), opt);
 
   common::CsvWriter csv(bench::csv_path("fig6", "imbalance"));
@@ -41,6 +50,18 @@ int main() {
     csv.endrow();
     if (s == bench::Strategy::kFHash) fhash_busy = r.imf_busy;
     if (s == bench::Strategy::kOrigami) origami_busy = r.imf_busy;
+  }
+
+  if (!opt.policy.empty()) {
+    const auto r = bench::run_policy(opt.policy, trace, opt, &models);
+    std::printf("%-10s %8.2f %8.2f %8.2f %10.2f\n", r.balancer_name.c_str(),
+                r.imf_qps, r.imf_rpc, r.imf_inodes, r.imf_busy);
+    csv.field(r.balancer_name)
+        .field(r.imf_qps)
+        .field(r.imf_rpc)
+        .field(r.imf_inodes)
+        .field(r.imf_busy);
+    csv.endrow();
   }
 
   if (fhash_busy > 0) {

@@ -8,6 +8,7 @@
 #include "origami/cluster/metrics.hpp"
 #include "origami/cluster/options.hpp"
 #include "origami/cluster/plan.hpp"
+#include "origami/engine/observer.hpp"
 #include "origami/common/rng.hpp"
 #include "origami/mds/data_cluster.hpp"
 #include "origami/mds/inode_store.hpp"
@@ -78,6 +79,12 @@ struct EngineCore {
 
   std::vector<DirEpochStats> dir_stats;
   RunResult result;
+
+  /// Cross-layer observer fan-out (engine/observer.hpp): the balancer is
+  /// auto-attached when it implements `engine::Observer`, then every
+  /// `opt.observers` entry in order. All dispatch happens on the DES
+  /// thread; an empty bus costs one branch per seam event.
+  engine::ObserverBus observers;
 
   [[nodiscard]] fsns::NodeId fence_dir(fsns::NodeId node) const {
     return cluster::fence_dir(trace.tree, node);

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "origami/common/flags.hpp"
 #include "origami/common/status.hpp"
@@ -11,6 +13,10 @@
 #include "origami/net/network.hpp"
 #include "origami/recovery/journal.hpp"
 #include "origami/sim/time.hpp"
+
+namespace origami::engine {
+class Observer;
+}  // namespace origami::engine
 
 namespace origami::cluster {
 
@@ -64,6 +70,21 @@ struct ReplayOptions {
   /// two-phase migration protocol, and epoch fencing. Only consulted when
   /// `faults` is enabled, so the clean path is untouched.
   recovery::RecoveryParams recovery;
+
+  /// Balancing-policy spec from the shared `--policy` flag:
+  /// `<name>[:k=v,...]` against `policy::Registry::builtin()`. The engine
+  /// itself never reads this — callers that construct their balancer
+  /// through the registry (origami_sim, the benches) resolve it; callers
+  /// passing a `Balancer` directly ignore it. Validation (unknown name /
+  /// unknown param → usage + exit 2) happens at resolution.
+  std::string policy;
+
+  /// Cross-layer engine observers (engine/observer.hpp), subscribed in
+  /// order after the balancer itself (which is auto-attached when it
+  /// implements `engine::Observer`). Non-owning; hooks fire from the DES
+  /// loop, so subscription never perturbs the simulated clock — a run with
+  /// observers is bit-identical to one without.
+  std::vector<engine::Observer*> observers;
 
   std::uint64_t seed = 11;
 };

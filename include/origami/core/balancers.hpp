@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -13,6 +14,36 @@
 
 namespace origami::core {
 
+/// EWMA + patience damping shared by every trigger: feed one raw imbalance
+/// sample per epoch, and it answers whether the smoothed value has stayed
+/// over `threshold` for `patience` consecutive samples. Used by
+/// `RebalanceTrigger` and by the registered baseline policies so the
+/// smoothing semantics cannot drift between them.
+class TriggerSmoother {
+ public:
+  bool over(double raw, double threshold, double ewma_alpha, int patience) {
+    const double alpha = std::clamp(ewma_alpha, 0.0, 1.0);
+    smoothed_ =
+        smoothed_ < 0.0 ? raw : alpha * raw + (1.0 - alpha) * smoothed_;
+    if (smoothed_ > threshold) {
+      ++over_count_;
+    } else {
+      over_count_ = 0;
+    }
+    return over_count_ >= std::max(1, patience);
+  }
+  /// Last smoothed sample, or -1 before the first feed.
+  [[nodiscard]] double smoothed() const { return smoothed_; }
+  void reset() {
+    smoothed_ = -1.0;
+    over_count_ = 0;
+  }
+
+ private:
+  double smoothed_ = -1.0;
+  int over_count_ = 0;
+};
+
 /// Lunule-style rebalance trigger: act only when the busy-time imbalance
 /// factor exceeds `threshold`. Optional EWMA smoothing (`ewma_alpha` < 1)
 /// and `patience` (consecutive over-threshold epochs required) damp
@@ -22,11 +53,15 @@ struct RebalanceTrigger {
   double ewma_alpha = 1.0;  ///< 1 = raw per-epoch imbalance
   int patience = 1;         ///< epochs over threshold before firing
 
+  RebalanceTrigger() = default;
+  explicit RebalanceTrigger(double threshold_in, double alpha = 1.0,
+                            int patience_in = 1)
+      : threshold(threshold_in), ewma_alpha(alpha), patience(patience_in) {}
+
   bool should_rebalance(const cluster::EpochSnapshot& snap);
 
-  // Smoothing state (public so the struct stays an aggregate).
-  double smoothed_if_ = -1.0;
-  int over_count_ = 0;
+ private:
+  TriggerSmoother smoother_;
 };
 
 /// The oracle upper bound and label generator: runs Algorithm 1 on the

@@ -28,6 +28,10 @@ EngineCore::EngineCore(const wl::Trace& trace_in, const ReplayOptions& options,
       async_commit(faults_on && options.recovery.commit_mode ==
                                     recovery::CommitMode::kAsync),
       dir_stats(trace_in.tree.size()) {
+  // Subscription order is fixed — the policy first (when it observes),
+  // then the caller's observers — so hook sequences are reproducible.
+  observers.attach(dynamic_cast<engine::Observer*>(&balancer));
+  for (engine::Observer* o : opt.observers) observers.attach(o);
   for (std::uint32_t i = 0; i < opt.mds_count; ++i) {
     servers.emplace_back(i, opt.mds_params);
   }

@@ -8,6 +8,22 @@ using cost::MdsId;
 using fsns::NodeId;
 using sim::SimTime;
 
+namespace {
+
+/// Narrates one fault-seam event onto the observer bus.
+void notify_fault(EngineCore& core, engine::FaultEvent::Kind kind, MdsId mds,
+                  std::uint64_t dirs) {
+  if (core.observers.empty()) return;
+  engine::FaultEvent ev;
+  ev.kind = kind;
+  ev.mds = mds;
+  ev.at = core.queue.now();
+  ev.dirs = dirs;
+  core.observers.fault(ev);
+}
+
+}  // namespace
+
 bool FailoverEngine::delivery_fails(MdsId mds, SimTime arrival) {
   const auto fate = core_.network.classify_delivery();
   const bool bad = fate != net::Network::Delivery::kOk ||
@@ -92,6 +108,7 @@ void FailoverEngine::on_crash(const fault::FaultWindow& w) {
   // `final_dir_owner` would reflect post-workload churn.
   if (core_.active_clients == 0) return;
   ++core_.result.faults.crashes;
+  notify_fault(core_, engine::FaultEvent::Kind::kCrash, w.mds, 0);
   core_.servers[w.mds].crash(core_.queue.now(), w.until);
   if (core_.async_commit) {
     // The commit buffer dies with the process: records waiting for their
@@ -167,6 +184,7 @@ void FailoverEngine::failover_from(MdsId down) {
   if (moved_dirs == 0) return;
   ++core_.result.faults.failovers;
   core_.result.faults.failover_dirs += moved_dirs;
+  notify_fault(core_, engine::FaultEvent::Kind::kFailover, down, moved_dirs);
 
   // Each survivor replays the crashed MDS's journal for the fragments it
   // absorbed: scan once (truncating any torn tail), then keep the absorbed
@@ -194,6 +212,7 @@ void FailoverEngine::on_recover(MdsId mds) {
   // Hand back the fragments lost at failover, unless the balancer has
   // since moved them elsewhere.
   std::uint64_t restored_inodes = 0;
+  std::uint64_t restored_dirs = 0;
   SimTime restore_charge = 0;
   std::size_t kept = 0;
   for (FailoverEntry& e : failover_log_) {
@@ -206,6 +225,7 @@ void FailoverEngine::on_recover(MdsId mds) {
           core_.partition.migrate_single(e.dir, e.assigned, mds);
       if (n > 0) {
         restored_inodes += n;
+        ++restored_dirs;
         ++core_.result.faults.restored_dirs;
         restore_charge += core_.journals[mds].append_migration(
             recovery::JournalRecordKind::kRestore, e.dir, e.assigned, mds,
@@ -214,6 +234,7 @@ void FailoverEngine::on_recover(MdsId mds) {
     }
   }
   failover_log_.resize(kept);
+  notify_fault(core_, engine::FaultEvent::Kind::kRecover, mds, restored_dirs);
   if (restored_inodes > 0) {
     core_.servers[mds].serve(core_.queue.now(),
                              core_.opt.cost_params.t_migrate_per_inode *

@@ -7,6 +7,26 @@ namespace origami::cluster {
 using fsns::NodeId;
 using sim::SimTime;
 
+namespace {
+
+/// Narrates one protocol transition onto the observer bus (migration seam).
+void notify_phase(EngineCore& core, engine::MigrationPhaseEvent::Phase phase,
+                  const MigrationDecision& d, std::uint32_t epoch,
+                  std::uint64_t inodes) {
+  if (core.observers.empty()) return;
+  engine::MigrationPhaseEvent ev;
+  ev.phase = phase;
+  ev.subtree = d.subtree;
+  ev.from = d.from;
+  ev.to = d.to;
+  ev.ownership_epoch = epoch;
+  ev.at = core.queue.now();
+  ev.inodes = inodes;
+  core.observers.migration_phase(ev);
+}
+
+}  // namespace
+
 TwoPhaseLog::Charges TwoPhaseLog::record(
     recovery::JournalRecordKind kind, NodeId subtree, cost::MdsId from,
     cost::MdsId to, std::uint32_t epoch, SimTime now,
@@ -61,6 +81,8 @@ void MigrationEngine::start_two_phase(const MigrationDecision& d) {
       now, &core_.journals[d.from], &core_.journals[d.to],
       core_.ledger.get());
   ++core_.result.faults.prepared_migrations;
+  notify_phase(core_, engine::MigrationPhaseEvent::Phase::kPrepare, d, epoch,
+               estimate);
   two_phase_.add(d.subtree);
   // The copy happens inside the prepare window; ownership only moves at the
   // commit point, so a crash before then leaves the source authoritative.
@@ -90,6 +112,8 @@ void MigrationEngine::commit_migration(MigrationDecision d) {
         now, from_up ? &core_.journals[d.from] : nullptr,
         to_up ? &core_.journals[d.to] : nullptr, core_.ledger.get());
     ++core_.result.faults.aborted_migrations;
+    notify_phase(core_, engine::MigrationPhaseEvent::Phase::kAbort, d, epoch,
+                 0);
     return;
   }
   const auto epoch = static_cast<std::uint32_t>(++commit_seq_);
@@ -100,6 +124,8 @@ void MigrationEngine::commit_migration(MigrationDecision d) {
   core_.servers[d.from].serve(now, charge.from);
   core_.servers[d.to].serve(now, charge.to);
   ++core_.result.faults.committed_migrations;
+  notify_phase(core_, engine::MigrationPhaseEvent::Phase::kCommit, d, epoch,
+               moved);
   if (core_.opt.kv_backing) {
     core_.trace.tree.visit_subtree(d.subtree, [&](NodeId id) {
       if (core_.partition.node_owner(id) != d.to) return;

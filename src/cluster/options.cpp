@@ -104,6 +104,12 @@ common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
     opt.warmup_epochs =
         static_cast<std::uint32_t>(flags.get_int("warmup-epochs", 4));
   }
+  if (flags.has("policy")) {
+    // Stored raw; resolved (and strictly validated) against
+    // policy::Registry::builtin() by the caller — the engine layer cannot
+    // depend on the policy layer above it.
+    opt.policy = flags.get("policy");
+  }
 
   fault::FaultPlan& plan = opt.faults;
   if (flags.has("fault-seed")) {

@@ -60,11 +60,17 @@ class Replayer {
 
     const EpochSnapshot snap = begin_epoch_snapshot(core_);
     EpochMetrics em = epoch_metrics_from(core_, snap);
+    core_.observers.epoch_begin(snap);
 
     const auto decisions =
         core_.balancer.rebalance(snap, core_.trace.tree, core_.partition);
+    core_.observers.decisions(core_.epoch_index, decisions);
     for (const MigrationDecision& d : decisions) migration_.apply(d, em);
     core_.result.epochs.push_back(std::move(em));
+    if (!core_.observers.empty()) {
+      core_.observers.epoch_end(core_.result.epochs.back(),
+                                epoch_counter_delta());
+    }
 
     std::fill(core_.dir_stats.begin(), core_.dir_stats.end(), DirEpochStats{});
     ++core_.epoch_index;
@@ -75,11 +81,37 @@ class Replayer {
     }
   }
 
+  /// This epoch's counter movement: the running aggregates minus the
+  /// watermark captured at the previous boundary. Two-phase COMMITs that
+  /// land after the boundary are charged to the epoch they complete in.
+  engine::EpochCounters epoch_counter_delta() {
+    const RobustnessStats& f = core_.result.faults;
+    engine::EpochCounters d;
+    d.epoch = core_.epoch_index;
+    d.completed_ops = core_.result.completed_ops - seen_completed_;
+    d.retries = f.retries - seen_.retries;
+    d.timeouts = f.timeouts - seen_.timeouts;
+    d.failed_ops = f.failed_ops - seen_.failed_ops;
+    d.fenced_rejections = f.fenced_rejections - seen_.fenced_rejections;
+    d.prepared_migrations = f.prepared_migrations - seen_.prepared_migrations;
+    d.committed_migrations =
+        f.committed_migrations - seen_.committed_migrations;
+    d.aborted_migrations = f.aborted_migrations - seen_.aborted_migrations;
+    d.crashes = f.crashes - seen_.crashes;
+    d.failovers = f.failovers - seen_.failovers;
+    seen_ = f;
+    seen_completed_ = core_.result.completed_ops;
+    return d;
+  }
+
   EngineCore core_;
   RequestPlanner planner_;
   ExecEngine exec_;
   FailoverEngine failover_;
   MigrationEngine migration_;
+  /// Counter watermarks from the previous epoch boundary (observer deltas).
+  RobustnessStats seen_;
+  std::uint64_t seen_completed_ = 0;
 };
 
 }  // namespace

@@ -211,6 +211,8 @@ void finalize_run(EngineCore& core) {
         static_cast<double>(core.data.bytes_served()) / 1e6 /
         sim::to_seconds(result.makespan);
   }
+
+  core.observers.run_end(result);
 }
 
 common::Status write_epoch_csv(const RunResult& result,

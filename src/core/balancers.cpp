@@ -21,15 +21,7 @@ bool RebalanceTrigger::should_rebalance(const cluster::EpochSnapshot& snap) {
   }
   if (total_ops == 0) return false;
   const double raw = cost::imbalance_factor(busy);
-  const double alpha = std::clamp(ewma_alpha, 0.0, 1.0);
-  smoothed_if_ = smoothed_if_ < 0.0 ? raw
-                                    : alpha * raw + (1.0 - alpha) * smoothed_if_;
-  if (smoothed_if_ > threshold) {
-    ++over_count_;
-  } else {
-    over_count_ = 0;
-  }
-  return over_count_ >= std::max(1, patience);
+  return smoother_.over(raw, threshold, ewma_alpha, patience);
 }
 
 std::vector<cluster::MigrationDecision> MetaOptOracleBalancer::rebalance(

@@ -1,0 +1,455 @@
+#include "origami/policy/baselines.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "origami/common/hash.hpp"
+#include "origami/core/subtree.hpp"
+#include "origami/cost/cost_model.hpp"
+
+namespace origami::policy {
+
+namespace {
+
+using cost::MdsId;
+using fsns::NodeId;
+
+/// The per-MDS "cpu" load vector (busy service time) every baseline keys
+/// its decisions on, as doubles for imbalance math.
+std::vector<double> busy_load(const cluster::EpochSnapshot& snap) {
+  std::vector<double> load;
+  load.reserve(snap.mds.size());
+  for (const auto& m : snap.mds) load.push_back(static_cast<double>(m.busy));
+  return load;
+}
+
+MdsId argmax(const std::vector<double>& v) {
+  return static_cast<MdsId>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+MdsId argmin_excluding(const std::vector<double>& v, MdsId skip) {
+  MdsId best = cost::kInvalidMds;
+  for (MdsId m = 0; m < static_cast<MdsId>(v.size()); ++m) {
+    if (m == skip) continue;
+    if (best == cost::kInvalidMds || v[m] < v[best]) best = m;
+  }
+  return best;
+}
+
+/// The fine-hash owner of a directory (same mix as partitioner::fine_hash,
+/// so hash-repart converges onto exactly the f-hash placement).
+MdsId hash_owner(NodeId d, std::size_t mds_count) {
+  return static_cast<MdsId>(common::mix64(d + 0x9e3779b9) % mds_count);
+}
+
+}  // namespace
+
+std::vector<cluster::MigrationDecision> GreedySpillBalancer::rebalance(
+    const cluster::EpochSnapshot& snapshot, const fsns::DirTree& tree,
+    const mds::PartitionMap& map) {
+  if (snapshot.dir_stats == nullptr) return {};
+  if (!trigger_.should_rebalance(snapshot)) return {};
+
+  core::SubtreeView view =
+      core::SubtreeView::build(tree, *snapshot.dir_stats, map);
+  const auto cands =
+      view.candidates(params_.max_candidates, params_.min_subtree_ops);
+  if (cands.empty()) return {};
+
+  std::vector<double> load = busy_load(snapshot);
+  double total = 0.0;
+  for (double l : load) total += l;
+  const double mean = total / static_cast<double>(load.size());
+
+  std::vector<cluster::MigrationDecision> decisions;
+  std::uint64_t inode_budget = params_.max_inodes_per_epoch;
+  // Candidates arrive hottest-first (ranked by subtree RCT); spill each one
+  // owned by the *currently* hottest MDS onto the coldest, re-evaluating
+  // loads after every move.
+  for (const NodeId subtree : cands) {
+    if (decisions.size() >=
+        static_cast<std::size_t>(params_.max_migrations_per_epoch)) {
+      break;
+    }
+    const MdsId hot = argmax(load);
+    if (load[hot] <= mean) break;  // source at or below mean: balanced
+    if (view.uniform_owner(subtree) != hot) continue;
+    if (tree.node(subtree).subtree_nodes > inode_budget) continue;
+    const MdsId cold = argmin_excluding(load, hot);
+    if (cold == cost::kInvalidMds) break;
+    const auto moved = static_cast<double>(view.rct(subtree));
+    if (moved <= 0.0) continue;
+    if (load[cold] + moved > load[hot] - moved) continue;  // would overshoot
+    load[hot] -= moved;
+    load[cold] += moved;
+    inode_budget -= tree.node(subtree).subtree_nodes;
+    tree.visit_subtree(subtree, [&](NodeId id) {
+      if (tree.is_dir(id)) view.exclude(id);
+    });
+    decisions.push_back({subtree, hot, cold, moved / 1e9});
+  }
+  return decisions;
+}
+
+void HashRepartitionBalancer::prepare(const fsns::DirTree& tree,
+                                      mds::PartitionMap& map) {
+  (void)tree;
+  mds::partitioner::coarse_hash(map, params_.coarse_levels);
+}
+
+std::vector<cluster::MigrationDecision> HashRepartitionBalancer::rebalance(
+    const cluster::EpochSnapshot& snapshot, const fsns::DirTree& tree,
+    const mds::PartitionMap& map) {
+  if (snapshot.dir_stats == nullptr) return {};
+  if (!trigger_.should_rebalance(snapshot)) return {};
+
+  const auto& stats = *snapshot.dir_stats;
+  // Directories whose current owner drifted from the fine-hash owner,
+  // hottest (by own-epoch RCT) first; NodeId breaks ties so the order is
+  // fully deterministic.
+  std::vector<std::pair<double, NodeId>> drifted;
+  for (const NodeId d : tree.directories()) {
+    const MdsId want = hash_owner(d, map.mds_count());
+    if (map.dir_owner(d) == want) continue;
+    drifted.emplace_back(-static_cast<double>(stats[d].rct), d);
+  }
+  std::sort(drifted.begin(), drifted.end());
+
+  std::vector<cluster::MigrationDecision> decisions;
+  for (const auto& [neg_heat, d] : drifted) {
+    (void)neg_heat;
+    if (decisions.size() >=
+        static_cast<std::size_t>(params_.max_moves_per_epoch)) {
+      break;
+    }
+    cluster::MigrationDecision dec;
+    dec.subtree = d;
+    dec.from = map.dir_owner(d);
+    dec.to = hash_owner(d, map.mds_count());
+    dec.whole_subtree = false;  // directory-granular re-hash
+    decisions.push_back(dec);
+  }
+  return decisions;
+}
+
+std::vector<cluster::MigrationDecision> LoadFractionBalancer::rebalance(
+    const cluster::EpochSnapshot& snapshot, const fsns::DirTree& tree,
+    const mds::PartitionMap& map) {
+  if (snapshot.dir_stats == nullptr) return {};
+  if (!trigger_.should_rebalance(snapshot)) return {};
+
+  core::SubtreeView view =
+      core::SubtreeView::build(tree, *snapshot.dir_stats, map);
+  const auto cands =
+      view.candidates(params_.max_candidates, params_.min_subtree_ops);
+  if (cands.empty()) return {};
+
+  std::vector<double> load = busy_load(snapshot);
+  double total = 0.0;
+  for (double l : load) total += l;
+  const double mean = total / static_cast<double>(load.size());
+
+  // Exporters ranked by excess over the mean (descending; MdsId ties).
+  std::vector<MdsId> exporters;
+  for (MdsId m = 0; m < static_cast<MdsId>(load.size()); ++m) {
+    if (load[m] > mean) exporters.push_back(m);
+  }
+  std::stable_sort(exporters.begin(), exporters.end(),
+                   [&](MdsId a, MdsId b) { return load[a] > load[b]; });
+
+  std::vector<cluster::MigrationDecision> decisions;
+  std::uint64_t inode_budget = params_.max_inodes_per_epoch;
+  for (const MdsId exporter : exporters) {
+    const double excess = load[exporter] - mean;
+    if (excess <= 0.0) continue;
+    double shed = 0.0;
+    for (const NodeId subtree : cands) {
+      if (decisions.size() >=
+          static_cast<std::size_t>(params_.max_migrations_per_epoch)) {
+        return decisions;
+      }
+      if (shed >= excess) break;  // this exporter's fraction is met
+      if (view.uniform_owner(subtree) != exporter) continue;
+      if (tree.node(subtree).subtree_nodes > inode_budget) continue;
+      const auto l = static_cast<double>(view.rct(subtree));
+      if (l <= 0.0) continue;
+      // A slice far beyond the remaining excess would overshoot the mean;
+      // skip it and keep walking colder candidates.
+      if (l > (excess - shed) * 1.5) continue;
+      const MdsId importer = argmin_excluding(load, exporter);
+      if (importer == cost::kInvalidMds) return decisions;
+      if (load[importer] + l > load[exporter] - l) continue;
+      load[exporter] -= l;
+      load[importer] += l;
+      shed += l;
+      inode_budget -= tree.node(subtree).subtree_nodes;
+      tree.visit_subtree(subtree, [&](NodeId id) {
+        if (tree.is_dir(id)) view.exclude(id);
+      });
+      decisions.push_back({subtree, exporter, importer, l / 1e9});
+    }
+  }
+  return decisions;
+}
+
+// ---------------------------------------------------------------------------
+// Live-mode forms: the same decision rules against the live Data Collector.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Subtree-aggregated view over one live activity drain (the same rollup
+/// LiveOrigamiBalancer performs, shared by the baseline live policies).
+struct LiveNode {
+  fs::Ino ino = fs::kInvalidIno;
+  fs::Ino parent = fs::kInvalidIno;
+  std::uint32_t depth = 0;
+  std::uint32_t shard = 0;
+  bool uniform = true;
+  std::uint64_t sub_dirs = 0;
+  std::uint64_t ops = 0;       ///< subtree reads+writes
+  std::uint64_t self_ops = 0;  ///< the directory's own reads+writes
+};
+
+struct LiveView {
+  std::vector<LiveNode> nodes;
+  std::vector<double> shard_load;
+  std::uint64_t total_ops = 0;
+};
+
+LiveView live_view(fs::OrigamiFs& fsys) {
+  LiveView v;
+  const auto activity = fsys.collect_activity(/*reset=*/true);
+  v.shard_load.assign(fsys.shard_count(), 0.0);
+  v.nodes.resize(activity.size());
+  std::unordered_map<fs::Ino, std::size_t> index;
+  index.reserve(activity.size());
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    const auto& a = activity[i];
+    const std::uint64_t ops = a.reads + a.writes;
+    v.nodes[i] = {a.ino, a.parent, a.depth, a.shard, true, a.sub_dirs, ops,
+                  ops};
+    v.shard_load[a.shard] += static_cast<double>(ops);
+    v.total_ops += ops;
+    index.emplace(a.ino, i);
+  }
+  // Deepest-first parent propagation turns per-dir counters into subtree
+  // aggregates and labels ownership uniformity.
+  std::vector<std::size_t> order(v.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return v.nodes[a].depth > v.nodes[b].depth;
+                   });
+  for (std::size_t i : order) {
+    const auto pit = index.find(v.nodes[i].parent);
+    if (pit == index.end()) continue;
+    LiveNode& p = v.nodes[pit->second];
+    p.ops += v.nodes[i].ops;
+    if (!v.nodes[i].uniform || v.nodes[i].shard != p.shard) p.uniform = false;
+  }
+  return v;
+}
+
+/// One two-phase live move: PREPARE, migrate, then COMMIT — or ABORT with
+/// rollback when the destination died mid-copy. Returns entries moved
+/// (0 on abort) or no value when the copy never started.
+bool two_phase_move(fs::OrigamiFs& fsys, fs::LiveFaultContext& ctx,
+                    fs::Ino subtree, std::uint32_t from, std::uint32_t to) {
+  ctx.record_prepare(subtree, from, to);
+  const auto moved = fsys.migrate_subtree_ino(subtree, to);
+  if (!moved.is_ok()) {
+    ctx.record_abort(subtree, from, to);
+    return false;
+  }
+  if (ctx.shard_down(to)) {
+    (void)fsys.migrate_subtree_ino(subtree, from);
+    ctx.record_abort(subtree, from, to);
+    return false;
+  }
+  ctx.record_commit(subtree, from, to);
+  return true;
+}
+
+std::uint32_t live_argmin(const std::vector<double>& load, std::uint32_t skip,
+                          const fs::LiveFaultContext& ctx) {
+  std::uint32_t best = UINT32_MAX;
+  for (std::uint32_t s = 0; s < load.size(); ++s) {
+    if (s == skip || ctx.shard_down(s)) continue;
+    if (best == UINT32_MAX || load[s] < load[best]) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint64_t LiveGreedySpillPolicy::on_epoch(fs::OrigamiFs& fsys,
+                                              fs::LiveFaultContext& ctx) {
+  LiveView v = live_view(fsys);
+  if (v.total_ops == 0) return 0;
+  if (!smoother_.over(cost::imbalance_factor(v.shard_load),
+                      params_.trigger_threshold, params_.ewma_alpha,
+                      params_.patience)) {
+    return 0;
+  }
+  double total = 0.0;
+  for (double l : v.shard_load) total += l;
+  const double mean = total / static_cast<double>(v.shard_load.size());
+
+  // Hottest uniform subtrees first (ino breaks ties).
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < v.nodes.size(); ++i) {
+    const LiveNode& n = v.nodes[i];
+    if (!n.uniform || n.ino == fs::kRootIno) continue;
+    if (n.ops < params_.min_subtree_ops) continue;
+    order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    if (v.nodes[a].ops != v.nodes[b].ops) return v.nodes[a].ops > v.nodes[b].ops;
+    return v.nodes[a].ino < v.nodes[b].ino;
+  });
+
+  std::uint64_t moves = 0;
+  std::vector<bool> frozen(v.nodes.size(), false);
+  for (const std::size_t i : order) {
+    if (moves >= static_cast<std::uint64_t>(params_.max_moves_per_epoch)) break;
+    if (frozen[i]) continue;
+    const LiveNode& n = v.nodes[i];
+    const std::uint32_t from = n.shard;
+    if (ctx.shard_down(from)) continue;
+    if (v.shard_load[from] <= mean) continue;  // source already balanced
+    const std::uint32_t to = live_argmin(v.shard_load, from, ctx);
+    if (to == UINT32_MAX) break;
+    const auto load = static_cast<double>(n.ops);
+    if (v.shard_load[to] + load > v.shard_load[from] - load) continue;
+    if (!two_phase_move(fsys, ctx, n.ino, from, to)) continue;
+    ++moves;
+    v.shard_load[from] -= load;
+    v.shard_load[to] += load;
+    // Freeze every node inside the moved subtree (walk each node's
+    // ancestor chain up to the moved root).
+    std::unordered_map<fs::Ino, std::size_t> index;
+    index.reserve(v.nodes.size());
+    for (std::size_t j = 0; j < v.nodes.size(); ++j) {
+      index.emplace(v.nodes[j].ino, j);
+    }
+    for (std::size_t j = 0; j < v.nodes.size(); ++j) {
+      fs::Ino cur = v.nodes[j].ino;
+      while (cur != fs::kInvalidIno) {
+        if (cur == n.ino) {
+          frozen[j] = true;
+          break;
+        }
+        const auto it = index.find(cur);
+        if (it == index.end()) break;
+        cur = v.nodes[it->second].parent;
+      }
+    }
+  }
+  return moves;
+}
+
+std::uint64_t LiveHashRepartitionPolicy::on_epoch(fs::OrigamiFs& fsys,
+                                                  fs::LiveFaultContext& ctx) {
+  LiveView v = live_view(fsys);
+  if (v.total_ops == 0) return 0;
+  if (!smoother_.over(cost::imbalance_factor(v.shard_load),
+                      params_.trigger_threshold, params_.ewma_alpha,
+                      params_.patience)) {
+    return 0;
+  }
+  // Drifted leaf directories (no child dirs: the whole-subtree move is the
+  // directory itself), hottest first, ino ties.
+  std::vector<std::size_t> drifted;
+  for (std::size_t i = 0; i < v.nodes.size(); ++i) {
+    const LiveNode& n = v.nodes[i];
+    if (n.ino == fs::kRootIno || n.sub_dirs != 0) continue;
+    const auto want = static_cast<std::uint32_t>(
+        common::mix64(n.ino + 0x9e3779b9) % fsys.shard_count());
+    if (n.shard == want) continue;
+    drifted.push_back(i);
+  }
+  std::stable_sort(drifted.begin(), drifted.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (v.nodes[a].self_ops != v.nodes[b].self_ops) {
+                       return v.nodes[a].self_ops > v.nodes[b].self_ops;
+                     }
+                     return v.nodes[a].ino < v.nodes[b].ino;
+                   });
+  std::uint64_t moves = 0;
+  for (const std::size_t i : drifted) {
+    if (moves >= static_cast<std::uint64_t>(params_.max_moves_per_epoch)) break;
+    const LiveNode& n = v.nodes[i];
+    const auto want = static_cast<std::uint32_t>(
+        common::mix64(n.ino + 0x9e3779b9) % fsys.shard_count());
+    if (ctx.shard_down(n.shard) || ctx.shard_down(want)) continue;
+    if (two_phase_move(fsys, ctx, n.ino, n.shard, want)) ++moves;
+  }
+  return moves;
+}
+
+std::uint64_t LiveLoadFractionPolicy::on_epoch(fs::OrigamiFs& fsys,
+                                               fs::LiveFaultContext& ctx) {
+  LiveView v = live_view(fsys);
+  if (v.total_ops == 0) return 0;
+  if (!smoother_.over(cost::imbalance_factor(v.shard_load),
+                      params_.trigger_threshold, params_.ewma_alpha,
+                      params_.patience)) {
+    return 0;
+  }
+  double total = 0.0;
+  for (double l : v.shard_load) total += l;
+  const double mean = total / static_cast<double>(v.shard_load.size());
+
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < v.nodes.size(); ++i) {
+    const LiveNode& n = v.nodes[i];
+    if (!n.uniform || n.ino == fs::kRootIno) continue;
+    if (n.ops < params_.min_subtree_ops) continue;
+    order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    if (v.nodes[a].ops != v.nodes[b].ops) return v.nodes[a].ops > v.nodes[b].ops;
+    return v.nodes[a].ino < v.nodes[b].ino;
+  });
+
+  // Exporters by excess, descending (shard id ties).
+  std::vector<std::uint32_t> exporters;
+  for (std::uint32_t s = 0; s < v.shard_load.size(); ++s) {
+    if (v.shard_load[s] > mean && !ctx.shard_down(s)) exporters.push_back(s);
+  }
+  std::stable_sort(exporters.begin(), exporters.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return v.shard_load[a] > v.shard_load[b];
+                   });
+
+  std::uint64_t moves = 0;
+  for (const std::uint32_t exporter : exporters) {
+    const double excess = v.shard_load[exporter] - mean;
+    if (excess <= 0.0) continue;
+    double shed = 0.0;
+    for (const std::size_t i : order) {
+      if (moves >= static_cast<std::uint64_t>(params_.max_moves_per_epoch)) {
+        return moves;
+      }
+      if (shed >= excess) break;
+      const LiveNode& n = v.nodes[i];
+      if (n.shard != exporter) continue;
+      const auto load = static_cast<double>(n.ops);
+      if (load > (excess - shed) * 1.5) continue;
+      const std::uint32_t to = live_argmin(v.shard_load, exporter, ctx);
+      if (to == UINT32_MAX) return moves;
+      if (v.shard_load[to] + load > v.shard_load[exporter] - load) continue;
+      if (!two_phase_move(fsys, ctx, n.ino, exporter, to)) continue;
+      ++moves;
+      shed += load;
+      v.shard_load[exporter] -= load;
+      v.shard_load[to] += load;
+    }
+  }
+  return moves;
+}
+
+}  // namespace origami::policy

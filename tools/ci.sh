@@ -99,6 +99,27 @@ for seed in 11 12 13; do
   done
 done
 
+# 3b''. Policy face-off sweep (same sanitized build): every policy in the
+#       registry runs one faulted async-commit replay and must print the
+#       full I1-I8 verdict. "fixed" is skipped — it replays a captured
+#       ownership map, which the CLI has no prior run to supply (it is
+#       exercised by fig13 and the policy unit tests instead).
+echo "=== [chaos] policy face-off sweep (sanitized origami_sim) ==="
+POLICIES="$("${BUILD_ROOT}/sanitize/tools/origami_sim" --list-policies |
+  awk '/^[a-z]/{print $1}')"
+[[ -n "${POLICIES}" ]] || { echo "--list-policies printed no policies"; exit 1; }
+for p in ${POLICIES}; do
+  [[ "${p}" == fixed ]] && continue
+  echo "--- policy ${p}: faulted async-commit run ---"
+  out="$("${BUILD_ROOT}/sanitize/tools/origami_sim" \
+    --trace rw --ops 20000 --policy "${p}" --seed 11 \
+    --fault-seed 911 --fault-crash-prob 0.05 --fault-recovery-ms 300 \
+    --commit-mode async --commit-window 2 --commit-batch 64)"
+  echo "${out}"
+  grep -q 'invariants: I1-I8 hold' <<<"${out}" ||
+    { echo "policy ${p} run missing the I1-I8 verdict"; exit 1; }
+done
+
 # 3c. Flag vocabulary guard: a typoed --fault-*/--commit-* knob must fail
 #     fast with usage, not silently run a different experiment.
 echo "=== [chaos] unknown-flag rejection ==="
@@ -107,6 +128,23 @@ if "${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
   echo "origami_sim accepted a typoed --fault-* flag"; exit 1
 fi
 echo "typoed fault flag rejected with usage"
+
+# 3c-p. Policy spec guard: an unknown --policy name or parameter must exit 2
+#       with usage, never fall back to a default policy.
+echo "=== [chaos] --policy rejection ==="
+set +e
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 --policy bogus \
+  >/dev/null 2>&1
+rc_name=$?
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
+  --policy origami:bogus=1 >/dev/null 2>&1
+rc_param=$?
+set -e
+[[ "${rc_name}" -eq 2 ]] ||
+  { echo "--policy=bogus exited ${rc_name}, want 2"; exit 1; }
+[[ "${rc_param}" -eq 2 ]] ||
+  { echo "--policy=origami:bogus=1 exited ${rc_param}, want 2"; exit 1; }
+echo "unknown policy name and parameter rejected with exit 2"
 
 # 3c'. Config guard: async group commit over the real store fsyncs a real
 #      log, so --kv-backing --commit-mode=async without a writable
@@ -134,6 +172,14 @@ echo "=== [release] fig12_async_commit --kv-backing smoke ==="
   ./bench/fig12_async_commit --smoke --kv-backing \
     --kv-wal-dir "${KV_WAL_DIR}" --out BENCH_async_commit_kv.json \
     --kv-out BENCH_kv_commit.json)
+
+# 3d''. Policy-faceoff bench smoke from the release build: every registered
+#       policy over both workloads in epoch-clean / epoch-faults / live
+#       modes, keeping the BENCH_policy_faceoff.json schema alive; the
+#       bench itself fails on any I1-I8 violation.
+echo "=== [release] fig13_policy_faceoff smoke ==="
+(cd "${BUILD_ROOT}/release" && \
+  ./bench/fig13_policy_faceoff --smoke --out BENCH_policy_faceoff.json)
 
 # 4. ThreadSanitizer over the parallel analysis plane: the determinism
 #    suite drives window analysis / Meta-OPT scoring / feature extraction

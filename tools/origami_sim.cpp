@@ -17,6 +17,7 @@
 #include "origami/common/flags.hpp"
 #include "origami/common/thread_pool.hpp"
 #include "origami/fault/fault.hpp"
+#include "origami/policy/registry.hpp"
 #include "origami/recovery/invariants.hpp"
 #include "origami/core/balancers.hpp"
 #include "origami/core/pipeline.hpp"
@@ -32,6 +33,11 @@ constexpr const char* kUsage = R"(usage: origami_sim [options]
   --ops N                  operations to generate (default 300000)
   --seed N                 workload seed (default 1)
   --strategy NAME          single|c-hash|f-hash|ml-tree|origami|meta-opt|all
+  --policy SPEC            any registered policy, with parameters:
+                           "name[:key=value,...]" (overrides --strategy;
+                           see --list-policies for the catalogue)
+  --list-policies          print every registered policy with its params
+                           and metrics schema, then exit
   --mds N                  metadata servers (default 5)
   --clients N              closed-loop clients (default 50)
   --epoch-ms N             balancing epoch (default 500)
@@ -221,6 +227,10 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  if (flags.has("list-policies")) {
+    std::fputs(policy::Registry::builtin().describe().c_str(), stdout);
+    return 0;
+  }
 
   // The decision plane (window analysis, Meta-OPT scoring, feature
   // extraction) shards onto this pool; the DES event loop itself stays
@@ -251,18 +261,37 @@ int main(int argc, char** argv) {
   }
   const cluster::ReplayOptions opt = std::move(parsed).value();
 
+  // Strategy names ARE policy specs now: both --strategy and --policy
+  // resolve through the registry; --policy additionally carries parameters
+  // and reaches the registered baselines beyond the paper's six.
   const std::string strategy = flags.get("strategy", "all");
+  const bool all_mode = opt.policy.empty() && strategy == "all";
   std::vector<std::string> todo;
-  if (strategy == "all") {
+  if (!opt.policy.empty()) {
+    todo = {opt.policy};
+  } else if (all_mode) {
     todo = {"single", "c-hash", "f-hash", "ml-tree", "origami", "meta-opt"};
   } else {
     todo = {strategy};
   }
 
-  // Train once if any ML strategy is requested.
+  const policy::Registry& registry = policy::Registry::builtin();
+  std::vector<const policy::Entry*> resolved;
+  for (const std::string& spec : todo) {
+    if (auto s = registry.validate(spec); !s.is_ok()) {
+      std::fprintf(stderr, "error: %s\n%s", s.to_string().c_str(), kUsage);
+      return 2;
+    }
+    resolved.push_back(
+        registry.find(policy::parse_policy_spec(spec).value().name));
+  }
+
+  // Train once if any requested policy consumes a model.
   core::TrainedModels models;
-  const bool needs_models =
-      strategy == "all" || strategy == "ml-tree" || strategy == "origami";
+  bool needs_models = false;
+  for (const policy::Entry* e : resolved) {
+    needs_models |= e->needs_benefit_model || e->needs_popularity_model;
+  }
   if (needs_models) {
     std::printf("training models on a sibling run (seed+98)...\n");
     wl::Trace train_trace = [&] {
@@ -311,43 +340,22 @@ int main(int argc, char** argv) {
                  "imf_busy", "imf_qps", "migrations"});
   }
 
-  const cost::CostModel cost_model(opt.cost_params);
-  const core::RebalanceTrigger trigger{0.05};
+  policy::PolicyContext ctx;
+  ctx.options = &opt;
+  ctx.benefit_model = models.benefit;
+  ctx.popularity_model = models.popularity;
   bool violations = false;
-  for (const std::string& name : todo) {
+  for (std::size_t ti = 0; ti < todo.size(); ++ti) {
     cluster::ReplayOptions run_opt = opt;
-    std::unique_ptr<cluster::Balancer> balancer;
-    if (name == "single") {
-      run_opt.mds_count = strategy == "all" ? 1 : opt.mds_count;
-      balancer = std::make_unique<cluster::StaticBalancer>(
-          cluster::StaticBalancer::Kind::kSingle);
-    } else if (name == "c-hash") {
-      balancer = std::make_unique<cluster::StaticBalancer>(
-          cluster::StaticBalancer::Kind::kCoarseHash);
-    } else if (name == "f-hash") {
-      balancer = std::make_unique<cluster::StaticBalancer>(
-          cluster::StaticBalancer::Kind::kFineHash);
-    } else if (name == "ml-tree") {
-      core::MlTreeBalancer::Params p;
-      balancer = std::make_unique<core::MlTreeBalancer>(models.popularity, p,
-                                                        trigger);
-    } else if (name == "origami") {
-      core::OrigamiBalancer::Params p;
-      p.cache_enabled = opt.cache_enabled;
-      p.cache_depth = opt.cache_depth;
-      balancer = std::make_unique<core::OrigamiBalancer>(models.benefit,
-                                                         cost_model, p, trigger);
-    } else if (name == "meta-opt") {
-      core::MetaOptParams p;
-      p.cache_enabled = opt.cache_enabled;
-      p.cache_depth = opt.cache_depth;
-      balancer = std::make_unique<core::MetaOptOracleBalancer>(cost_model, p,
-                                                               trigger);
-    } else {
-      std::fprintf(stderr, "error: unknown strategy '%s'\n%s", name.c_str(),
-                   kUsage);
-      return 1;
+    if (resolved[ti]->single_mds && all_mode) run_opt.mds_count = 1;
+    auto made = registry.make(todo[ti], ctx);
+    if (!made.is_ok()) {
+      std::fprintf(stderr, "error: %s\n%s",
+                   made.status().to_string().c_str(), kUsage);
+      return 2;
     }
+    const std::unique_ptr<cluster::Balancer> balancer =
+        std::move(made).value();
     const bool async_commit =
         opt.recovery.commit_mode == recovery::CommitMode::kAsync;
     const auto r = cluster::replay_trace(trace, run_opt, *balancer);
