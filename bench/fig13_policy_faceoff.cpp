@@ -235,12 +235,13 @@ int main(int argc, char** argv) {
         fs::OrigamiFs fsys(fopt);
         fs::LiveReplayOptions lro;
         lro.epoch_ops = live_epoch_ops;
+        lro.shard_threads = base.shard_threads;
         lro.on_epoch = [&live](fs::OrigamiFs& f, fs::LiveFaultContext& c) {
           return live->on_epoch(f, c);
         };
         lro.faults.seed = 7;
         lro.faults.crash_prob = 0.05;
-        lro.faults.crash_recovery = 2'000;  // live clock = op index
+        lro.faults.crash_recovery = sim::millis(200);
         lro.retry.max_retries = 4;
         const auto r = fs::replay_on_live(w.trace, fsys, lro);
 
@@ -249,8 +250,8 @@ int main(int argc, char** argv) {
         row.policy = e.name;
         row.mode = "live";
         row.servers = base.mds_count;
-        row.throughput = static_cast<double>(r.executed);
-        row.p99_us = 0.0;
+        row.throughput = r.throughput_ops;
+        row.p99_us = r.latency.quantile(0.99) / 1'000.0;
         row.imbalance = r.shard_imbalance;
         row.commits = r.faults.committed_migrations;
         row.aborts = r.faults.aborted_migrations;

@@ -1,0 +1,349 @@
+// Beyond-paper Figure 14 — saturation of the live serving plane.
+//
+// The live service now runs a cost-model-driven virtual clock with a serial
+// issuer streaming priced tasks to `--shard-threads` shard-serving workers.
+// Three properties are worth a figure:
+//
+//   determinism  the contract the whole design hangs on: the replay output
+//                is byte-identical at any thread count, clean or faulted.
+//                Checked here as a *gate* (exit 1 on mismatch), so the bench
+//                doubles as the CI tripwire;
+//   saturation   clients x shard_threads matrix. The virtual throughput
+//                column moves only with offered load (closed-loop clients),
+//                never with threads — while host wall time shows how the
+//                serving plane scales on real cores. Host-side numbers are
+//                machine-dependent and recorded (with `host_cores`) rather
+//                than asserted;
+//   live robustness  the live counterparts of Fig. 10 (fault-type sweep vs
+//                p99 tail latency) and Fig. 11 (crash-recovery-duration
+//                sweep vs downtime and throughput), now measurable because
+//                the live plane has a real latency distribution.
+//
+// Outputs: fig14_saturation.csv and a JSON summary (--out, default
+// BENCH_saturation.json). --smoke shrinks the matrix for CI. All shared
+// knobs (--shard-threads, --fault-*, --retry-*, --commit-*) go through
+// cluster::options_from_flags: a malformed value prints usage and exits 2.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "origami/common/csv.hpp"
+#include "origami/common/flags.hpp"
+#include "origami/fs/live_replay.hpp"
+
+using namespace origami;
+
+namespace {
+
+constexpr std::uint32_t kShards = 8;
+
+struct LiveRun {
+  fs::LiveReplayStats stats;
+  double host_ms = 0.0;  ///< wall-clock time of the replay on this host
+};
+
+LiveRun run_live(const wl::Trace& trace, const fs::LiveReplayOptions& lro) {
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = kShards;
+  fs::OrigamiFs fsys(fopt);
+  const auto t0 = std::chrono::steady_clock::now();
+  LiveRun run;
+  run.stats = fs::replay_on_live(trace, fsys, lro);
+  const auto t1 = std::chrono::steady_clock::now();
+  run.host_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  return run;
+}
+
+/// Byte-exact serialization of everything the replay reports, mirroring
+/// the determinism suite's fingerprint. Doubles print as hexfloat so two
+/// runs differing in the last ulp cannot alias.
+std::string fingerprint(const fs::LiveReplayStats& s) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << s.executed << ' ' << s.failed << ' ' << s.epochs << ' '
+     << s.migrations << ' ' << s.shard_imbalance << '\n';
+  for (const auto v : s.shard_ops) os << v << ' ';
+  os << '\n' << s.makespan << ' ' << s.throughput_ops << ' '
+     << s.latency.count() << ' ' << s.latency.mean() << ' '
+     << s.latency.min() << ' ' << s.latency.max();
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    os << ' ' << s.latency.quantile(q);
+  }
+  os << '\n';
+  for (const auto v : s.shard_busy) os << v << ' ';
+  os << '\n';
+  for (const auto v : s.shard_served) os << v << ' ';
+  os << '\n'
+     << s.faults.retries << ' ' << s.faults.timeouts << ' '
+     << s.faults.rpcs_lost << ' ' << s.faults.failed_ops << ' '
+     << s.faults.crashes << ' ' << s.faults.failovers << ' '
+     << s.faults.failover_dirs << ' ' << s.faults.restored_dirs << ' '
+     << s.faults.fenced_rejections << ' ' << s.faults.time_down << ' '
+     << s.faults.time_degraded << ' ' << s.faults.journal_records << ' '
+     << s.faults.group_commits << ' ' << s.faults.group_commit_records
+     << ' ' << s.faults.acked_lost_ops << ' ' << s.faults.unacked_lost_ops;
+  return os.str();
+}
+
+fs::LiveReplayOptions clean_options() {
+  fs::LiveReplayOptions lro;
+  lro.clients = 32;
+  return lro;
+}
+
+fs::LiveReplayOptions faulted_options() {
+  fs::LiveReplayOptions lro = clean_options();
+  lro.faults.seed = 13;
+  lro.faults.crash_prob = 0.10;
+  lro.faults.crash_recovery = sim::millis(300);
+  lro.faults.straggler_prob = 0.2;
+  lro.faults.straggler_slow = 4.0;
+  lro.faults.straggler_duration = sim::millis(200);
+  lro.faults.rpc_loss_prob = 0.003;
+  lro.retry.max_retries = 4;
+  lro.recovery.commit_mode = recovery::CommitMode::kAsync;
+  lro.recovery.commit_window = sim::millis(1);
+  lro.recovery.commit_batch = 32;
+  return lro;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Fig. 14 — live serving-plane saturation ===\n\n");
+  const common::Flags raw(argc, argv);
+  const bool smoke = raw.get_bool("smoke", false);
+  const std::string out_path = raw.get("out", "BENCH_saturation.json");
+  // Shared vocabulary (including --shard-threads) with strict validation:
+  // a malformed knob exits 2 before any numbers are produced.
+  const cluster::ReplayOptions base =
+      bench::options_from_argv(argc, argv, bench::paper_options());
+
+  const std::uint64_t ops = smoke ? 20'000 : 80'000;
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  const wl::Trace trace = bench::standard_rw(/*seed=*/1, ops);
+
+  common::CsvWriter csv(bench::csv_path("fig14", "saturation"));
+  csv.header({"section", "scenario", "clients", "shard_threads",
+              "virtual_throughput_ops", "p99_latency_us", "makespan_ms",
+              "host_ms", "time_down_ms", "time_degraded_ms", "failed_ops"});
+  const auto emit = [&csv](const char* section, const std::string& scenario,
+                           std::uint32_t clients, std::uint32_t threads,
+                           const LiveRun& run) {
+    const fs::LiveReplayStats& s = run.stats;
+    csv.field(std::string(section))
+        .field(scenario)
+        .field(std::uint64_t{clients})
+        .field(std::uint64_t{threads})
+        .field(s.throughput_ops)
+        .field(s.latency.quantile(0.99) / 1'000.0)
+        .field(static_cast<double>(s.makespan) / 1e6)
+        .field(run.host_ms)
+        .field(static_cast<double>(s.faults.time_down) / 1e6)
+        .field(static_cast<double>(s.faults.time_degraded) / 1e6)
+        .field(s.faults.failed_ops);
+    csv.endrow();
+  };
+
+  // ---- 1. determinism gate: threads 1 vs N, clean and faulted -----------
+  std::printf("--- determinism gate (threads 1 vs N) ---\n");
+  int mismatches = 0;
+  const std::vector<std::uint32_t> gate_threads =
+      smoke ? std::vector<std::uint32_t>{2, 4}
+            : std::vector<std::uint32_t>{2, 4, 8};
+  for (const bool with_faults : {false, true}) {
+    fs::LiveReplayOptions lro =
+        with_faults ? faulted_options() : clean_options();
+    lro.shard_threads = 1;
+    const std::string baseline = fingerprint(run_live(trace, lro).stats);
+    for (const std::uint32_t t : gate_threads) {
+      lro.shard_threads = t;
+      const std::string got = fingerprint(run_live(trace, lro).stats);
+      const bool ok = got == baseline;
+      if (!ok) ++mismatches;
+      std::printf("  %-7s threads=%u vs 1: %s\n",
+                  with_faults ? "faulted" : "clean", t,
+                  ok ? "identical" : "MISMATCH");
+    }
+  }
+
+  // ---- 2. saturation matrix: clients x shard_threads --------------------
+  std::printf("\n--- saturation matrix (%llu ops, %u shards, host has %u "
+              "cores) ---\n",
+              static_cast<unsigned long long>(ops), kShards, host_cores);
+  const std::vector<std::uint32_t> client_axis =
+      smoke ? std::vector<std::uint32_t>{4, 16}
+            : std::vector<std::uint32_t>{1, 4, 16, 64};
+  const std::vector<std::uint32_t> thread_axis =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
+  struct MatrixCell {
+    std::uint32_t clients, threads;
+    double vthroughput, p99_us, host_ms;
+  };
+  std::vector<MatrixCell> matrix;
+  for (const std::uint32_t clients : client_axis) {
+    for (const std::uint32_t threads : thread_axis) {
+      fs::LiveReplayOptions lro = clean_options();
+      lro.clients = clients;
+      lro.shard_threads = threads;
+      const LiveRun run = run_live(trace, lro);
+      emit("matrix", "clean", clients, threads, run);
+      matrix.push_back({clients, threads, run.stats.throughput_ops,
+                        run.stats.latency.quantile(0.99) / 1'000.0,
+                        run.host_ms});
+      std::printf("  clients %2u threads %u: %9.0f ops/s (virtual)  p99 "
+                  "%7.1fus  host %7.1fms\n",
+                  clients, threads, run.stats.throughput_ops,
+                  run.stats.latency.quantile(0.99) / 1'000.0, run.host_ms);
+    }
+  }
+
+  // ---- 3. live Fig. 10 counterpart: fault types vs tail latency ---------
+  std::printf("\n--- live fault sweep (Fig. 10 counterpart) ---\n");
+  struct Scenario {
+    const char* name;
+    fs::LiveReplayOptions lro;
+  };
+  std::vector<Scenario> sweep;
+  sweep.push_back({"clean", clean_options()});
+  {
+    fs::LiveReplayOptions lro = clean_options();
+    lro.faults.seed = 13;
+    lro.faults.crash_prob = 0.10;
+    lro.faults.crash_recovery = sim::millis(300);
+    lro.retry.max_retries = 4;
+    sweep.push_back({"crashes", lro});
+  }
+  {
+    fs::LiveReplayOptions lro = clean_options();
+    lro.faults.seed = 13;
+    lro.faults.straggler_prob = 0.4;
+    lro.faults.straggler_slow = 6.0;
+    lro.faults.straggler_duration = sim::millis(250);
+    sweep.push_back({"stragglers", lro});
+  }
+  {
+    fs::LiveReplayOptions lro = clean_options();
+    lro.faults.seed = 13;
+    lro.faults.rpc_loss_prob = 0.01;
+    lro.retry.max_retries = 4;
+    sweep.push_back({"rpc-loss", lro});
+  }
+  sweep.push_back({"combined", faulted_options()});
+  struct SweepRow {
+    std::string name;
+    double p99_us, time_down_ms, time_degraded_ms;
+    std::uint64_t failed;
+  };
+  std::vector<SweepRow> sweep_rows;
+  for (Scenario& sc : sweep) {
+    sc.lro.shard_threads = base.shard_threads;
+    const LiveRun run = run_live(trace, sc.lro);
+    emit("fault-sweep", sc.name, sc.lro.clients, sc.lro.shard_threads, run);
+    sweep_rows.push_back({sc.name,
+                          run.stats.latency.quantile(0.99) / 1'000.0,
+                          static_cast<double>(run.stats.faults.time_down) / 1e6,
+                          static_cast<double>(run.stats.faults.time_degraded) /
+                              1e6,
+                          run.stats.faults.failed_ops});
+    std::printf("  %-10s p99 %8.1fus  down %7.1fms  degraded %7.1fms  "
+                "failed %llu\n",
+                sc.name, sweep_rows.back().p99_us,
+                sweep_rows.back().time_down_ms,
+                sweep_rows.back().time_degraded_ms,
+                static_cast<unsigned long long>(sweep_rows.back().failed));
+  }
+
+  // ---- 4. live Fig. 11 counterpart: recovery-duration sweep -------------
+  std::printf("\n--- live recovery sweep (Fig. 11 counterpart) ---\n");
+  struct RecoveryRow {
+    double recovery_ms, time_down_ms, vthroughput, p99_us;
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  for (const double recovery_ms : {50.0, 200.0, 800.0}) {
+    fs::LiveReplayOptions lro = clean_options();
+    lro.shard_threads = base.shard_threads;
+    lro.faults.seed = 13;
+    lro.faults.crash_prob = 0.10;
+    lro.faults.crash_recovery = sim::millis(recovery_ms);
+    lro.retry.max_retries = 4;
+    const LiveRun run = run_live(trace, lro);
+    char label[32];
+    std::snprintf(label, sizeof(label), "recovery-%.0fms", recovery_ms);
+    emit("recovery-sweep", label, lro.clients, lro.shard_threads, run);
+    recovery_rows.push_back(
+        {recovery_ms, static_cast<double>(run.stats.faults.time_down) / 1e6,
+         run.stats.throughput_ops,
+         run.stats.latency.quantile(0.99) / 1'000.0});
+    std::printf("  recovery %5.0fms: down %8.1fms  %9.0f ops/s  p99 "
+                "%8.1fus\n",
+                recovery_ms, recovery_rows.back().time_down_ms,
+                recovery_rows.back().vthroughput, recovery_rows.back().p99_us);
+  }
+
+  // ---- JSON summary -----------------------------------------------------
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n  \"bench\": \"saturation\",\n  \"ops\": %llu,\n"
+                 "  \"smoke\": %s,\n  \"host_cores\": %u,\n"
+                 "  \"shards\": %u,\n  \"determinism_ok\": %s,\n"
+                 "  \"matrix\": [\n",
+                 static_cast<unsigned long long>(ops),
+                 smoke ? "true" : "false", host_cores, kShards,
+                 mismatches == 0 ? "true" : "false");
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      const MatrixCell& c = matrix[i];
+      std::fprintf(out,
+                   "    {\"clients\": %u, \"shard_threads\": %u, "
+                   "\"virtual_throughput_ops\": %.1f, \"p99_latency_us\": "
+                   "%.1f, \"host_ms\": %.1f}%s\n",
+                   c.clients, c.threads, c.vthroughput, c.p99_us, c.host_ms,
+                   i + 1 < matrix.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"fault_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      const SweepRow& r = sweep_rows[i];
+      std::fprintf(out,
+                   "    {\"scenario\": \"%s\", \"p99_latency_us\": %.1f, "
+                   "\"time_down_ms\": %.1f, \"time_degraded_ms\": %.1f, "
+                   "\"failed_ops\": %llu}%s\n",
+                   r.name.c_str(), r.p99_us, r.time_down_ms,
+                   r.time_degraded_ms,
+                   static_cast<unsigned long long>(r.failed),
+                   i + 1 < sweep_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"recovery_sweep\": [\n");
+    for (std::size_t i = 0; i < recovery_rows.size(); ++i) {
+      const RecoveryRow& r = recovery_rows[i];
+      std::fprintf(out,
+                   "    {\"recovery_ms\": %.0f, \"time_down_ms\": %.1f, "
+                   "\"virtual_throughput_ops\": %.1f, \"p99_latency_us\": "
+                   "%.1f}%s\n",
+                   r.recovery_ms, r.time_down_ms, r.vthroughput, r.p99_us,
+                   i + 1 < recovery_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+  if (mismatches > 0) {
+    std::printf("\nFAILED: %d thread-count determinism mismatch(es)\n",
+                mismatches);
+    return 1;
+  }
+  std::printf("\ndeterminism gate: output byte-identical across shard "
+              "thread counts. CSV: fig14_saturation.csv, JSON: %s\n",
+              out_path.c_str());
+  return 0;
+}

@@ -29,6 +29,12 @@ struct ReplayOptions {
   /// Poisson) regardless of completions. Offered load beyond capacity
   /// builds real queues — use for latency-vs-load curves.
   double open_loop_rate = 0.0;
+  /// Shard-serving worker threads for the live serving plane
+  /// (`fs::replay_on_live`): shard `s` is served by worker
+  /// `s % shard_threads`. Output is byte-identical at any value; the epoch
+  /// DES engine ignores it (its analysis plane is sized by --threads).
+  /// From the CLI: `--shard-threads=N`, strictly validated (N >= 1).
+  std::uint32_t shard_threads = 1;
   mds::MdsServerParams mds_params;
   cost::CostParams cost_params;
   net::NetworkParams net_params;

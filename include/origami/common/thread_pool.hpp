@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -14,15 +15,26 @@ namespace origami::common {
 /// workers after draining outstanding tasks. `wait_idle()` blocks until the
 /// queue is empty and no task is executing — the GBDT trainer uses it as a
 /// per-round barrier.
+///
+/// Exception safety: a task that throws no longer escapes `worker_loop`
+/// (which would `std::terminate` the whole process). The first exception
+/// is captured and rethrown from the next `wait_idle()` call — the natural
+/// barrier where the submitter observes the round's outcome — or from the
+/// destructor if no barrier intervenes. Later exceptions from the same
+/// round are dropped; only the first is reported.
 class ThreadPool {
  public:
   /// `threads == 0` selects `std::thread::hardware_concurrency()` (min 1).
   explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  /// Joins all workers. Rethrows a pending captured task exception unless
+  /// the destructor itself is running during stack unwinding.
+  ~ThreadPool() noexcept(false);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> task);
+  /// Blocks until the queue is drained and no task is executing, then
+  /// rethrows the first exception any task threw since the last barrier.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -37,6 +49,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first task exception since last barrier
 };
 
 /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
@@ -71,7 +84,9 @@ void parallel_for_chunks(
 [[nodiscard]] ThreadPool& analysis_pool();
 
 /// Rebuilds the analysis pool with `threads` workers (0 = hardware
-/// concurrency). Must not race with in-flight analysis work.
+/// concurrency). Waits for any in-flight analysis work to finish before
+/// swapping the pool, so a mid-run resize cannot tear down workers that
+/// still hold tasks.
 void set_analysis_threads(std::size_t threads);
 
 /// Current analysis-pool worker count.

@@ -5,9 +5,12 @@
 #include <vector>
 
 #include "origami/cluster/metrics.hpp"
+#include "origami/common/histogram.hpp"
+#include "origami/cost/cost_model.hpp"
 #include "origami/fault/fault.hpp"
 #include "origami/fs/origami_fs.hpp"
 #include "origami/recovery/journal.hpp"
+#include "origami/sim/time.hpp"
 #include "origami/wl/trace.hpp"
 
 namespace origami::fs {
@@ -34,27 +37,58 @@ class LiveFaultContext {
                             std::uint32_t to) = 0;
 };
 
-/// Configuration of one live replay. The live service has no service-time
-/// model, so its virtual clock is the *operation index*: fault-plan
-/// durations (`crash_recovery`, scheduled windows, ...) are measured in
-/// operations, not nanoseconds. Straggler windows are meaningless without
-/// service times and are ignored; of the retry policy only `max_retries`
-/// is honoured (timeout/backoff have no clock to charge).
+/// Configuration of one live replay.
+///
+/// The live service runs a cost-model-driven virtual clock (nanoseconds,
+/// like the simulator): every request is priced with `cost::CostModel`
+/// Eq. 2 against the namespace it actually touches, per-shard logical
+/// clocks advance by the charge, and per-client ready times close the
+/// loop. Fault-plan durations (`crash_recovery`, window bounds,
+/// `commit_window`, ...) are therefore measured in *nanoseconds*;
+/// straggler windows multiply service times and the retry policy's
+/// timeout/backoff are charged to the issuing client's clock.
 struct LiveReplayOptions {
   /// Operations between `on_epoch` firings (0 = the hook never fires).
   std::uint64_t epoch_ops = 0;
   /// Balancing hook; returns the number of migrations it performed.
   std::function<std::uint64_t(OrigamiFs&, LiveFaultContext&)> on_epoch;
 
-  /// Fault sources, sampled per epoch on the op-index clock — the same
-  /// deterministic (seed, epoch, shard) streams as the simulator.
+  /// Fault sources, sampled per `fault_epoch` interval of virtual time —
+  /// the same deterministic (seed, epoch, shard) streams as the simulator.
   fault::FaultPlan faults;
   fault::RetryPolicy retry;
   /// Journaling model, including the commit mode. With
-  /// `CommitMode::kAsync`, `commit_window` is measured on the live clock —
-  /// i.e. in *operations*, not nanoseconds — and a per-op sweep flushes any
-  /// shard whose oldest buffered record has aged past it.
+  /// `CommitMode::kAsync`, `commit_window` is measured on the live virtual
+  /// clock (nanoseconds): the serving shard flushes its own journal when
+  /// the oldest buffered record ages past it, and a sweep at every sync
+  /// window catches shards that stopped receiving traffic.
   recovery::RecoveryParams recovery;
+
+  // --- serving plane -------------------------------------------------------
+
+  /// Shard-serving worker threads. Shard `s` is served by worker
+  /// `s % shard_threads`; each worker owns its shards' journals, latency
+  /// accumulators and busy clocks exclusively, so output is byte-identical
+  /// at any value (deterministic per-shard partials merged in shard order).
+  std::uint32_t shard_threads = 1;
+  /// Closed-loop client issuers: op `i` belongs to client `i % clients`,
+  /// which issues its next request the instant the previous one completes.
+  std::uint32_t clients = 32;
+  /// When > 0, switches to an open loop issuing at this rate (ops/sec,
+  /// fixed inter-arrival gap) regardless of completions — queueing delay
+  /// then shows up in the latency distribution.
+  double issue_rate = 0.0;
+  /// Operations between fault/commit sync points. With faults armed the
+  /// issuer drains the shard workers every `sync_ops` operations, then
+  /// fires due crashes/recoveries and the commit-window sweep against the
+  /// quiesced journals/stores. Purely an internal cadence — results are
+  /// deterministic for any fixed value.
+  std::uint64_t sync_ops = 512;
+  /// Length of one fault-sampling interval on the virtual clock (the live
+  /// analogue of the simulator's epoch length for `windows_for_epoch`).
+  sim::SimTime fault_epoch = sim::millis(500);
+  /// Service-time parameters for the virtual clock.
+  cost::CostParams cost;
 };
 
 /// Statistics of one live replay.
@@ -67,8 +101,24 @@ struct LiveReplayStats {
   std::vector<std::uint64_t> shard_ops;
   /// Imbalance factor of shard_ops.
   double shard_imbalance = 0.0;
+
+  // --- virtual-clock serving metrics ---------------------------------------
+
+  /// Virtual makespan: the largest shard/client completion time (ns).
+  sim::SimTime makespan = 0;
+  /// executed / makespan, in ops per virtual second (0 if makespan is 0).
+  double throughput_ops = 0.0;
+  /// Client-observed request latencies (ns): completion + network − arrival,
+  /// including retry timeouts/backoffs and fencing bounces. Quantiles via
+  /// `latency.quantile(0.99)` etc.
+  common::LatencyHistogram latency;
+  /// Per-shard busy time (ns of service charged) and served-request counts,
+  /// accumulated by the serving workers and merged in shard order.
+  std::vector<sim::SimTime> shard_busy;
+  std::vector<std::uint64_t> shard_served;
+
   /// Fault-injection accounting, same meaning as in the simulator; all
-  /// zero when the fault plan is disabled (time counters are op counts).
+  /// zero when the fault plan is disabled (time counters are virtual ns).
   cluster::RobustnessStats faults;
 };
 
@@ -81,11 +131,22 @@ struct LiveReplayStats {
 /// `on_epoch` hook runs (wire `core::LiveOrigamiBalancer::rebalance_epoch`
 /// in, or leave null for an unbalanced run).
 ///
+/// Execution is split across threads: a serial issuer resolves and mutates
+/// the namespace (preserving the exact seed op order), prices each request
+/// on the cost-model clock, and streams fully-stamped per-shard tasks over
+/// bounded MPMC lanes to `shard_threads` serving workers, which own the
+/// measurement plane (latency histograms, busy clocks) and the durability
+/// plane (journal appends and group-commit flushes). Per-shard partials
+/// merge in shard order, so the output is byte-identical at any
+/// `shard_threads` value.
+///
 /// With a fault plan armed the replay exercises the same robustness layers
 /// as the simulator: crash windows fail the dead shard's fragments over to
-/// survivors (and hand them back on recovery), per-shard journals record
-/// every acknowledged mutation and migration phase, stale ownership epochs
-/// fence cached routes, and RPC loss runs the bounded retry loop.
+/// survivors (and hand them back on recovery), straggler windows stretch
+/// service times, per-shard journals record every acknowledged mutation and
+/// migration phase, stale ownership epochs fence cached routes (bounced
+/// clients pay an extra RTT), and RPC loss runs the bounded retry loop with
+/// timeout + backoff charged to the client's clock.
 LiveReplayStats replay_on_live(const wl::Trace& trace, OrigamiFs& fsys,
                                const LiveReplayOptions& options);
 

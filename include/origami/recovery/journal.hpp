@@ -49,8 +49,8 @@ struct RecoveryParams {
   /// Sync (durable-before-ack) or async (group-committed) journaling.
   CommitMode commit_mode = CommitMode::kSync;
   /// Async mode: max age of a buffered record before a flush is forced.
-  /// Measured on the plane's clock — virtual time in the DES engine,
-  /// operation index in live replay.
+  /// Measured on the plane's virtual clock (nanoseconds) in both the DES
+  /// engine and live replay.
   sim::SimTime commit_window = sim::millis(2);
   /// Async mode: flush as soon as this many records are buffered.
   std::uint32_t commit_batch = 64;

@@ -110,6 +110,25 @@ common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
     // depend on the policy layer above it.
     opt.policy = flags.get("policy");
   }
+  if (flags.has("shard-threads")) {
+    // Strict: a malformed thread count must not silently run single-shard
+    // (get_int would coerce garbage to 0). Digits only, value >= 1.
+    const std::string raw = flags.get("shard-threads");
+    bool numeric = !raw.empty();
+    for (const char c : raw) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+    }
+    const long long value = numeric ? std::atoll(raw.c_str()) : 0;
+    if (!numeric || value < 1 || value > 4096) {
+      return common::Status::invalid_argument(
+          "bad --shard-threads '" + raw +
+          "' (expected an integer in [1, 4096])");
+    }
+    opt.shard_threads = static_cast<std::uint32_t>(value);
+  }
 
   fault::FaultPlan& plan = opt.faults;
   if (flags.has("fault-seed")) {

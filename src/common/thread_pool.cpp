@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 namespace origami::common {
 
@@ -15,13 +16,19 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() noexcept(false) {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  // Surface an unobserved task failure rather than swallowing it — but only
+  // when it is safe to throw (not while another exception is unwinding).
+  if (first_error_ != nullptr && std::uncaught_exceptions() == 0) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -35,6 +42,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,9 +63,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (err != nullptr && first_error_ == nullptr) {
+        first_error_ = std::move(err);
+      }
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
@@ -132,6 +152,7 @@ ThreadPool& analysis_pool() {
 void set_analysis_threads(std::size_t threads) {
   std::lock_guard lock(analysis_pool_mutex());
   auto& slot = analysis_pool_slot();
+  if (slot != nullptr) slot->wait_idle();  // quiesce in-flight analysis work
   slot.reset();  // join old workers before the replacement spins up
   slot = std::make_unique<ThreadPool>(threads == 0 ? 0 : threads);
 }

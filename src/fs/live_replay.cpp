@@ -1,13 +1,21 @@
 #include "origami/fs/live_replay.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "origami/cluster/failover.hpp"
 #include "origami/cluster/migration.hpp"
-#include "origami/cost/cost_model.hpp"
+#include "origami/common/mpmc_queue.hpp"
 
 namespace origami::fs {
 
@@ -54,12 +62,50 @@ class Materialiser {
   std::vector<Ino> ino_;
 };
 
+/// One fully-priced request as handed to a shard-serving worker. The
+/// issuer stamps every field before dispatch, so workers do no namespace
+/// or clock arithmetic of their own — each shard's task stream (and hence
+/// its journal/measurement state) is identical at any worker count.
+struct ShardTask {
+  std::uint32_t shard = 0;
+  std::uint64_t op_id = 0;       ///< journal op id; 0 = nothing to journal
+  fsns::NodeId home = 0;         ///< journal node (the home dir's inode)
+  sim::SimTime stamp = 0;        ///< shard-clock completion time
+  sim::SimTime service = 0;      ///< busy time charged to the shard
+  std::uint64_t latency_ns = 0;  ///< client-observed request latency
+};
+
+using TaskBatch = std::vector<ShardTask>;
+
+/// Per-shard measurement-plane accumulator, owned exclusively by the
+/// worker serving that shard and merged in shard order at finalize.
+struct ShardPartial {
+  common::LatencyHistogram latency;
+  sim::SimTime busy = 0;
+  std::uint64_t served = 0;
+};
+
 /// The live-mode twin of the simulator's exec/failover/migration stack,
 /// sharing its building blocks (FaultInjector sampling, FaultTimeline,
-/// TwoPhaseLog, MetadataJournal). The virtual clock is the operation index,
-/// so fault-window durations are op counts and there is nothing to price:
-/// stragglers and timeout/backoff latencies are ignored, only outcomes
-/// (crashes, failovers, retries, fencing, journal records) are modelled.
+/// TwoPhaseLog, MetadataJournal), now with a real serving plane:
+///
+///  - a serial *issuer* (the calling thread) resolves and mutates the
+///    namespace in seed op order, runs the retry/fencing client model, and
+///    prices every request on a cost-model virtual clock (per-client ready
+///    times, per-shard logical clocks, Eq. 2 service charges, straggler
+///    multipliers);
+///  - `shard_threads` *serving workers* consume fully-stamped per-shard
+///    task batches over bounded MPMC lanes (worker `s % T` serves shard
+///    `s`) and own the measurement plane (latency histograms, busy
+///    clocks) and the durability plane (journal appends, group-commit
+///    flush decisions on the shard clock);
+///  - with faults armed, the issuer drains the lanes every `sync_ops`
+///    operations and fires due crashes/recoveries plus the commit-window
+///    sweep against the quiesced journals and stores.
+///
+/// Determinism: workers only touch state partitioned by shard, task
+/// streams per shard are fixed by the serial issuer, and partials merge in
+/// shard order — so output is byte-identical at any `shard_threads`.
 class LiveEngine final : public LiveFaultContext {
  public:
   LiveEngine(const wl::Trace& trace, OrigamiFs& fsys,
@@ -75,49 +121,81 @@ class LiveEngine final : public LiveFaultContext {
                       kv::CommitMode::kAsync),
         injector_(opt.faults, fsys.shard_count()),
         loss_rng_(opt.faults.seed ^ 0x11febeefULL),
+        model_(opt.cost),
         mat_(trace.tree, fsys) {
+    const std::uint32_t n = std::max<std::uint32_t>(1, fsys_.shard_count());
+    shard_clock_.assign(n, 0);
+    client_ready_.assign(std::max<std::uint32_t>(1, opt_.clients), 0);
+    if (opt_.issue_rate > 0.0) {
+      gap_ns_ = std::max<sim::SimTime>(
+          1, static_cast<sim::SimTime>(std::llround(1e9 / opt_.issue_rate)));
+    }
+    sync_ops_ = std::max<std::uint64_t>(1, opt_.sync_ops);
+    fault_epoch_len_ = std::max<sim::SimTime>(1, opt_.fault_epoch);
     if (faults_on_) {
-      const std::uint32_t n = fsys_.shard_count();
       down_.assign(n, false);
       down_until_.assign(n, 0);
       timeline_.resize(n);
+      stragglers_.resize(n);
+      strag_cursor_.assign(n, 0);
       journals_.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) journals_.emplace_back(opt_.recovery);
-      epoch_len_ = opt_.epoch_ops > 0
-                       ? opt_.epoch_ops
-                       : std::max<std::uint64_t>(std::uint64_t{1},
-                                                 trace.ops.size());
+    }
+    start_workers(n);
+  }
+
+  ~LiveEngine() override {
+    // Exceptional-path teardown; the orderly path joins in finalize().
+    for (auto& lane : lanes_) lane->close();
+    for (auto& th : threads_) {
+      if (th.joinable()) th.join();
     }
   }
 
   LiveReplayStats run() {
     std::uint64_t since_epoch = 0;
     for (std::size_t i = 0; i < trace_.ops.size(); ++i) {
-      t_ = static_cast<sim::SimTime>(i);
-      if (faults_on_) advance_faults();
-      // The op-index clock has no timers; sweep for commit windows that
-      // aged out (after faults, so a crash sweeps its buffer first).
-      if (async_) flush_due();
+      // Fault/commit sync point: quiesce the serving plane, then fire
+      // everything due on the virtual clock against the idle journals.
+      if (faults_on_ && i % sync_ops_ == 0) sync_point();
 
       const wl::MetaOp& op = trace_.ops[i];
       const fsns::NodeId home_node = trace_.tree.is_dir(op.target)
                                          ? op.target
                                          : trace_.tree.parent(op.target);
+      const auto client =
+          static_cast<std::uint32_t>(i % client_ready_.size());
+      const sim::SimTime arrival =
+          gap_ns_ > 0 ? gap_ns_ * static_cast<sim::SimTime>(i)
+                      : client_ready_[client];
+      sim::SimTime ready = arrival;
 
-      if (faults_on_ && !deliver_with_retries()) {
-        // Retry budget exhausted: the request is abandoned client-side.
+      if (faults_on_ && !deliver_with_retries(ready)) {
+        // Retry budget exhausted: the request is abandoned client-side;
+        // the client still burned the timeouts and backoffs.
         ++stats_.faults.failed_ops;
-      } else {
-        if (faults_on_ && opt_.recovery.fencing) fence(mat_.ino_of(home_node));
-        const common::Status status = execute(op);
-        ++stats_.executed;
-        if (!status.is_ok()) ++stats_.failed;
-        if (faults_on_ && is_mutation(op.type)) journal_mutation(home_node);
+        client_ready_[client] = std::max(client_ready_[client], ready);
+        vnow_ = std::max(vnow_, ready);
+        continue;
       }
+      if (faults_on_ && opt_.recovery.fencing &&
+          fence(mat_.ino_of(home_node))) {
+        ready += opt_.cost.rtt;  // bounced once, re-resolves at the owner
+      }
+
+      const common::Status status = execute(op);
+      ++stats_.executed;
+      if (!status.is_ok()) ++stats_.failed;
+
+      dispatch(op, home_node, client, arrival, ready);
 
       if (opt_.on_epoch != nullptr && opt_.epoch_ops > 0 &&
           ++since_epoch >= opt_.epoch_ops) {
         since_epoch = 0;
+        // The balancer narrates two-phase transitions into the journals,
+        // which the workers own — quiesce them first. Clean mode touches
+        // no shared state, so the pipeline keeps streaming.
+        if (faults_on_) drain_workers();
         ++stats_.epochs;
         stats_.migrations += opt_.on_epoch(fsys_, *this);
       }
@@ -138,7 +216,7 @@ class LiveEngine final : public LiveFaultContext {
     cluster::TwoPhaseLog::record(
         recovery::JournalRecordKind::kPrepare,
         static_cast<fsns::NodeId>(subtree), from, to,
-        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        fsys_.ownership_epoch(subtree), vnow_, journal_if_up(from),
         journal_if_up(to), nullptr);
     ++stats_.faults.prepared_migrations;
   }
@@ -150,7 +228,7 @@ class LiveEngine final : public LiveFaultContext {
     cluster::TwoPhaseLog::record(
         recovery::JournalRecordKind::kCommit,
         static_cast<fsns::NodeId>(subtree), from, to,
-        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        fsys_.ownership_epoch(subtree), vnow_, journal_if_up(from),
         journal_if_up(to), nullptr);
     ++stats_.faults.committed_migrations;
   }
@@ -162,7 +240,7 @@ class LiveEngine final : public LiveFaultContext {
     cluster::TwoPhaseLog::record(
         recovery::JournalRecordKind::kAbort,
         static_cast<fsns::NodeId>(subtree), from, to,
-        fsys_.ownership_epoch(subtree), t_, journal_if_up(from),
+        fsys_.ownership_epoch(subtree), vnow_, journal_if_up(from),
         journal_if_up(to), nullptr);
     ++stats_.faults.aborted_migrations;
   }
@@ -173,6 +251,15 @@ class LiveEngine final : public LiveFaultContext {
     std::uint32_t original;
     std::uint32_t assigned;
   };
+
+  struct StragglerWindow {
+    sim::SimTime from;
+    sim::SimTime until;
+    double factor;
+  };
+
+  static constexpr std::size_t kBatchSize = 64;  ///< tasks per lane batch
+  static constexpr std::size_t kLaneDepth = 64;  ///< batches per lane
 
   static bool is_mutation(fsns::OpType type) {
     switch (type) {
@@ -193,48 +280,233 @@ class LiveEngine final : public LiveFaultContext {
     return &journals_[shard];
   }
 
-  /// Materialises this epoch's fault windows at its first op, then fires
-  /// every recovery and crash due at the current op index.
-  void advance_faults() {
-    const auto t = static_cast<std::uint64_t>(t_);
-    if (t % epoch_len_ == 0) {
-      const auto epoch = static_cast<std::uint32_t>(t / epoch_len_);
-      const auto windows = injector_.windows_for_epoch(
-          epoch, t_, static_cast<sim::SimTime>(epoch_len_));
-      for (const fault::FaultWindow& w : windows) {
-        if (w.kind == fault::FaultKind::kCrash) pending_.push_back(w);
+  // --- serving plane -------------------------------------------------------
+
+  void start_workers(std::uint32_t shards) {
+    partials_.resize(shards);
+    workers_ = std::max<std::uint32_t>(1, opt_.shard_threads);
+    lanes_.reserve(workers_);
+    batch_buf_.resize(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      lanes_.push_back(
+          std::make_unique<common::BoundedMpmcQueue<TaskBatch>>(kLaneDepth));
+      batch_buf_[w].reserve(kBatchSize);
+    }
+    threads_.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+
+  void worker_main(std::uint32_t w) {
+    while (auto batch = lanes_[w]->pop()) {
+      try {
+        for (const ShardTask& t : *batch) apply(t);
+      } catch (...) {
+        std::lock_guard lock(error_mutex_);
+        if (worker_error_ == nullptr) worker_error_ = std::current_exception();
       }
-      std::stable_sort(pending_.begin() +
-                           static_cast<std::ptrdiff_t>(cursor_),
-                       pending_.end(),
+      {
+        std::lock_guard lock(done_mutex_);
+        ++completed_batches_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  /// Serving-worker body: measurement plane plus journal durability plane
+  /// for one stamped request. Touches only state owned by `t.shard`.
+  void apply(const ShardTask& t) {
+    ShardPartial& p = partials_[t.shard];
+    p.latency.add(t.latency_ns);
+    p.busy += t.service;
+    ++p.served;
+    if (t.op_id == 0) return;
+    recovery::MetadataJournal& journal = journals_[t.shard];
+    journal.append_op(t.op_id, t.home, t.stamp);
+    if (!async_) return;
+    // Live calls return synchronously, so the ack lands with the append;
+    // durability still waits for the group commit. The serving thread
+    // decides its own flushes on the shard clock: batch size first, then
+    // the commit-window age of the oldest buffered record.
+    journal.note_acked(t.op_id, t.stamp);
+    const bool batch_due =
+        journal.pending_records() >= opt_.recovery.commit_batch;
+    const bool age_due =
+        journal.pending_records() > 0 &&
+        t.stamp - journal.oldest_pending_at() >= opt_.recovery.commit_window;
+    if (batch_due || age_due) (void)journal.flush(t.stamp);
+  }
+
+  void flush_batch(std::uint32_t w) {
+    if (batch_buf_[w].empty()) return;
+    // A rejected push means the lane closed mid-run — that only happens on
+    // teardown, so losing the batch silently would corrupt the stats.
+    if (!lanes_[w]->push(std::move(batch_buf_[w]))) {
+      throw std::runtime_error("live serving lane closed during dispatch");
+    }
+    ++dispatched_batches_;
+    batch_buf_[w] = TaskBatch();
+    batch_buf_[w].reserve(kBatchSize);
+  }
+
+  /// Barrier: every dispatched batch has been fully applied by its worker.
+  void drain_workers() {
+    for (std::uint32_t w = 0; w < workers_; ++w) flush_batch(w);
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock,
+                  [&] { return completed_batches_ == dispatched_batches_; });
+    lock.unlock();
+    rethrow_worker_error();
+  }
+
+  void rethrow_worker_error() {
+    std::lock_guard lock(error_mutex_);
+    if (worker_error_ != nullptr) {
+      std::exception_ptr err = std::exchange(worker_error_, nullptr);
+      std::rethrow_exception(err);
+    }
+  }
+
+  // --- virtual clock -------------------------------------------------------
+
+  /// Prices the executed request on the virtual clock and hands the fully
+  /// stamped task to the owning shard worker.
+  void dispatch(const wl::MetaOp& op, fsns::NodeId home_node,
+                std::uint32_t client, sim::SimTime arrival,
+                sim::SimTime ready) {
+    const Ino home = mat_.ino_of(home_node);
+    const std::uint32_t shard =
+        home != kInvalidIno ? fsys_.dir_shard(home) : fsys_.dir_shard(kRootIno);
+    // Eq. 2 inputs from the namespace the request actually resolved:
+    // k path components, m distinct owners along the materialised ancestor
+    // chain (m > 1 also marks a cross-shard mutation for the T_coor term).
+    const std::uint32_t k = trace_.tree.path_length(op.target);
+    const std::uint32_t m = distinct_owners(home_node, shard);
+    sim::SimTime service = model_.t_meta(op.type, k, m, 0, m > 1);
+    const sim::SimTime start = std::max(ready, shard_clock_[shard]);
+    if (faults_on_) service = straggler_adjust(shard, start, service);
+    shard_clock_[shard] = start + service;
+    const sim::SimTime completion =
+        shard_clock_[shard] + opt_.cost.rtt * static_cast<sim::SimTime>(m);
+    client_ready_[client] = completion;
+    vnow_ = std::max(vnow_, completion);
+
+    ShardTask task;
+    task.shard = shard;
+    task.stamp = shard_clock_[shard];
+    task.service = service;
+    task.latency_ns = static_cast<std::uint64_t>(completion - arrival);
+    if (faults_on_ && is_mutation(op.type) && home != kInvalidIno) {
+      task.op_id = ++next_op_id_;
+      task.home = static_cast<fsns::NodeId>(home);
+    }
+    const std::uint32_t w = shard % workers_;
+    batch_buf_[w].push_back(task);
+    if (batch_buf_[w].size() >= kBatchSize) flush_batch(w);
+  }
+
+  /// Distinct shard owners along the materialised ancestor chain of the
+  /// request's home directory (always includes the home shard itself).
+  [[nodiscard]] std::uint32_t distinct_owners(fsns::NodeId home_node,
+                                              std::uint32_t home_shard) {
+    owners_buf_.clear();
+    owners_buf_.push_back(home_shard);
+    fsns::NodeId n = home_node;
+    while (n != fsns::kRootNode) {
+      n = trace_.tree.parent(n);
+      const Ino ino = mat_.ino_of(n);
+      if (ino == kInvalidIno) continue;
+      const std::uint32_t o = fsys_.dir_shard(ino);
+      if (std::find(owners_buf_.begin(), owners_buf_.end(), o) ==
+          owners_buf_.end()) {
+        owners_buf_.push_back(o);
+      }
+    }
+    return static_cast<std::uint32_t>(owners_buf_.size());
+  }
+
+  /// Multiplies the service charge while `shard` sits inside a straggler
+  /// window at `start`. Per-shard start times are monotone, so a cursor
+  /// retires expired windows.
+  [[nodiscard]] sim::SimTime straggler_adjust(std::uint32_t shard,
+                                              sim::SimTime start,
+                                              sim::SimTime service) {
+    ensure_fault_epochs(start);
+    auto& windows = stragglers_[shard];
+    std::size_t& cur = strag_cursor_[shard];
+    while (cur < windows.size() && windows[cur].until <= start) ++cur;
+    double factor = 1.0;
+    for (std::size_t j = cur; j < windows.size() && windows[j].from <= start;
+         ++j) {
+      if (windows[j].until > start) factor = std::max(factor, windows[j].factor);
+    }
+    if (factor > 1.0) {
+      service = static_cast<sim::SimTime>(static_cast<double>(service) * factor);
+    }
+    return service;
+  }
+
+  // --- fault plane ---------------------------------------------------------
+
+  /// Materialises fault-sampling epochs through virtual time `t`. Sampling
+  /// is keyed by (seed, epoch, shard), so on-demand materialisation is
+  /// identical no matter when or how often it happens.
+  void ensure_fault_epochs(sim::SimTime t) {
+    while (static_cast<sim::SimTime>(next_fault_epoch_) * fault_epoch_len_ <=
+           t) {
+      const std::uint32_t e = next_fault_epoch_++;
+      const sim::SimTime start =
+          static_cast<sim::SimTime>(e) * fault_epoch_len_;
+      auto windows = injector_.windows_for_epoch(e, start, fault_epoch_len_);
+      std::stable_sort(windows.begin(), windows.end(),
                        [](const fault::FaultWindow& a,
                           const fault::FaultWindow& b) {
                          return a.from < b.from;
                        });
+      for (const fault::FaultWindow& w : windows) {
+        if (w.mds >= shard_clock_.size()) continue;
+        if (w.kind == fault::FaultKind::kCrash) {
+          crashes_.push_back(w);
+        } else {
+          stragglers_[w.mds].push_back({w.from, w.until, w.slow_factor});
+          stats_.faults.time_degraded += w.until - w.from;
+        }
+      }
     }
-    // Recoveries first, so a shard may crash again inside the same epoch.
+  }
+
+  /// Runs at every `sync_ops` boundary with the serving plane quiesced:
+  /// fires recoveries and crashes due on the virtual clock, then sweeps
+  /// aged commit windows (and the shard stores' group commits).
+  void sync_point() {
+    drain_workers();
+    ensure_fault_epochs(vnow_);
+    // Recoveries first, so a shard may crash again in the same sweep.
     for (std::uint32_t s = 0; s < down_.size(); ++s) {
-      if (down_[s] && t_ >= down_until_[s]) recover(s);
+      if (down_[s] && vnow_ >= down_until_[s]) recover(s);
     }
-    while (cursor_ < pending_.size() && pending_[cursor_].from <= t_) {
-      const fault::FaultWindow w = pending_[cursor_++];
+    while (crash_cursor_ < crashes_.size() &&
+           crashes_[crash_cursor_].from <= vnow_) {
+      const fault::FaultWindow w = crashes_[crash_cursor_++];
       if (!down_[w.mds]) crash(w);
     }
+    if (async_) flush_due();
   }
 
   void crash(const fault::FaultWindow& w) {
     const std::uint32_t s = w.mds;
-    const sim::SimTime until = std::max(w.until, t_ + 1);
+    const sim::SimTime until = std::max(w.until, vnow_ + 1);
     ++stats_.faults.crashes;
-    stats_.faults.time_down += until - t_;
+    stats_.faults.time_down += until - vnow_;
     down_[s] = true;
     down_until_[s] = until;
-    timeline_.note(s, t_, until);
+    timeline_.note(s, vnow_, until);
     if (async_) {
       // The commit buffer dies with the shard; the durability window
       // classifies the swept records (acked-but-lost vs unacked-and-lost)
       // and finalize() rolls them into the stats.
-      (void)journals_[s].crash_drop_pending(t_);
+      (void)journals_[s].crash_drop_pending(vnow_);
       if (kv_async_) {
         // The real store crashes with the process: its commit buffer is
         // swept, its WAL tail torn, and recovery replays the surviving
@@ -315,8 +587,9 @@ class LiveEngine final : public LiveFaultContext {
   }
 
   /// Client-side delivery: message loss/corruption triggers the bounded
-  /// retry loop. Returns false when the retry budget is exhausted.
-  bool deliver_with_retries() {
+  /// retry loop, charging each attempt's detection timeout and backoff to
+  /// the client's clock. Returns false when the retry budget is exhausted.
+  bool deliver_with_retries(sim::SimTime& ready) {
     if (opt_.faults.rpc_loss_prob <= 0.0 &&
         opt_.faults.rpc_corrupt_prob <= 0.0) {
       return true;
@@ -324,8 +597,10 @@ class LiveEngine final : public LiveFaultContext {
     std::uint32_t attempt = 0;
     while (delivery_fails()) {
       ++stats_.faults.timeouts;
+      ready += opt_.retry.timeout;
       if (attempt++ >= opt_.retry.max_retries) return false;
       ++stats_.faults.retries;
+      ready += opt_.retry.backoff_for(attempt, loss_rng_);
     }
     return true;
   }
@@ -345,44 +620,34 @@ class LiveEngine final : public LiveFaultContext {
   }
 
   /// Ownership-epoch fencing: a client whose cached route predates the
-  /// fragment's current epoch is bounced once and re-resolves.
-  void fence(Ino home) {
-    if (home == kInvalidIno) return;
+  /// fragment's current epoch is bounced once and re-resolves. Returns
+  /// whether the request was bounced (the bounce costs an extra RTT).
+  bool fence(Ino home) {
+    if (home == kInvalidIno) return false;
     const std::uint32_t current = fsys_.ownership_epoch(home);
     const auto [it, inserted] = cached_.try_emplace(home, current);
     if (!inserted && it->second != current) {
       ++stats_.faults.fenced_rejections;
       it->second = current;
+      return true;
     }
+    return false;
   }
 
-  void journal_mutation(fsns::NodeId home_node) {
-    const Ino home = mat_.ino_of(home_node);
-    if (home == kInvalidIno) return;
-    const std::uint64_t op_id = ++next_op_id_;
-    const std::uint32_t shard = fsys_.dir_shard(home);
-    recovery::MetadataJournal& journal = journals_[shard];
-    journal.append_op(op_id, static_cast<fsns::NodeId>(home), t_);
-    if (async_) {
-      // Live calls return synchronously, so the ack lands with the append;
-      // durability still waits for the group commit.
-      journal.note_acked(op_id, t_);
-      if (journal.pending_records() >= opt_.recovery.commit_batch) {
-        (void)journal.flush(t_);
-        if (kv_async_) (void)fsys_.shard_db(shard).commit();
-      }
-    }
-  }
-
-  /// Async mode: group-commit every shard whose oldest buffered record has
-  /// aged past the commit window (measured in operations on this clock).
+  /// Async mode, at a sync point (workers idle): group-commit every shard
+  /// whose oldest buffered record aged past the commit window, and let the
+  /// real stores group-commit whatever their own triggers left buffered.
   void flush_due() {
     for (std::uint32_t s = 0; s < journals_.size(); ++s) {
       recovery::MetadataJournal& journal = journals_[s];
       if (journal.pending_records() == 0) continue;
-      if (t_ - journal.oldest_pending_at() >= opt_.recovery.commit_window) {
-        (void)journal.flush(t_);
-        if (kv_async_) (void)fsys_.shard_db(s).commit();
+      if (vnow_ - journal.oldest_pending_at() >= opt_.recovery.commit_window) {
+        (void)journal.flush(vnow_);
+      }
+    }
+    if (kv_async_) {
+      for (std::uint32_t s = 0; s < fsys_.shard_count(); ++s) {
+        (void)fsys_.shard_db(s).commit();
       }
     }
   }
@@ -460,6 +725,26 @@ class LiveEngine final : public LiveFaultContext {
   }
 
   void finalize() {
+    // Orderly shutdown of the serving plane: drain, close, join, surface
+    // any worker failure, then merge the per-shard partials in shard order
+    // (the determinism discipline — identical at any worker count).
+    drain_workers();
+    for (auto& lane : lanes_) lane->close();
+    for (auto& th : threads_) {
+      if (th.joinable()) th.join();
+    }
+    rethrow_worker_error();
+    for (const ShardPartial& p : partials_) {
+      stats_.latency.merge(p.latency);
+      stats_.shard_busy.push_back(p.busy);
+      stats_.shard_served.push_back(p.served);
+    }
+    stats_.makespan = vnow_;
+    stats_.throughput_ops =
+        vnow_ > 0 ? static_cast<double>(stats_.executed) * 1e9 /
+                        static_cast<double>(vnow_)
+                  : 0.0;
+
     const auto shard_stats = fsys_.shard_stats();
     std::vector<double> loads;
     for (const ShardStats& st : shard_stats) {
@@ -470,7 +755,7 @@ class LiveEngine final : public LiveFaultContext {
     if (async_) {
       // Clean shutdown: surviving buffers flush, so only crash-dropped
       // records stay non-durable. The real stores drain in lockstep.
-      for (recovery::MetadataJournal& j : journals_) (void)j.flush(t_);
+      for (recovery::MetadataJournal& j : journals_) (void)j.flush(vnow_);
       if (kv_async_) {
         for (std::uint32_t s = 0; s < fsys_.shard_count(); ++s) {
           (void)fsys_.shard_db(s).commit();
@@ -505,20 +790,46 @@ class LiveEngine final : public LiveFaultContext {
   bool kv_async_;  ///< the shard stores group-commit too (kAsync DbOptions)
   fault::FaultInjector injector_;
   common::Xoshiro256 loss_rng_;
+  cost::CostModel model_;
   Materialiser mat_;
 
-  sim::SimTime t_ = 0;  // virtual clock = operation index
-  std::uint64_t epoch_len_ = 1;
+  // Virtual clock (all issuer-owned).
+  std::vector<sim::SimTime> shard_clock_;   ///< per-shard logical time B_s
+  std::vector<sim::SimTime> client_ready_;  ///< per-client next-issue time
+  sim::SimTime vnow_ = 0;                   ///< max completion seen so far
+  sim::SimTime gap_ns_ = 0;                 ///< open-loop inter-arrival gap
+  std::uint64_t sync_ops_ = 512;
+  sim::SimTime fault_epoch_len_ = 1;
+  std::vector<std::uint32_t> owners_buf_;  ///< scratch for distinct_owners
+
+  // Fault plane (issuer-owned; journals handed to workers between syncs).
+  std::uint32_t next_fault_epoch_ = 0;
+  std::vector<fault::FaultWindow> crashes_;  ///< crash windows, from-sorted
+  std::size_t crash_cursor_ = 0;
+  std::vector<std::vector<StragglerWindow>> stragglers_;  ///< per shard
+  std::vector<std::size_t> strag_cursor_;
   std::vector<bool> down_;
   std::vector<sim::SimTime> down_until_;
   cluster::FaultTimeline timeline_;
-  std::vector<fault::FaultWindow> pending_;  // crash windows, sorted by from
-  std::size_t cursor_ = 0;
   std::vector<recovery::MetadataJournal> journals_;
   std::vector<FailoverEntry> failover_log_;
   cluster::TwoPhaseLog two_phase_;
   std::unordered_map<Ino, std::uint32_t> cached_;  // client route cache
   std::uint64_t next_op_id_ = 0;
+
+  // Serving plane.
+  std::uint32_t workers_ = 1;
+  std::vector<std::unique_ptr<common::BoundedMpmcQueue<TaskBatch>>> lanes_;
+  std::vector<TaskBatch> batch_buf_;  ///< issuer-side per-worker batches
+  std::vector<ShardPartial> partials_;  ///< by shard; owner-worker only
+  std::vector<std::thread> threads_;
+  std::uint64_t dispatched_batches_ = 0;  ///< issuer-only
+  std::uint64_t completed_batches_ = 0;   ///< guarded by done_mutex_
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::mutex error_mutex_;
+  std::exception_ptr worker_error_;
+
   LiveReplayStats stats_;
 };
 

@@ -301,6 +301,25 @@ TEST(OptionsFromFlags, AsyncKvBackingRequiresWritableWalDir) {
       << bad_dir.status().to_string();
 }
 
+TEST(OptionsFromFlags, ParsesAndStrictlyValidatesShardThreads) {
+  auto parsed = parse({"--shard-threads", "8"});
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(std::move(parsed).value().shard_threads, 8u);
+
+  auto absent = parse({"--mds", "4"});
+  ASSERT_TRUE(absent.is_ok());
+  EXPECT_EQ(std::move(absent).value().shard_threads, 1u);
+
+  // get_int would coerce all of these to 0 and silently serve on one
+  // thread; the strict parser must reject them instead.
+  for (const char* bad : {"0", "-2", "abc", "2x", ""}) {
+    auto r = parse({"--shard-threads", bad});
+    ASSERT_FALSE(r.is_ok()) << "accepted --shard-threads '" << bad << "'";
+    EXPECT_NE(r.status().to_string().find("--shard-threads"),
+              std::string::npos);
+  }
+}
+
 TEST(OptionsFromFlags, KvWalDirOptionalOutsideAsyncKvBacking) {
   // Sync mode appends every record inline — no group commit, no fsync
   // batching — so the real store runs fine without a log directory.

@@ -426,9 +426,9 @@ TEST(ThreadPool, ParallelForEmptyRange) {
 
 TEST(MpmcQueue, FifoSingleThread) {
   MpmcQueue<int> q;
-  q.push(1);
-  q.push(2);
-  q.push(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
   EXPECT_EQ(q.try_pop().value(), 1);
   EXPECT_EQ(q.try_pop().value(), 2);
   EXPECT_EQ(q.pop().value(), 3);
@@ -462,7 +462,7 @@ TEST(MpmcQueue, MultiProducerMultiConsumerDeliversAll) {
   std::vector<std::thread> producers;
   for (int p = 0; p < 3; ++p) {
     producers.emplace_back([&q] {
-      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+      for (int i = 1; i <= kPerProducer; ++i) ASSERT_TRUE(q.push(i));
     });
   }
   for (auto& t : producers) t.join();

@@ -307,6 +307,20 @@ std::string live_stats_fingerprint(const fs::LiveReplayStats& s) {
       << s.migrations << ' ' << s.shard_imbalance << '\n';
   for (std::uint64_t ops : s.shard_ops) out << ops << ' ';
   out << '\n';
+  // Virtual-clock serving metrics, including the full latency histogram
+  // shape (count/mean/min/max and a quantile ladder): byte-identity here
+  // means the per-shard partials merged identically.
+  out << s.makespan << ' ' << s.throughput_ops << ' ' << s.latency.count()
+      << ' ' << s.latency.mean() << ' ' << s.latency.min() << ' '
+      << s.latency.max();
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    out << ' ' << s.latency.quantile(q);
+  }
+  out << '\n';
+  for (sim::SimTime b : s.shard_busy) out << b << ' ';
+  out << '\n';
+  for (std::uint64_t n : s.shard_served) out << n << ' ';
+  out << '\n';
   const cluster::RobustnessStats& f = s.faults;
   out << f.retries << ' ' << f.timeouts << ' ' << f.rpcs_lost << ' '
       << f.rpcs_corrupted << ' ' << f.failed_ops << ' ' << f.crashes << ' '
@@ -335,7 +349,7 @@ TEST(Determinism, LiveReplayBitIdenticalAcrossRunsPerSeed) {
     opt.epoch_ops = 4'000;
     opt.faults.seed = seed * 1000 + 7;
     opt.faults.crash_prob = 0.15;
-    opt.faults.crash_recovery = 3'000;  // the live clock counts ops
+    opt.faults.crash_recovery = sim::millis(300);
     opt.faults.rpc_loss_prob = 0.003;
 
     fs::OrigamiFs::Options fopt;
@@ -348,6 +362,58 @@ TEST(Determinism, LiveReplayBitIdenticalAcrossRunsPerSeed) {
         << "seed " << seed;
     // The fault layer really fired (this is not vacuous determinism).
     EXPECT_GT(ra.faults.crashes + ra.faults.rpcs_lost, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Determinism, LiveReplayBitIdenticalAcrossShardThreadCounts) {
+  // The acceptance bar for the concurrent serving plane: the full stats
+  // fingerprint (counters, latency histogram, per-shard busy clocks) is
+  // byte-identical at --shard-threads 1/2/8, on 3 seeds, both clean and
+  // with the fault plan armed.
+  for (std::uint64_t seed : {1, 2, 3}) {
+    wl::TraceRwConfig cfg;
+    cfg.ops = 20'000;
+    cfg.projects = 4;
+    cfg.modules_per_project = 3;
+    cfg.sources_per_module = 8;
+    cfg.headers_shared = 40;
+    cfg.seed = seed;
+    const wl::Trace trace = wl::make_trace_rw(cfg);
+
+    for (const bool faulted : {false, true}) {
+      fs::LiveReplayOptions opt;
+      opt.epoch_ops = 4'000;
+      if (faulted) {
+        opt.faults.seed = seed * 1000 + 7;
+        opt.faults.crash_prob = 0.15;
+        opt.faults.crash_recovery = sim::millis(300);
+        opt.faults.straggler_prob = 0.2;
+        opt.faults.rpc_loss_prob = 0.003;
+        opt.recovery.commit_mode = recovery::CommitMode::kAsync;
+        opt.recovery.commit_window = sim::millis(1);
+        opt.recovery.commit_batch = 32;
+        opt.recovery.fencing = true;
+      }
+
+      std::string baseline;
+      for (const std::uint32_t threads : {1u, 2u, 8u}) {
+        fs::OrigamiFs::Options fopt;
+        fopt.shards = 4;
+        fs::OrigamiFs fsys(fopt);
+        fs::LiveReplayOptions run = opt;
+        run.shard_threads = threads;
+        const auto stats = fs::replay_on_live(trace, fsys, run);
+        const std::string fp = live_stats_fingerprint(stats);
+        if (baseline.empty()) {
+          baseline = fp;
+          EXPECT_GT(stats.executed, 0u);
+          EXPECT_GT(stats.latency.count(), 0u);
+        } else {
+          EXPECT_EQ(fp, baseline) << "seed " << seed << " threads " << threads
+                                  << (faulted ? " faulted" : " clean");
+        }
+      }
+    }
   }
 }
 

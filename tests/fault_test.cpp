@@ -393,7 +393,10 @@ TEST(ReplayFaults, StragglersInflateTailLatency) {
 
 // ------------------------------------------------------- live-mode faults --
 // The same fault layers (injector sampling, failover, fencing, retries) run
-// against the real OrigamiFS service; the virtual clock is the op index.
+// against the real OrigamiFS service on its cost-model virtual clock
+// (nanoseconds): window bounds and recovery durations are virtual time, and
+// crashes/recoveries fire at the engine's sync points. A 20k-op trace with
+// every fragment born on shard 0 runs ~3–4 virtual seconds.
 
 wl::Trace live_trace(std::uint64_t ops = 20'000) {
   wl::TraceRwConfig cfg;
@@ -428,17 +431,21 @@ TEST(LiveReplayFaults, CrashMidEpochFailsOverThenRecoveryRestores) {
   fopt.shards = 3;
   fs::OrigamiFs fsys(fopt);
 
-  // Without a balancer every fragment is born on shard 0: crash it from op
-  // 5,000 to op 12,000 (the live clock is the op index).
+  // Without a balancer every fragment is born on shard 0: crash it from
+  // 900ms to 2.1s of virtual time (well inside the ~3.5s makespan).
   fs::LiveReplayOptions opt;
   opt.faults.scheduled.push_back(
-      {0, 5'000, 12'000, fault::FaultKind::kCrash, 1.0});
+      {0, sim::millis(900), sim::millis(2'100), fault::FaultKind::kCrash, 1.0});
   const auto stats = fs::replay_on_live(trace, fsys, opt);
 
   EXPECT_EQ(stats.faults.crashes, 1u);
   EXPECT_GT(stats.faults.failovers, 0u);
   EXPECT_GT(stats.faults.failover_dirs, 0u);
-  EXPECT_EQ(stats.faults.time_down, 7'000);
+  // The crash fires at the first sync point past the window start, so the
+  // remaining outage is positive but no longer than the full window.
+  EXPECT_GT(stats.faults.time_down, 0);
+  EXPECT_LE(stats.faults.time_down, sim::millis(1'200));
+  EXPECT_GT(stats.makespan, sim::millis(2'100));
   // The crashed shard's journal was torn + replayed by the survivors...
   EXPECT_EQ(stats.faults.journal_replays, 1u);
   EXPECT_GT(stats.faults.torn_tail_truncations, 0u);
@@ -456,7 +463,7 @@ TEST(LiveReplayFaults, FencingBouncesStaleRoutesAfterFailover) {
 
   fs::LiveReplayOptions fenced;
   fenced.faults.scheduled.push_back(
-      {0, 5'000, 12'000, fault::FaultKind::kCrash, 1.0});
+      {0, sim::millis(900), sim::millis(2'100), fault::FaultKind::kCrash, 1.0});
   fenced.recovery.fencing = true;
   fs::OrigamiFs fs_a(fopt);
   const auto with_fencing = fs::replay_on_live(trace, fs_a, fenced);
@@ -494,6 +501,33 @@ TEST(LiveReplayFaults, RpcLossRunsBoundedRetryLoop) {
   EXPECT_GT(stats.executed, trace.ops.size() - 5);
 }
 
+TEST(LiveReplayFaults, StragglersStretchTailLatencies) {
+  const auto trace = live_trace();
+  fs::OrigamiFs::Options fopt;
+  fopt.shards = 3;
+
+  fs::LiveReplayOptions clean;
+  fs::OrigamiFs fs_clean(fopt);
+  const auto rc = fs::replay_on_live(trace, fs_clean, clean);
+
+  fs::LiveReplayOptions slow;
+  slow.faults.seed = 7;
+  slow.faults.straggler_prob = 0.6;
+  slow.faults.straggler_slow = 8.0;
+  slow.faults.straggler_duration = sim::millis(250);
+  fs::OrigamiFs fs_slow(fopt);
+  const auto rs = fs::replay_on_live(trace, fs_slow, slow);
+
+  // The straggler windows multiply service times on the virtual clock, so
+  // both the makespan and the latency tail move; the namespace outcome and
+  // executed counts stay identical.
+  EXPECT_GT(rs.faults.time_degraded, 0);
+  EXPECT_GT(rs.makespan, rc.makespan);
+  EXPECT_GT(rs.latency.quantile(0.99), rc.latency.quantile(0.99));
+  EXPECT_EQ(rs.executed, rc.executed);
+  EXPECT_EQ(rs.shard_ops, rc.shard_ops);
+}
+
 TEST(LiveReplayFaults, SameSeedIsReproducible) {
   const auto trace = live_trace();
   fs::OrigamiFs::Options fopt;
@@ -502,7 +536,7 @@ TEST(LiveReplayFaults, SameSeedIsReproducible) {
   fs::LiveReplayOptions opt;
   opt.faults.seed = 91;
   opt.faults.crash_prob = 0.2;
-  opt.faults.crash_recovery = 4'000;  // ops
+  opt.faults.crash_recovery = sim::millis(400);
   opt.faults.rpc_loss_prob = 0.005;
   opt.epoch_ops = 4'000;
 

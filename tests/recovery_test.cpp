@@ -747,9 +747,11 @@ TEST(LiveRecovery, TwoPhaseAbortRollsBackAndPairsPhases) {
   fs::LiveReplayOptions opt;
   opt.epoch_ops = 8'000;
   // Arm the fault layer (journals, two-phase accounting) without letting a
-  // crash interfere: the only scheduled window opens far past the trace.
+  // crash interfere: the only scheduled window opens hours past the ~7s
+  // virtual makespan, in a sampling epoch that never materialises.
   opt.faults.scheduled.push_back(
-      {0, 10'000'000, 10'000'100, fault::FaultKind::kCrash, 1.0});
+      {0, sim::seconds(10'000), sim::seconds(10'001), fault::FaultKind::kCrash,
+       1.0});
   opt.on_epoch = [&](fs::OrigamiFs& f,
                      fs::LiveFaultContext& ctx) -> std::uint64_t {
     core::LiveOrigamiBalancer::Params p;
@@ -794,7 +796,7 @@ TEST(LiveRecovery, TwoPhaseAbortRollsBackAndPairsPhases) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
-TEST(LiveRecovery, AsyncCommitGroupCommitsOnTheOpClock) {
+TEST(LiveRecovery, AsyncCommitGroupCommitsOnTheVirtualClock) {
   wl::TraceRwConfig cfg;
   cfg.ops = 40'000;
   cfg.seed = 23;
@@ -805,11 +807,11 @@ TEST(LiveRecovery, AsyncCommitGroupCommitsOnTheOpClock) {
   fs::OrigamiFs fsys(fopt);
 
   fs::LiveReplayOptions opt;
-  // One crash window on the op-index clock, landing mid-trace.
+  // One crash window on the virtual clock, landing mid-trace.
   opt.faults.scheduled.push_back(
-      {1, 10'000, 12'000, fault::FaultKind::kCrash, 1.0});
+      {1, sim::seconds(2), sim::millis(2'500), fault::FaultKind::kCrash, 1.0});
   opt.recovery.commit_mode = recovery::CommitMode::kAsync;
-  opt.recovery.commit_window = 64;  // live clock: measured in operations
+  opt.recovery.commit_window = sim::micros(500);  // virtual-clock age trigger
   opt.recovery.commit_batch = 16;
 
   const auto stats = fs::replay_on_live(trace, fsys, opt);

@@ -181,9 +181,33 @@ echo "=== [release] fig13_policy_faceoff smoke ==="
 (cd "${BUILD_ROOT}/release" && \
   ./bench/fig13_policy_faceoff --smoke --out BENCH_policy_faceoff.json)
 
-# 4. ThreadSanitizer over the parallel analysis plane: the determinism
-#    suite drives window analysis / Meta-OPT scoring / feature extraction
-#    at 8 threads, so any data race in the sharded reductions trips here.
+# 3d'''. Serving-plane saturation smoke from the release build: the bench
+#        doubles as the live-concurrency determinism gate — it replays the
+#        same trace at shard-thread counts 1/2/4 (clean and faulted) and
+#        exits 1 unless every output fingerprint is byte-identical.
+echo "=== [release] fig14_saturation smoke (live determinism gate) ==="
+(cd "${BUILD_ROOT}/release" && \
+  ./bench/fig14_saturation --smoke --out BENCH_saturation.json)
+
+# 3e. --shard-threads guard: a malformed thread count must exit 2 with
+#     usage, never silently run single-threaded under the wrong label.
+echo "=== [release] malformed --shard-threads rejection ==="
+set +e
+"${BUILD_ROOT}/release/bench/fig14_saturation" --smoke --shard-threads 2x \
+  >/dev/null 2>&1
+rc_threads=$?
+set -e
+[[ "${rc_threads}" -eq 2 ]] ||
+  { echo "--shard-threads=2x exited ${rc_threads}, want 2"; exit 1; }
+echo "malformed --shard-threads rejected with exit 2"
+
+# 4. ThreadSanitizer over both concurrent planes: the determinism suite
+#    drives the parallel analysis plane (window analysis / Meta-OPT scoring
+#    / feature extraction) at 8 threads AND the live serving plane (shard
+#    workers fed over MPMC lanes) at thread counts 1/2/8; the concurrency
+#    suite adds contention sweeps for the primitives themselves (MpmcQueue
+#    pop/try_pop/close races, BoundedMpmcQueue backpressure, ThreadPool
+#    submit/wait_idle stress).
 TSAN_DIR="${BUILD_ROOT}/tsan"
 echo "=== [tsan] configure ==="
 cmake -B "${TSAN_DIR}" -S "${ROOT}" \
@@ -193,9 +217,9 @@ cmake -B "${TSAN_DIR}" -S "${ROOT}" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 echo "=== [tsan] build ==="
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target determinism_test common_test meta_opt_test
-echo "=== [tsan] ctest (parallel analysis plane) ==="
+  --target determinism_test common_test concurrency_test meta_opt_test
+echo "=== [tsan] ctest (analysis + serving planes) ==="
 ctest --test-dir "${TSAN_DIR}" --output-on-failure --timeout 300 \
-  -R '(Determinism|ParallelFor|ChunkedReduction|ThreadPool|SmallSet|MetaOpt|EvaluateWindow)'
+  -R '(Determinism|ParallelFor|ChunkedReduction|ThreadPool|MpmcQueue|BoundedMpmcQueue|SmallSet|MetaOpt|EvaluateWindow)'
 
 echo "=== CI OK ==="
