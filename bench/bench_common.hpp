@@ -25,6 +25,12 @@ inline constexpr Strategy kPaperStrategies[] = {
     Strategy::kSingle, Strategy::kCHash, Strategy::kFHash, Strategy::kMlTree,
     Strategy::kOrigami};
 
+/// The same sweep as registry policy specs (for `run_policy`): the legacy
+/// enum's historical parameterisation spelled the way `--policy` spells it.
+/// Callers special-case "single" onto 1 MDS themselves.
+inline constexpr const char* kPaperPolicies[] = {
+    "single", "c-hash", "f-hash", "ml-tree:min-ops=8", "origami"};
+
 /// Standard trace scales used across benches (≈ a few hundred thousand ops
 /// so every figure regenerates in seconds).
 wl::Trace standard_rw(std::uint64_t seed = 1, std::uint64_t ops = 300'000);

@@ -84,10 +84,13 @@ int main(int argc, char** argv) {
               "failover_dirs", "aborted_migrations", "time_down_s",
               "time_degraded_s"});
 
-  for (bench::Strategy s : bench::kPaperStrategies) {
-    const auto base = bench::run_strategy(s, trace, clean, &models);
+  for (const std::string& spec : bench::kPaperPolicies) {
+    cluster::ReplayOptions clean_opt = clean;
+    cluster::ReplayOptions faulty_opt = faulty;
+    if (spec == "single") clean_opt.mds_count = faulty_opt.mds_count = 1;
+    const auto base = bench::run_policy(spec, trace, clean_opt, &models);
     report(base, "clean", csv);
-    const auto hurt = bench::run_strategy(s, trace, faulty, &models);
+    const auto hurt = bench::run_policy(spec, trace, faulty_opt, &models);
     report(hurt, "faulty", csv);
     const double slowdown =
         base.p99_latency_us > 0 ? hurt.p99_latency_us / base.p99_latency_us

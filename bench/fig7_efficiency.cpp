@@ -33,8 +33,8 @@ int main() {
   // burned on forwarded RPCs or migration transfers does not count as
   // useful work (that is exactly the §5.5 distinction).
   cluster::ReplayOptions single_opt = opt;
-  const auto r1 = bench::run_strategy(bench::Strategy::kSingle, trace,
-                                      single_opt, nullptr);
+  single_opt.mds_count = 1;
+  const auto r1 = bench::run_policy("single", trace, single_opt, nullptr);
   double single_rate = 0.0;
   std::size_t n1 = 0;
   for (std::size_t e = 1; e + 1 < r1.epochs.size(); ++e) {
@@ -51,13 +51,14 @@ int main() {
   csv.header({"strategy", "t_seconds", "efficiency"});
 
   std::printf("%-8s", "t(s)");
-  constexpr bench::Strategy kStrategies[] = {
-      bench::Strategy::kCHash, bench::Strategy::kFHash,
-      bench::Strategy::kMlTree, bench::Strategy::kOrigami};
+  // Registry policy specs (the benches' historical parameterisation;
+  // identical construction path as origami_sim --policy).
+  constexpr const char* kPolicies[] = {"c-hash", "f-hash",
+                                       "ml-tree:min-ops=8", "origami"};
   std::vector<std::vector<double>> series(4);
   std::vector<double> times;
   for (std::size_t si = 0; si < 4; ++si) {
-    const auto r = bench::run_strategy(kStrategies[si], trace, opt, &models);
+    const auto r = bench::run_policy(kPolicies[si], trace, opt, &models);
     for (std::size_t e = 0; e < r.epochs.size(); ++e) {
       const auto& em = r.epochs[e];
       const double span = static_cast<double>(em.end - em.start);
@@ -70,7 +71,7 @@ int main() {
       const double eff = rate / single_rate;
       series[si].push_back(eff);
       if (si == 0) times.push_back(sim::to_seconds(em.end));
-      csv.field(bench::strategy_name(kStrategies[si]))
+      csv.field(r.balancer_name)
           .field(sim::to_seconds(em.end))
           .field(eff);
       csv.endrow();

@@ -17,29 +17,34 @@ int main() {
   const cluster::ReplayOptions base = bench::paper_options();
   const auto models = bench::train_for(bench::standard_rw(/*seed=*/99), base);
 
-  const auto r1 =
-      bench::run_strategy(bench::Strategy::kSingle, trace, base, nullptr);
+  cluster::ReplayOptions single_opt = base;
+  single_opt.mds_count = 1;
+  const auto r1 = bench::run_policy("single", trace, single_opt, nullptr);
   const double single = r1.steady_throughput_ops;
   std::printf("1-MDS baseline: %.0f ops/s\n\n", single);
 
   common::CsvWriter csv(bench::csv_path("fig8", "scalability"));
   csv.header({"strategy", "mds", "speedup"});
 
-  constexpr bench::Strategy kStrategies[] = {
-      bench::Strategy::kCHash, bench::Strategy::kFHash,
-      bench::Strategy::kMlTree, bench::Strategy::kOrigami};
+  // Registry policy specs (same construction path as origami_sim --policy).
+  constexpr const char* kPolicies[] = {"c-hash", "f-hash",
+                                       "ml-tree:min-ops=8", "origami"};
 
   std::printf("%-10s %8s %8s %8s %8s\n", "strategy", "2 MDS", "3 MDS",
               "4 MDS", "5 MDS");
-  for (bench::Strategy s : kStrategies) {
-    std::printf("%-10s", bench::strategy_name(s));
+  for (const char* spec : kPolicies) {
+    std::string shown;
     for (std::uint32_t mds = 2; mds <= 5; ++mds) {
       cluster::ReplayOptions opt = base;
       opt.mds_count = mds;
-      const auto r = bench::run_strategy(s, trace, opt, &models);
+      const auto r = bench::run_policy(spec, trace, opt, &models);
+      if (shown.empty()) {
+        shown = r.balancer_name;
+        std::printf("%-10s", shown.c_str());
+      }
       const double speedup = r.steady_throughput_ops / single;
       std::printf(" %7.2fx", speedup);
-      csv.field(bench::strategy_name(s))
+      csv.field(r.balancer_name)
           .field(static_cast<std::uint64_t>(mds))
           .field(speedup);
       csv.endrow();

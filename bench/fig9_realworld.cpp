@@ -43,17 +43,19 @@ int main() {
                 "end-to-end ops/s");
     double best_meta_baseline = 0.0;
     double origami_meta = 0.0;
-    for (bench::Strategy s : bench::kPaperStrategies) {
-      const auto meta = bench::run_strategy(s, eval, base, &models);
+    for (const std::string& spec : bench::kPaperPolicies) {
+      cluster::ReplayOptions meta_opt = base;
+      if (spec == "single") meta_opt.mds_count = 1;
+      const auto meta = bench::run_policy(spec, eval, meta_opt, &models);
 
-      cluster::ReplayOptions data_opt = base;
+      cluster::ReplayOptions data_opt = meta_opt;
       data_opt.data_path = true;
       // A deliberately tight data tier (the paper notes production would
       // provision more): 5 servers x 4 slots at ~0.5 ms/request.
       data_opt.data_params.slots_per_server = 4;
       data_opt.data_params.base_latency = sim::micros(500);
       data_opt.data_params.bytes_per_second = 6e8;
-      const auto e2e = bench::run_strategy(s, eval, data_opt, &models);
+      const auto e2e = bench::run_policy(spec, eval, data_opt, &models);
 
       std::printf("%-10s %16.0f %16.0f\n", meta.balancer_name.c_str(),
                   meta.steady_throughput_ops, e2e.steady_throughput_ops);
@@ -63,9 +65,9 @@ int main() {
           .field(e2e.steady_throughput_ops);
       csv.endrow();
 
-      if (s == bench::Strategy::kOrigami) {
+      if (spec == "origami") {
         origami_meta = meta.steady_throughput_ops;
-      } else if (s != bench::Strategy::kSingle) {
+      } else if (spec != "single") {
         best_meta_baseline =
             std::max(best_meta_baseline, meta.steady_throughput_ops);
       }

@@ -16,6 +16,7 @@
 #include "origami/net/network.hpp"
 #include "origami/recovery/journal.hpp"
 #include "origami/sim/event_queue.hpp"
+#include "origami/wl/arrival.hpp"
 
 namespace origami::cluster {
 
@@ -52,6 +53,13 @@ struct EngineCore {
   mds::NearRootCache cache;
   mds::DataCluster data;
   common::Xoshiro256 jitter_rng;
+  /// The request-arrival process (wl/arrival.hpp), resolved from
+  /// `opt.arrival` (spec) or the legacy `open_loop_rate`/`clients` fields.
+  /// `ExecEngine` drives every issue through it; closed-loop policies
+  /// chain re-issues off completions, open-loop policies emit the next
+  /// arrival time (the legacy Poisson loop draws from `jitter_rng`, so the
+  /// shared-stream draw order is part of the byte-identity contract).
+  std::unique_ptr<wl::ArrivalPolicy> arrival;
   const bool faults_on;
   /// Group-committed journaling (CommitMode::kAsync with faults armed);
   /// false keeps every sync-mode run bit-identical to earlier trees.
@@ -72,6 +80,9 @@ struct EngineCore {
   std::vector<std::size_t> free_slots;
 
   std::size_t cursor = 0;
+  /// Run-wide issue sequence number (feeds `ArrivalPolicy::next_arrival`
+  /// indices and the observer bus's `ArrivalEvent`s).
+  std::uint64_t issued_ops = 0;
   std::uint32_t active_clients = 0;
   std::uint32_t epoch_index = 0;
   sim::SimTime last_epoch_at = 0;
@@ -99,11 +110,12 @@ struct EngineCore {
   std::size_t alloc_slot();
 };
 
-/// The in-flight request state machine: open- and closed-loop issue, the
-/// per-visit `hop`/`advance` walk across MDSs, completion-time fence
-/// re-checks and final accounting. Fault delivery and retries are delegated
-/// to the bound `FailoverEngine`; with faults disabled that engine is never
-/// consulted and the walk is the bit-exact clean path.
+/// The in-flight request state machine: issuance through the arrival
+/// plane (`core.arrival`), the per-visit `hop`/`advance` walk across MDSs,
+/// completion-time fence re-checks and final accounting. Fault delivery
+/// and retries are delegated to the bound `FailoverEngine`; with faults
+/// disabled that engine is never consulted and the walk is the bit-exact
+/// clean path.
 class ExecEngine {
  public:
   ExecEngine(EngineCore& core, const RequestPlanner& planner)
@@ -111,11 +123,12 @@ class ExecEngine {
   void bind(FailoverEngine& failover) { failover_ = &failover; }
 
   /// Schedules the initial arrivals (one open-loop driver or `opt.clients`
-  /// staggered closed-loop clients).
+  /// staggered closed-loop clients — the arrival policy decides).
   void start();
 
+  /// Closed-loop re-issue for `client` (chained off a completion by
+  /// `finish` and the failover path).
   void issue_for_client(std::uint32_t client);
-  void issue_open_loop();
   void hop(std::size_t slot);
   /// Post-service continuation of `hop`: advances to the next visit or
   /// schedules the final reply. `done` is the service-completion time.
@@ -127,6 +140,12 @@ class ExecEngine {
   void finish(std::size_t slot);
 
  private:
+  /// The open-loop driver: issues the op at the arrival instant, then asks
+  /// the policy for the next arrival and re-schedules itself.
+  void issue_next();
+  /// The one issue body both loops share: pops the next trace op, builds
+  /// its plan, accounts it and launches the first network hop.
+  void issue_one(std::uint32_t client);
   /// Async commit: flush when the batch threshold is reached, or arm the
   /// commit-window timer when this append opened a fresh batch.
   void schedule_group_commit(std::uint32_t mds);

@@ -80,6 +80,9 @@ struct RobustnessStats {
 /// Complete result of one replay. All rates use the virtual clock.
 struct RunResult {
   std::string balancer_name;
+  /// Name of the arrival process that drove issuance (wl/arrival.hpp):
+  /// "closed", "open", "paced", "trace", "bursty", "tenant", ...
+  std::string arrival_name;
   std::uint32_t mds_count = 0;
   std::uint64_t completed_ops = 0;
   sim::SimTime makespan = 0;

@@ -77,6 +77,16 @@ struct ReplayOptions {
   /// `faults` is enabled, so the clean path is untouched.
   recovery::RecoveryParams recovery;
 
+  /// Arrival-process spec from the shared `--arrival` flag:
+  /// `<name>[:k=v,...]` against `wl::ArrivalRegistry::builtin()` (closed,
+  /// open, paced, trace, bursty, tenant — `--list-arrivals` catalogues
+  /// them). Empty keeps the legacy mapping: `open_loop_rate > 0` selects
+  /// Poisson open-loop arrivals, otherwise the closed loop. Validated by
+  /// `options_from_flags` (unknown name/param/value → usage + exit 2);
+  /// `EngineCore` throws `std::invalid_argument` on a bad programmatic
+  /// spec.
+  std::string arrival;
+
   /// Balancing-policy spec from the shared `--policy` flag:
   /// `<name>[:k=v,...]` against `policy::Registry::builtin()`. The engine
   /// itself never reads this — callers that construct their balancer

@@ -37,6 +37,18 @@ struct FaultEvent {
   std::uint64_t dirs = 0;
 };
 
+/// One request entering the system through the arrival plane
+/// (wl::ArrivalPolicy): fired by the epoch DES at every issue, open- and
+/// closed-loop alike. `index` is the run-wide issue sequence number,
+/// `client` the attributed client/tenant lane. The live plane reports
+/// arrivals through its own stats instead (its issue loop runs off the
+/// DES thread).
+struct ArrivalEvent {
+  std::uint64_t index = 0;
+  std::uint32_t client = 0;
+  sim::SimTime at = 0;
+};
+
 /// Per-epoch deltas of the exec/failover/migration counters. Aggregates of
 /// these already live in `RunResult::faults`; the bus exists precisely so
 /// subscribers can see the per-epoch *distribution* (verdict inputs, fence
@@ -56,10 +68,11 @@ struct EpochCounters {
   std::uint64_t failovers = 0;
 };
 
-/// Cross-layer observer over the request-execution engine's five seams
-/// (DESIGN.md §11/§14): plan (epoch snapshots + balancer decisions), exec
-/// (per-epoch issue/retry counters), failover (crash/failover/recover),
-/// migration (two-phase transitions) and stats (finalized run). Every hook
+/// Cross-layer observer over the request-execution engine's six seams
+/// (DESIGN.md §11/§14/§16): arrival (every request issued), plan (epoch
+/// snapshots + balancer decisions), exec (per-epoch issue/retry counters),
+/// failover (crash/failover/recover), migration (two-phase transitions)
+/// and stats (finalized run). Every hook
 /// fires from the single-threaded DES loop, so the callback sequence is
 /// deterministic at any `--threads` setting. Policies may implement this
 /// interface themselves — the engine auto-subscribes a balancer that does —
@@ -79,6 +92,9 @@ class Observer {
     (void)epoch;
     (void)ds;
   }
+  /// Arrival seam: one request issued into the cluster. High-frequency —
+  /// implementations should be O(1) counters, not allocators.
+  virtual void on_arrival(const ArrivalEvent& ev) { (void)ev; }
   /// Migration seam: one PREPARE/COMMIT/ABORT transition.
   virtual void on_migration_phase(const MigrationPhaseEvent& ev) { (void)ev; }
   /// Failover seam: crash windows, fragment failover, recovery hand-back.
@@ -112,6 +128,9 @@ class ObserverBus {
   void decisions(std::uint32_t epoch,
                  std::span<const cluster::MigrationDecision> ds) const {
     for (Observer* o : observers_) o->on_decisions(epoch, ds);
+  }
+  void arrival(const ArrivalEvent& ev) const {
+    for (Observer* o : observers_) o->on_arrival(ev);
   }
   void migration_phase(const MigrationPhaseEvent& ev) const {
     for (Observer* o : observers_) o->on_migration_phase(ev);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "origami/cluster/metrics.hpp"
@@ -78,6 +79,15 @@ struct LiveReplayOptions {
   /// fixed inter-arrival gap) regardless of completions — queueing delay
   /// then shows up in the latency distribution.
   double issue_rate = 0.0;
+  /// Arrival-process spec (`--arrival=<name>[:k=v,...]` against
+  /// `wl::ArrivalRegistry::builtin()`). Overrides the two legacy fields
+  /// above: empty keeps their mapping (`issue_rate > 0` → the fixed-gap
+  /// "paced" process, otherwise the "closed" loop). The live engine stamps
+  /// each op's arrival on its nanosecond virtual clock through the policy;
+  /// randomized processes (bursty) draw from a policy- or engine-owned
+  /// seeded stream, so output stays byte-identical at any
+  /// `shard_threads`.
+  std::string arrival;
   /// Operations between fault/commit sync points. With faults armed the
   /// issuer drains the shard workers every `sync_ops` operations, then
   /// fires due crashes/recoveries and the commit-window sweep against the

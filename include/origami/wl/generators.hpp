@@ -73,4 +73,49 @@ struct TraceMdtestConfig {
 };
 Trace make_trace_mdtest(const TraceMdtestConfig& cfg = {});
 
+/// Trace-Falcon — FalconFS-style deep-learning data pipeline: many trainers
+/// stream a huge-small-file dataset (datasets → shards → samples), each
+/// training epoch opening with a readdir/stat scan storm over the shard
+/// index, then a long shuffled-read phase (Zipf over samples within the
+/// epoch's shard schedule), punctuated by checkpoint bursts that create
+/// model/optimizer state under a per-trainer checkpoint dir. The trace is
+/// *timed*: `Trace::arrivals` carries native nanosecond timestamps — scan
+/// storms and checkpoint barriers arrive at `storm_rate`, steady shuffled
+/// reads at `read_rate` — so `--arrival=trace` replays the pipeline's real
+/// burst structure.
+struct TraceFalconConfig {
+  std::uint64_t seed = 5;
+  std::uint32_t datasets = 4;
+  std::uint32_t shards_per_dataset = 24;
+  std::uint32_t files_per_shard = 80;  // small-file samples per shard dir
+  std::uint32_t trainers = 16;
+  std::uint32_t epochs = 3;            // training epochs (scan → read → ckpt)
+  double shuffle_theta = 0.6;          // Zipf skew of the shuffled reads
+  double read_rate = 120'000.0;        // steady-phase arrivals (ops/s)
+  double storm_rate = 900'000.0;       // scan/checkpoint-storm arrivals
+  std::uint64_t ops = 400'000;
+};
+Trace make_trace_falcon(const TraceFalconConfig& cfg = {});
+
+/// Trace-Midas — MIDAS-style HPC metadata burst workload: batch jobs arrive
+/// on a queue and each performs a short, violent metadata storm (create its
+/// rank tree, hammer a handful of shared hot directories with stats/
+/// readdirs, emit per-rank output files, then tear part of it down), while
+/// a low-rate background of interactive stats trickles between storms. The
+/// trace is *timed*: storm ops arrive at `burst_rate`, the background at
+/// `base_rate`, so `--arrival=trace` reproduces the bursty on/off load
+/// shape that overwhelms static partitions.
+struct TraceMidasConfig {
+  std::uint64_t seed = 6;
+  std::uint32_t jobs = 12;
+  std::uint32_t ranks_per_job = 32;
+  std::uint32_t files_per_rank = 40;
+  std::uint32_t hot_dirs = 3;          // shared hot dirs every job hammers
+  double burst_fraction = 0.85;        // fraction of ops inside job storms
+  double base_rate = 40'000.0;         // background arrivals (ops/s)
+  double burst_rate = 800'000.0;       // in-storm arrivals (ops/s)
+  std::uint64_t ops = 400'000;
+};
+Trace make_trace_midas(const TraceMidasConfig& cfg = {});
+
 }  // namespace origami::wl

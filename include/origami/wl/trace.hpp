@@ -9,6 +9,7 @@
 #include "origami/common/status.hpp"
 #include "origami/fsns/dir_tree.hpp"
 #include "origami/fsns/types.hpp"
+#include "origami/sim/time.hpp"
 
 namespace origami::wl {
 
@@ -29,6 +30,18 @@ struct Trace {
   std::string name;
   fsns::DirTree tree;
   std::vector<MetaOp> ops;
+  /// Optional per-op arrival timestamps (nanoseconds, non-decreasing,
+  /// parallel to `ops`). Empty = untimed: the workload has no native
+  /// arrival process and replays under whatever `--arrival` policy the
+  /// run selects. Non-empty (same length as `ops`) = the generator or
+  /// imported trace carries its own request timing, replayable with
+  /// `--arrival=trace`.
+  std::vector<sim::SimTime> arrivals;
+
+  /// True when every op carries a native arrival timestamp.
+  [[nodiscard]] bool timed() const {
+    return !arrivals.empty() && arrivals.size() == ops.size();
+  }
 };
 
 /// Aggregate shape statistics, used by tests to pin each generator to its

@@ -24,6 +24,9 @@ EngineCore::EngineCore(const wl::Trace& trace_in, const ReplayOptions& options,
       cache(trace_in.tree.size(), options.cache_depth, options.cache_enabled),
       data(options.data_params),
       jitter_rng(options.seed ^ 0x5eedULL),
+      arrival(wl::resolve_arrival(options.arrival, options.open_loop_rate,
+                                  /*poisson_legacy=*/true,
+                                  {&trace_in, options.clients})),
       faults_on(options.faults.enabled()),
       async_commit(faults_on && options.recovery.commit_mode ==
                                     recovery::CommitMode::kAsync),
@@ -104,53 +107,33 @@ std::size_t EngineCore::alloc_slot() {
 }
 
 void ExecEngine::start() {
-  if (core_.opt.open_loop_rate > 0.0) {
+  if (!core_.arrival->closed_loop()) {
     core_.active_clients = 1;  // the arrival process counts as one driver
-    core_.queue.schedule_at(0, [this] { issue_open_loop(); });
+    core_.queue.schedule_at(core_.arrival->first_arrival(),
+                            [this] { issue_next(); });
   } else {
     core_.active_clients = core_.opt.clients;
     for (std::uint32_t c = 0; c < core_.opt.clients; ++c) {
       // Slight stagger breaks lockstep between identical clients.
-      core_.queue.schedule_at(static_cast<SimTime>(c) * sim::kMicrosecond,
+      core_.queue.schedule_at(core_.arrival->stagger(c),
                               [this, c] { issue_for_client(c); });
     }
   }
 }
 
-void ExecEngine::issue_open_loop() {
+void ExecEngine::issue_next() {
   if (core_.trace_done()) {
     core_.active_clients = 0;
     return;
   }
-  if (core_.cursor >= core_.trace.ops.size()) core_.cursor = 0;  // loop_trace
-  const wl::MetaOp& op = core_.trace.ops[core_.cursor++];
+  issue_one(core_.arrival->client_of(core_.issued_ops));
 
-  const std::size_t slot = core_.alloc_slot();
-  InFlight& fl = core_.pool[slot];
-  fl.plan = planner_.build_plan(op);
-  if (core_.faults_on && fsns::is_write(op.type)) {
-    fl.plan.op_id = ++core_.next_op_id;
-  }
-  fl.next_visit = 0;
-  fl.issued = core_.queue.now();
-  fl.client = 0;
-  fl.attempts = 0;
-  account_issue(core_, fl.plan);
-  const MdsId first = fl.plan.visits.front().mds;
-  const SimTime travel = core_.network.one_way(core_.opt.mds_count, first);
-  if (core_.faults_on &&
-      failover_->delivery_fails(first, core_.queue.now() + travel)) {
-    failover_->retry_or_fail(slot, core_.opt.mds_count, 0);
-  } else {
-    core_.queue.schedule_after(travel, [this, slot] { hop(slot); });
-  }
-
-  // Next arrival: exponential inter-arrival at the offered rate.
-  const double mean_gap_s = 1.0 / core_.opt.open_loop_rate;
-  const SimTime gap = std::max<SimTime>(
-      1, static_cast<SimTime>(core_.jitter_rng.exponential(1.0 / mean_gap_s) *
-                              static_cast<double>(sim::kSecond)));
-  core_.queue.schedule_after(gap, [this] { issue_open_loop(); });
+  // Next arrival: the policy owns the process. The legacy Poisson loop
+  // draws its gap from the engine's jitter stream at exactly this point
+  // (after the hop is scheduled), which byte-identity depends on.
+  const SimTime next = core_.arrival->next_arrival(
+      core_.issued_ops, core_.queue.now(), core_.jitter_rng);
+  core_.queue.schedule_at(next, [this] { issue_next(); });
 }
 
 void ExecEngine::issue_for_client(std::uint32_t client) {
@@ -158,6 +141,10 @@ void ExecEngine::issue_for_client(std::uint32_t client) {
     --core_.active_clients;
     return;
   }
+  issue_one(client);
+}
+
+void ExecEngine::issue_one(std::uint32_t client) {
   if (core_.cursor >= core_.trace.ops.size()) core_.cursor = 0;  // loop_trace
   const wl::MetaOp& op = core_.trace.ops[core_.cursor++];
 
@@ -172,6 +159,10 @@ void ExecEngine::issue_for_client(std::uint32_t client) {
   fl.client = client;
   fl.attempts = 0;
   account_issue(core_, fl.plan);
+  if (!core_.observers.empty()) {
+    core_.observers.arrival({core_.issued_ops, client, core_.queue.now()});
+  }
+  ++core_.issued_ops;
 
   const MdsId first = fl.plan.visits.front().mds;
   const SimTime travel =
@@ -395,7 +386,7 @@ void ExecEngine::finish(std::size_t slot) {
   core_.free_slots.push_back(slot);
   // Open-loop arrivals are self-scheduling; only the closed loop chains
   // the next request off this completion.
-  if (core_.opt.open_loop_rate <= 0.0) issue_for_client(client);
+  if (core_.arrival->closed_loop()) issue_for_client(client);
 }
 
 }  // namespace origami::cluster

@@ -81,7 +81,7 @@ void FailoverEngine::fail_request(std::size_t slot) {
   fl.in_use = false;
   fl.attempts = 0;
   core_.free_slots.push_back(slot);
-  if (core_.opt.open_loop_rate <= 0.0) exec_->issue_for_client(client);
+  if (core_.arrival->closed_loop()) exec_->issue_for_client(client);
 }
 
 void FailoverEngine::schedule_epoch_faults(std::uint32_t epoch) {

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <string>
 
+#include "origami/wl/arrival.hpp"
+
 namespace origami::cluster {
 
 std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
@@ -34,21 +36,24 @@ std::vector<fault::FaultWindow> parse_crash_schedule(const std::string& spec) {
 
 namespace {
 
-/// The --fault-* / --retry-* / --commit-* vocabulary this parser owns. A
-/// flag with one of these prefixes that is not listed here is a typo, and
-/// typos in fault knobs must not silently run the fault-free config.
+/// The --fault-* / --retry-* / --commit-* / --arrival* / --trace-*
+/// vocabulary this parser owns. A flag with one of these prefixes that is
+/// not listed here is a typo, and typos in fault/arrival knobs must not
+/// silently run the default config.
 constexpr const char* kOwnedFlags[] = {
     "fault-seed",           "fault-crash-prob",    "fault-recovery-ms",
     "fault-straggler-prob", "fault-straggler-slow", "fault-straggler-ms",
     "fault-loss-prob",      "fault-corrupt-prob",  "fault-crash-at",
     "retry-max",            "retry-timeout-ms",    "retry-backoff-ms",
     "retry-backoff-cap-ms", "commit-mode",         "commit-window",
-    "commit-batch",
+    "commit-batch",         "arrival",             "trace-file",
+    "trace-speed",
 };
 
 bool owned_prefix(const std::string& name) {
   return name.rfind("fault-", 0) == 0 || name.rfind("retry-", 0) == 0 ||
-         name.rfind("commit-", 0) == 0;
+         name.rfind("commit-", 0) == 0 || name.rfind("arrival", 0) == 0 ||
+         name.rfind("trace-", 0) == 0;
 }
 
 }  // namespace
@@ -109,6 +114,30 @@ common::Result<ReplayOptions> options_from_flags(const common::Flags& flags,
     // policy::Registry::builtin() by the caller — the engine layer cannot
     // depend on the policy layer above it.
     opt.policy = flags.get("policy");
+  }
+  if (flags.has("arrival")) {
+    // Validated eagerly (unlike --policy the wl layer sits *below* the
+    // engine, so this parser can afford strictness): a typo must exit with
+    // usage, not silently fall back to the closed loop.
+    const std::string spec = flags.get("arrival");
+    if (auto s = wl::ArrivalRegistry::builtin().validate(spec); !s.is_ok()) {
+      return s;
+    }
+    opt.arrival = spec;
+  }
+  if (flags.has("trace-speed")) {
+    // Sugar for --arrival=trace:speed=F (replay native trace timestamps,
+    // time-scaled). Mixing both spellings is ambiguous — reject it.
+    if (flags.has("arrival")) {
+      return common::Status::invalid_argument(
+          "--trace-speed conflicts with --arrival (say "
+          "--arrival=trace:speed=... instead)");
+    }
+    const std::string spec = "trace:speed=" + flags.get("trace-speed");
+    if (auto s = wl::ArrivalRegistry::builtin().validate(spec); !s.is_ok()) {
+      return s;
+    }
+    opt.arrival = spec;
   }
   if (flags.has("shard-threads")) {
     // Strict: a malformed thread count must not silently run single-shard

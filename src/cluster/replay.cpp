@@ -40,6 +40,7 @@ class Replayer {
 
   RunResult run() {
     core_.result.balancer_name = core_.balancer.name();
+    core_.result.arrival_name = core_.arrival->name();
     core_.result.mds_count = core_.opt.mds_count;
 
     if (core_.faults_on) failover_.schedule_epoch_faults(0);

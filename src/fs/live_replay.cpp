@@ -16,6 +16,7 @@
 #include "origami/cluster/failover.hpp"
 #include "origami/cluster/migration.hpp"
 #include "origami/common/mpmc_queue.hpp"
+#include "origami/wl/arrival.hpp"
 
 namespace origami::fs {
 
@@ -121,15 +122,15 @@ class LiveEngine final : public LiveFaultContext {
                       kv::CommitMode::kAsync),
         injector_(opt.faults, fsys.shard_count()),
         loss_rng_(opt.faults.seed ^ 0x11febeefULL),
+        arrival_(wl::resolve_arrival(opt.arrival, opt.issue_rate,
+                                     /*poisson_legacy=*/false,
+                                     {&trace, opt.clients})),
+        arrival_rng_(opt.faults.seed ^ 0xa114a1ULL),
         model_(opt.cost),
         mat_(trace.tree, fsys) {
     const std::uint32_t n = std::max<std::uint32_t>(1, fsys_.shard_count());
     shard_clock_.assign(n, 0);
     client_ready_.assign(std::max<std::uint32_t>(1, opt_.clients), 0);
-    if (opt_.issue_rate > 0.0) {
-      gap_ns_ = std::max<sim::SimTime>(
-          1, static_cast<sim::SimTime>(std::llround(1e9 / opt_.issue_rate)));
-    }
     sync_ops_ = std::max<std::uint64_t>(1, opt_.sync_ops);
     fault_epoch_len_ = std::max<sim::SimTime>(1, opt_.fault_epoch);
     if (faults_on_) {
@@ -165,9 +166,18 @@ class LiveEngine final : public LiveFaultContext {
                                          : trace_.tree.parent(op.target);
       const auto client =
           static_cast<std::uint32_t>(i % client_ready_.size());
-      const sim::SimTime arrival =
-          gap_ns_ > 0 ? gap_ns_ * static_cast<sim::SimTime>(i)
-                      : client_ready_[client];
+      // The arrival plane stamps when this op enters the system: closed
+      // loops chain off the issuing client's previous completion; open
+      // loops are a pure time process on the virtual clock.
+      sim::SimTime arrival;
+      if (arrival_->closed_loop()) {
+        arrival = client_ready_[client];
+      } else {
+        arrival = i == 0 ? arrival_->first_arrival()
+                         : arrival_->next_arrival(i, prev_arrival_,
+                                                  arrival_rng_);
+        prev_arrival_ = arrival;
+      }
       sim::SimTime ready = arrival;
 
       if (faults_on_ && !deliver_with_retries(ready)) {
@@ -790,6 +800,13 @@ class LiveEngine final : public LiveFaultContext {
   bool kv_async_;  ///< the shard stores group-commit too (kAsync DbOptions)
   fault::FaultInjector injector_;
   common::Xoshiro256 loss_rng_;
+  /// The request-arrival process (wl/arrival.hpp), shared implementation
+  /// with the epoch DES. Closed-loop policies read `client_ready_`;
+  /// open-loop policies run on the virtual clock via `prev_arrival_`.
+  std::unique_ptr<wl::ArrivalPolicy> arrival_;
+  /// Issuer-owned stream for arrival policies that draw (e.g. "open" run
+  /// live). Never touched by the serving plane, so thread count is moot.
+  common::Xoshiro256 arrival_rng_;
   cost::CostModel model_;
   Materialiser mat_;
 
@@ -797,7 +814,7 @@ class LiveEngine final : public LiveFaultContext {
   std::vector<sim::SimTime> shard_clock_;   ///< per-shard logical time B_s
   std::vector<sim::SimTime> client_ready_;  ///< per-client next-issue time
   sim::SimTime vnow_ = 0;                   ///< max completion seen so far
-  sim::SimTime gap_ns_ = 0;                 ///< open-loop inter-arrival gap
+  sim::SimTime prev_arrival_ = 0;           ///< open loop: last stamped arrival
   std::uint64_t sync_ops_ = 512;
   sim::SimTime fault_epoch_len_ = 1;
   std::vector<std::uint32_t> owners_buf_;  ///< scratch for distinct_owners

@@ -376,6 +376,243 @@ Trace make_trace_mdtest(const TraceMdtestConfig& cfg) {
   return trace;
 }
 
+// ---------------------------------------------------------------------------
+// Trace-Falcon: deep-learning data pipeline (FalconFS-style, timed).
+// ---------------------------------------------------------------------------
+Trace make_trace_falcon(const TraceFalconConfig& cfg) {
+  Trace trace;
+  trace.name = "trace-falcon";
+  auto& tree = trace.tree;
+  Xoshiro256 rng(cfg.seed);
+
+  // --- namespace: dataset shards of small sample files + checkpoint dirs ---
+  const NodeId data_root = tree.add_dir(fsns::kRootNode, "data");
+  const NodeId ckpt_root = tree.add_dir(fsns::kRootNode, "ckpt");
+  struct Shard {
+    NodeId dir;
+    std::vector<NodeId> samples;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(cfg.datasets) *
+                 cfg.shards_per_dataset);
+  for (std::uint32_t d = 0; d < cfg.datasets; ++d) {
+    const NodeId ds = tree.add_dir(data_root, numbered("ds", d));
+    for (std::uint32_t s = 0; s < cfg.shards_per_dataset; ++s) {
+      Shard sh;
+      sh.dir = tree.add_dir(ds, numbered("shard", s));
+      sh.samples.reserve(cfg.files_per_shard);
+      for (std::uint32_t f = 0; f < cfg.files_per_shard; ++f) {
+        sh.samples.push_back(tree.add_file(sh.dir, numbered("samp", f)));
+      }
+      shards.push_back(std::move(sh));
+    }
+  }
+  struct Trainer {
+    NodeId ckpt_dir;
+    std::vector<NodeId> ckpt_files;
+  };
+  std::vector<Trainer> trainers(cfg.trainers);
+  for (std::uint32_t t = 0; t < cfg.trainers; ++t) {
+    trainers[t].ckpt_dir = tree.add_dir(ckpt_root, numbered("trainer", t));
+    for (std::uint32_t e = 0; e < cfg.epochs; ++e) {
+      trainers[t].ckpt_files.push_back(
+          tree.add_file(trainers[t].ckpt_dir, numbered("step", e) + ".pt"));
+    }
+  }
+  tree.finalize();
+
+  // --- timed op stream -----------------------------------------------------
+  // Every op gets a native arrival timestamp: Poisson gaps at `storm_rate`
+  // during scan/checkpoint storms, at `read_rate` during the shuffled-read
+  // body, with a short synchronization pause at every phase barrier.
+  trace.ops.reserve(cfg.ops);
+  trace.arrivals.reserve(cfg.ops);
+  sim::SimTime now = 0;
+  auto emit = [&](const MetaOp& op, double rate) {
+    now += std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(rng.exponential(rate) *
+                                     static_cast<double>(sim::kSecond)));
+    trace.ops.push_back(op);
+    trace.arrivals.push_back(now);
+  };
+  ZipfDistribution sample_zipf(cfg.files_per_shard, cfg.shuffle_theta);
+
+  const std::uint64_t per_epoch = std::max<std::uint64_t>(
+      1, cfg.ops / std::max<std::uint32_t>(1, cfg.epochs));
+  for (std::uint32_t epoch = 0; trace.ops.size() < cfg.ops; ++epoch) {
+    // Scan storm: every trainer lists its round-robin slice of the shard
+    // index and probes a few samples per shard before the epoch starts.
+    for (std::uint32_t t = 0;
+         t < cfg.trainers && trace.ops.size() < cfg.ops; ++t) {
+      for (std::size_t s = t; s < shards.size(); s += cfg.trainers) {
+        const Shard& sh = shards[s];
+        emit({OpType::kReaddir, sh.dir, fsns::kInvalidNode, 0},
+             cfg.storm_rate);
+        const std::uint32_t probes =
+            2 + static_cast<std::uint32_t>(rng.uniform(3));
+        for (std::uint32_t p = 0; p < probes; ++p) {
+          emit({OpType::kStat, sh.samples[rng.uniform(sh.samples.size())],
+                fsns::kInvalidNode, 0},
+               cfg.storm_rate);
+        }
+        if (trace.ops.size() >= cfg.ops) break;
+      }
+    }
+    now += sim::millis(5);  // barrier: trainers wait for the slowest scan
+
+    // Shuffled-read body: trainers interleave stat+open pairs over their
+    // epoch-shuffled shard schedule, Zipf-skewed within each shard.
+    const std::uint64_t ckpt_budget = static_cast<std::uint64_t>(cfg.trainers) * 4;
+    const std::uint64_t read_target =
+        per_epoch > ckpt_budget ? per_epoch - ckpt_budget : per_epoch;
+    for (std::uint64_t i = 0;
+         i < read_target && trace.ops.size() < cfg.ops; ++i) {
+      const std::uint32_t t =
+          static_cast<std::uint32_t>(i % cfg.trainers);
+      const Shard& sh =
+          shards[(t + rng.uniform(shards.size())) % shards.size()];
+      const NodeId samp = sh.samples[sample_zipf(rng)];
+      emit({OpType::kStat, samp, fsns::kInvalidNode, 0}, cfg.read_rate);
+      emit({OpType::kOpen, samp, fsns::kInvalidNode, 4096}, cfg.read_rate);
+    }
+    now += sim::millis(5);  // barrier before the checkpoint flush
+
+    // Checkpoint burst: each trainer rewrites its step file (unlink the
+    // stale one, create the new one, fsync-style setattr, list the dir).
+    for (std::uint32_t t = 0;
+         t < cfg.trainers && trace.ops.size() < cfg.ops; ++t) {
+      const Trainer& tr = trainers[t];
+      const NodeId f = tr.ckpt_files[epoch % tr.ckpt_files.size()];
+      if (epoch >= tr.ckpt_files.size()) {
+        emit({OpType::kUnlink, f, fsns::kInvalidNode, 0}, cfg.storm_rate);
+      }
+      emit({OpType::kCreate, f, fsns::kInvalidNode, 1 << 20}, cfg.storm_rate);
+      emit({OpType::kSetattr, f, fsns::kInvalidNode, 0}, cfg.storm_rate);
+      emit({OpType::kReaddir, tr.ckpt_dir, fsns::kInvalidNode, 0},
+           cfg.storm_rate);
+    }
+  }
+  trace.ops.resize(cfg.ops);
+  trace.arrivals.resize(cfg.ops);
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-Midas: HPC job-burst metadata storms (MIDAS-style, timed).
+// ---------------------------------------------------------------------------
+Trace make_trace_midas(const TraceMidasConfig& cfg) {
+  Trace trace;
+  trace.name = "trace-midas";
+  auto& tree = trace.tree;
+  Xoshiro256 rng(cfg.seed);
+
+  // --- namespace: shared hot dirs + per-job rank trees ---------------------
+  const NodeId scratch = tree.add_dir(fsns::kRootNode, "scratch");
+  const NodeId shared = tree.add_dir(scratch, "shared");
+  struct HotDir {
+    NodeId dir;
+    std::vector<NodeId> files;
+  };
+  std::vector<HotDir> hot(std::max<std::uint32_t>(1, cfg.hot_dirs));
+  for (std::size_t h = 0; h < hot.size(); ++h) {
+    hot[h].dir = tree.add_dir(shared, numbered("hot", static_cast<std::uint32_t>(h)));
+    for (std::uint32_t f = 0; f < 32; ++f) {
+      hot[h].files.push_back(tree.add_file(hot[h].dir, numbered("lib", f)));
+    }
+  }
+  const NodeId jobs_root = tree.add_dir(scratch, "jobs");
+  struct Rank {
+    NodeId dir;
+    std::vector<NodeId> files;
+  };
+  std::vector<std::vector<Rank>> job_ranks(cfg.jobs);
+  for (std::uint32_t j = 0; j < cfg.jobs; ++j) {
+    const NodeId jdir = tree.add_dir(jobs_root, numbered("job", j));
+    job_ranks[j].resize(cfg.ranks_per_job);
+    for (std::uint32_t r = 0; r < cfg.ranks_per_job; ++r) {
+      Rank& rank = job_ranks[j][r];
+      rank.dir = tree.add_dir(jdir, numbered("rank", r));
+      rank.files.reserve(cfg.files_per_rank);
+      for (std::uint32_t f = 0; f < cfg.files_per_rank; ++f) {
+        rank.files.push_back(tree.add_file(rank.dir, numbered("out", f)));
+      }
+    }
+  }
+  tree.finalize();
+
+  // --- timed op stream: background trickle punctuated by job storms --------
+  trace.ops.reserve(cfg.ops);
+  trace.arrivals.reserve(cfg.ops);
+  sim::SimTime now = 0;
+  auto emit = [&](const MetaOp& op, double rate) {
+    now += std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(rng.exponential(rate) *
+                                     static_cast<double>(sim::kSecond)));
+    trace.ops.push_back(op);
+    trace.arrivals.push_back(now);
+  };
+  auto background_op = [&]() -> MetaOp {
+    // Interactive users: mostly stats of the shared libraries, the odd
+    // listing of a job tree they are watching.
+    if (rng.chance(0.15)) {
+      const std::uint32_t j = static_cast<std::uint32_t>(rng.uniform(cfg.jobs));
+      const auto& ranks = job_ranks[j];
+      return {OpType::kReaddir, ranks[rng.uniform(ranks.size())].dir,
+              fsns::kInvalidNode, 0};
+    }
+    const HotDir& h = hot[rng.uniform(hot.size())];
+    return {OpType::kStat, h.files[rng.uniform(h.files.size())],
+            fsns::kInvalidNode, 0};
+  };
+
+  // Each job storm writes every rank's output files while hammering the
+  // shared hot dirs; storms are sized from the namespace, and the
+  // background segment between storms is scaled so roughly
+  // `burst_fraction` of all ops land inside storms.
+  const std::uint64_t storm_size =
+      static_cast<std::uint64_t>(cfg.ranks_per_job) *
+      (2 + cfg.files_per_rank + cfg.files_per_rank / 3);
+  const double bf = std::min(0.999, std::max(0.001, cfg.burst_fraction));
+  const std::uint64_t background_size = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(storm_size) * (1.0 - bf) / bf));
+  for (std::uint32_t wave = 0; trace.ops.size() < cfg.ops; ++wave) {
+    const std::uint32_t j = wave % cfg.jobs;
+    for (std::uint64_t b = 0;
+         b < background_size && trace.ops.size() < cfg.ops; ++b) {
+      emit(background_op(), cfg.base_rate);
+    }
+    for (std::uint32_t r = 0;
+         r < cfg.ranks_per_job && trace.ops.size() < cfg.ops; ++r) {
+      const Rank& rank = job_ranks[j][r];
+      // Startup: every rank resolves the shared runtime before computing.
+      emit({OpType::kStat, hot[r % hot.size()].dir, fsns::kInvalidNode, 0},
+           cfg.burst_rate);
+      emit({OpType::kReaddir, rank.dir, fsns::kInvalidNode, 0},
+           cfg.burst_rate);
+      for (std::uint32_t f = 0;
+           f < cfg.files_per_rank && trace.ops.size() < cfg.ops; ++f) {
+        if (wave >= cfg.jobs) {
+          // Recycled job slot: the previous run's output must go first.
+          emit({OpType::kUnlink, rank.files[f], fsns::kInvalidNode, 0},
+               cfg.burst_rate);
+        }
+        emit({OpType::kCreate, rank.files[f], fsns::kInvalidNode, 65536},
+             cfg.burst_rate);
+        if (f % 3 == 0) {
+          const HotDir& h = hot[rng.uniform(hot.size())];
+          emit({OpType::kStat, h.files[rng.uniform(h.files.size())],
+                fsns::kInvalidNode, 0},
+               cfg.burst_rate);
+        }
+      }
+    }
+  }
+  trace.ops.resize(cfg.ops);
+  trace.arrivals.resize(cfg.ops);
+  return trace;
+}
+
 Trace make_trace_web_motivation(std::uint64_t seed, std::uint64_t ops) {
   TraceRoConfig cfg;
   cfg.seed = seed;

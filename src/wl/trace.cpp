@@ -43,7 +43,9 @@ TraceSummary summarize(const Trace& trace) {
 namespace {
 
 constexpr std::uint32_t kTraceMagic = 0x4f524754;  // "ORGT"
-constexpr std::uint32_t kTraceVersion = 1;
+// Version 2 appends the optional per-op arrival timestamps after the op
+// table. Version-1 files (no timing section) still load, as untimed.
+constexpr std::uint32_t kTraceVersion = 2;
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& v) {
@@ -94,6 +96,8 @@ common::Status save_trace(const Trace& trace, const std::string& path) {
     write_pod(out, op.aux);
     write_pod(out, op.data_bytes);
   }
+  write_pod(out, static_cast<std::uint64_t>(trace.arrivals.size()));
+  for (sim::SimTime at : trace.arrivals) write_pod(out, at);
   if (!out) return common::Status::unavailable("write failed: " + path);
   return common::Status::ok();
 }
@@ -106,7 +110,7 @@ common::Result<Trace> load_trace(const std::string& path) {
   if (!read_pod(in, magic) || magic != kTraceMagic) {
     return common::Status::corruption("bad trace magic in " + path);
   }
-  if (!read_pod(in, version) || version != kTraceVersion) {
+  if (!read_pod(in, version) || version < 1 || version > kTraceVersion) {
     return common::Status::corruption("unsupported trace version in " + path);
   }
   Trace trace;
@@ -149,6 +153,25 @@ common::Result<Trace> load_trace(const std::string& path) {
     }
     op.type = static_cast<fsns::OpType>(type);
     trace.ops.push_back(op);
+  }
+  if (version >= 2) {
+    std::uint64_t arrival_count = 0;
+    if (!read_pod(in, arrival_count)) {
+      return common::Status::corruption("truncated arrival table");
+    }
+    if (arrival_count != 0 && arrival_count != op_count) {
+      return common::Status::corruption("arrival table size mismatch");
+    }
+    trace.arrivals.reserve(arrival_count);
+    sim::SimTime prev = 0;
+    for (std::uint64_t i = 0; i < arrival_count; ++i) {
+      sim::SimTime at = 0;
+      if (!read_pod(in, at) || at < prev) {
+        return common::Status::corruption("invalid arrival record");
+      }
+      trace.arrivals.push_back(at);
+      prev = at;
+    }
   }
   return trace;
 }

@@ -417,5 +417,44 @@ TEST(Determinism, LiveReplayBitIdenticalAcrossShardThreadCounts) {
   }
 }
 
+TEST(Determinism, ArrivalPoliciesBitIdenticalAcrossShardThreadCounts) {
+  // The arrival plane must not break live-mode determinism: every new
+  // open-loop process (trace replay, bursty, tenant) yields a byte-identical
+  // stats fingerprint at --shard-threads 1/2/8, faults armed. This suite
+  // runs under TSan in CI, so data races in the issue path surface here.
+  wl::TraceFalconConfig cfg;
+  cfg.ops = 6'000;
+  const wl::Trace trace = wl::make_trace_falcon(cfg);
+
+  for (const char* arrival :
+       {"trace:speed=2", "bursty:rate=400000,seed=3",
+        "tenant:tenants=4,rate=50000,burst=8"}) {
+    fs::LiveReplayOptions opt;
+    opt.epoch_ops = 1'500;
+    opt.arrival = arrival;
+    opt.faults.seed = 77;
+    opt.faults.crash_prob = 0.1;
+    opt.faults.crash_recovery = sim::millis(300);
+    opt.faults.rpc_loss_prob = 0.003;
+
+    std::string baseline;
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      fs::OrigamiFs::Options fopt;
+      fopt.shards = 4;
+      fs::OrigamiFs fsys(fopt);
+      fs::LiveReplayOptions run = opt;
+      run.shard_threads = threads;
+      const auto stats = fs::replay_on_live(trace, fsys, run);
+      const std::string fp = live_stats_fingerprint(stats);
+      if (baseline.empty()) {
+        baseline = fp;
+        EXPECT_GT(stats.executed, 0u) << arrival;
+      } else {
+        EXPECT_EQ(fp, baseline) << arrival << " threads " << threads;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace origami

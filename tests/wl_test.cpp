@@ -2,10 +2,15 @@
 // (§5.1) plus trace (de)serialisation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <vector>
 
+#include "origami/common/rng.hpp"
+#include "origami/wl/arrival.hpp"
 #include "origami/wl/generators.hpp"
 #include "origami/wl/trace.hpp"
 
@@ -299,6 +304,368 @@ TEST(TraceMixer, DeterministicAndHandlesEmpty) {
   const Trace empty = interleave_traces({});
   EXPECT_TRUE(empty.ops.empty());
   EXPECT_EQ(empty.tree.size(), 1u);
+}
+
+// ------------------------------------------------- timed workload families --
+
+std::string fingerprint(const Trace& t) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const MetaOp& op : t.ops) {
+    mix(static_cast<std::uint64_t>(op.type));
+    mix(op.target);
+    mix(op.aux);
+    mix(op.data_bytes);
+  }
+  for (sim::SimTime at : t.arrivals) mix(static_cast<std::uint64_t>(at));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void expect_timed_and_monotone(const Trace& t, std::uint64_t ops) {
+  EXPECT_EQ(t.ops.size(), ops);
+  ASSERT_TRUE(t.timed());
+  ASSERT_EQ(t.arrivals.size(), t.ops.size());
+  EXPECT_TRUE(std::is_sorted(t.arrivals.begin(), t.arrivals.end()));
+  for (const MetaOp& op : t.ops) ASSERT_LT(op.target, t.tree.size());
+}
+
+TEST(TraceFalcon, ReadHeavyPipelineWithNativeTimestamps) {
+  TraceFalconConfig cfg;
+  cfg.ops = 40'000;
+  const Trace t = make_trace_falcon(cfg);
+  EXPECT_EQ(t.name, "trace-falcon");
+  expect_timed_and_monotone(t, cfg.ops);
+  const TraceSummary s = summarize(t);
+  // DL data pipeline: scan storms + shuffled reads dominate, checkpoints
+  // contribute the only writes.
+  EXPECT_LT(s.write_fraction, 0.30);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kReaddir)], 0u);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kStat)],
+            s.op_counts[static_cast<int>(OpType::kCreate)]);
+}
+
+TEST(TraceFalcon, BarriersLeaveLargeGapsInTheArrivalProcess) {
+  TraceFalconConfig cfg;
+  cfg.ops = 40'000;
+  const Trace t = make_trace_falcon(cfg);
+  std::vector<sim::SimTime> gaps;
+  gaps.reserve(t.arrivals.size() - 1);
+  for (std::size_t i = 1; i < t.arrivals.size(); ++i) {
+    gaps.push_back(t.arrivals[i] - t.arrivals[i - 1]);
+  }
+  std::vector<sim::SimTime> sorted = gaps;
+  std::sort(sorted.begin(), sorted.end());
+  const sim::SimTime median = sorted[sorted.size() / 2];
+  const sim::SimTime widest = sorted.back();
+  // The 5 ms epoch barriers dwarf the per-op service gaps.
+  EXPECT_GE(widest, sim::millis(5));
+  EXPECT_GE(widest, 20 * std::max<sim::SimTime>(1, median));
+}
+
+TEST(TraceMidas, WriteHeavyBurstsWithNativeTimestamps) {
+  TraceMidasConfig cfg;
+  cfg.ops = 40'000;
+  const Trace t = make_trace_midas(cfg);
+  EXPECT_EQ(t.name, "trace-midas");
+  expect_timed_and_monotone(t, cfg.ops);
+  const TraceSummary s = summarize(t);
+  // HPC burst: job storms are create/unlink-heavy.
+  EXPECT_GT(s.write_fraction, 0.50);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kCreate)], 0u);
+  EXPECT_GT(s.op_counts[static_cast<int>(OpType::kReaddir)], 0u);
+}
+
+TEST(TraceMidas, OnOffLoadShowsUpAsRateContrast) {
+  TraceMidasConfig cfg;
+  cfg.ops = 40'000;
+  const Trace t = make_trace_midas(cfg);
+  // Background segments run at base_rate, storms at burst_rate (20x): the
+  // gap distribution must be strongly bimodal — the widest decile of gaps
+  // is far wider than the median.
+  std::vector<sim::SimTime> gaps;
+  for (std::size_t i = 1; i < t.arrivals.size(); ++i) {
+    gaps.push_back(t.arrivals[i] - t.arrivals[i - 1]);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const sim::SimTime median = gaps[gaps.size() / 2];
+  const sim::SimTime p90 = gaps[gaps.size() * 9 / 10];
+  EXPECT_GE(p90, 5 * std::max<sim::SimTime>(1, median));
+}
+
+TEST(TraceFamilies, DeterministicPerSeed) {
+  TraceFalconConfig f;
+  f.ops = 20'000;
+  EXPECT_EQ(fingerprint(make_trace_falcon(f)),
+            fingerprint(make_trace_falcon(f)));
+  TraceFalconConfig f2 = f;
+  f2.seed += 1;
+  EXPECT_NE(fingerprint(make_trace_falcon(f)),
+            fingerprint(make_trace_falcon(f2)));
+
+  TraceMidasConfig m;
+  m.ops = 20'000;
+  EXPECT_EQ(fingerprint(make_trace_midas(m)),
+            fingerprint(make_trace_midas(m)));
+  TraceMidasConfig m2 = m;
+  m2.seed += 1;
+  EXPECT_NE(fingerprint(make_trace_midas(m)),
+            fingerprint(make_trace_midas(m2)));
+}
+
+// ------------------------------------------------ timed trace (de)serialise --
+
+TEST(TraceIo, V2RoundtripPreservesArrivalTimestamps) {
+  TraceFalconConfig cfg;
+  cfg.ops = 5'000;
+  const Trace t = make_trace_falcon(cfg);
+  ASSERT_TRUE(t.timed());
+  const std::string path = ::testing::TempDir() + "/origami_trace_timed.bin";
+  ASSERT_TRUE(save_trace(t, path).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const Trace& back = loaded.value();
+  ASSERT_TRUE(back.timed());
+  EXPECT_EQ(back.arrivals, t.arrivals);
+  EXPECT_EQ(fingerprint(back), fingerprint(t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMismatchedArrivalTable) {
+  Trace t;
+  t.name = "bad-arrivals";
+  const fsns::NodeId f = t.tree.add_file(0, "f");
+  t.tree.finalize();
+  t.ops.assign(3, MetaOp{OpType::kStat, f, 0, 0});
+  t.arrivals = {10, 20};  // 2 arrivals for 3 ops
+  const std::string path = ::testing::TempDir() + "/origami_trace_mismatch.bin";
+  ASSERT_TRUE(save_trace(t, path).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_NE(loaded.status().to_string().find("arrival table size mismatch"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsDecreasingArrivalTimestamps) {
+  Trace t;
+  t.name = "time-travel";
+  const fsns::NodeId f = t.tree.add_file(0, "f");
+  t.tree.finalize();
+  t.ops.assign(3, MetaOp{OpType::kStat, f, 0, 0});
+  t.arrivals = {5, 3, 9};
+  const std::string path = ::testing::TempDir() + "/origami_trace_decr.bin";
+  ASSERT_TRUE(save_trace(t, path).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_NE(loaded.status().to_string().find("invalid arrival record"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadsVersion1FilesWithoutArrivalTable) {
+  // Handcraft a version-1 stream: identical layout up to the op table, no
+  // arrival section at the end. Old trace files must keep loading.
+  const std::string path = ::testing::TempDir() + "/origami_trace_v1.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    auto put_u32 = [&](std::uint32_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof v);
+    };
+    auto put_u64 = [&](std::uint64_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof v);
+    };
+    auto put_u8 = [&](std::uint8_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof v);
+    };
+    auto put_str = [&](const std::string& s) {
+      put_u32(static_cast<std::uint32_t>(s.size()));
+      out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    };
+    put_u32(0x4f524754);  // "ORGT"
+    put_u32(1);           // version 1: no arrival table
+    put_str("legacy-v1");
+    put_u64(2);  // nodes: root + one file
+    put_u32(0);  // node 1: parent = root
+    put_u8(0);   //         file
+    put_str("f");
+    put_u64(2);  // two ops targeting node 1
+    for (int i = 0; i < 2; ++i) {
+      put_u8(static_cast<std::uint8_t>(OpType::kStat));
+      put_u32(1);  // target
+      put_u32(0);  // aux
+      put_u32(0);  // data_bytes
+    }
+    ASSERT_TRUE(out.good());
+  }
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  const Trace& t = loaded.value();
+  EXPECT_EQ(t.name, "legacy-v1");
+  EXPECT_EQ(t.ops.size(), 2u);
+  EXPECT_TRUE(t.arrivals.empty());
+  EXPECT_FALSE(t.timed());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------- arrival-process statistics --
+
+std::unique_ptr<ArrivalPolicy> make_arrival(const std::string& spec,
+                                            const ArrivalContext& ctx = {}) {
+  auto made = ArrivalRegistry::builtin().make(spec, ctx);
+  EXPECT_TRUE(made.is_ok()) << made.status().to_string();
+  return std::move(made).value();
+}
+
+/// Drives an open-loop policy the way the engines do: chained absolute
+/// arrival times, one call per op index.
+std::vector<sim::SimTime> drive(ArrivalPolicy& p, std::uint64_t n) {
+  common::Xoshiro256 engine_rng(42);
+  std::vector<sim::SimTime> at;
+  at.reserve(n);
+  at.push_back(p.first_arrival());
+  for (std::uint64_t i = 1; i < n; ++i) {
+    at.push_back(p.next_arrival(i, at.back(), engine_rng));
+  }
+  return at;
+}
+
+TEST(BurstyArrivalStats, OverdispersedAboveBaseRateAndSeeded) {
+  // Short period so the sample spans many diurnal cycles: rate 50k, 100 ms
+  // period, 10 ms spikes at 20x with probability 1/2 -> expected average
+  // envelope = 50k * (1 + 0.5*0.1*19) ~ 97.5k ops/s.
+  const std::string spec =
+      "bursty:rate=50000,period-ms=100,amp=0.9,spike-prob=0.5,"
+      "spike-mult=20,spike-ms=10,seed=7";
+  auto p = make_arrival(spec);
+  const std::uint64_t n = 200'000;
+  const std::vector<sim::SimTime> at = drive(*p, n);
+
+  ASSERT_TRUE(std::is_sorted(at.begin(), at.end()));
+  for (std::size_t i = 1; i < at.size(); ++i) ASSERT_GT(at[i], at[i - 1]);
+
+  const double span_s =
+      static_cast<double>(at.back() - at.front()) / sim::kSecond;
+  const double mean_rate = static_cast<double>(n - 1) / span_s;
+  // Long-run mean sits between the base rate and the spike envelope.
+  EXPECT_GT(mean_rate, 50'000.0 * 1.2);
+  EXPECT_LT(mean_rate, 50'000.0 * 2.6);
+
+  // Inter-arrival overdispersion: a homogeneous Poisson process has
+  // CV = 1; the sinusoid + spike mixture must push it well above.
+  double mean_gap = 0.0;
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    mean_gap += static_cast<double>(at[i] - at[i - 1]);
+  }
+  mean_gap /= static_cast<double>(n - 1);
+  double var = 0.0;
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    const double d = static_cast<double>(at[i] - at[i - 1]) - mean_gap;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 2);
+  const double cv = std::sqrt(var) / mean_gap;
+  EXPECT_GT(cv, 1.1);
+
+  // The process owns its randomness: same seed -> identical sequence
+  // (regardless of the engine stream), different seed -> different.
+  auto p_again = make_arrival(spec);
+  EXPECT_EQ(drive(*p_again, 5'000),
+            std::vector<sim::SimTime>(at.begin(), at.begin() + 5'000));
+  auto p_other = make_arrival(
+      "bursty:rate=50000,period-ms=100,amp=0.9,spike-prob=0.5,"
+      "spike-mult=20,spike-ms=10,seed=8");
+  EXPECT_NE(drive(*p_other, 5'000),
+            std::vector<sim::SimTime>(at.begin(), at.begin() + 5'000));
+}
+
+TEST(TenantArrivalStats, PerTenantTokenBucketHoldsInEveryWindow) {
+  const std::uint32_t tenants = 4;
+  const std::uint64_t rate = 1'000;  // ops/s per tenant
+  const std::uint64_t burst = 4;
+  auto p = make_arrival("tenant:tenants=4,rate=1000,burst=4");
+  const std::uint64_t n = 16'000;
+  const std::vector<sim::SimTime> at = drive(*p, n);
+  ASSERT_TRUE(std::is_sorted(at.begin(), at.end()));
+
+  std::vector<std::vector<sim::SimTime>> lanes(tenants);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t c = p->client_of(i);
+    EXPECT_EQ(c, static_cast<std::uint32_t>(i % tenants));  // round-robin
+    lanes[c].push_back(at[i]);
+  }
+  // Token bucket invariant: any window of one second admits at most
+  // rate + burst ops per tenant, i.e. the (rate+burst)-th op after any op
+  // lands at least ~1 s later (small slack for integer rounding).
+  const auto window_ops = static_cast<std::size_t>(rate + burst);
+  for (const auto& lane : lanes) {
+    ASSERT_GT(lane.size(), window_ops);
+    for (std::size_t i = 0; i + window_ops < lane.size(); ++i) {
+      EXPECT_GE(lane[i + window_ops] - lane[i],
+                static_cast<sim::SimTime>(0.98 * sim::kSecond));
+    }
+  }
+}
+
+TEST(TraceArrivalStats, ReplaysNativeTimestampsExactly) {
+  TraceFalconConfig cfg;
+  cfg.ops = 4'000;
+  const Trace t = make_trace_falcon(cfg);
+  ArrivalContext ctx;
+  ctx.trace = &t;
+  ctx.clients = 1;
+  auto p = make_arrival("trace", ctx);
+  common::Xoshiro256 engine_rng(42);
+  sim::SimTime prev = p->first_arrival();
+  EXPECT_EQ(prev, t.arrivals.front());
+  for (std::uint64_t i = 1; i < t.ops.size(); ++i) {
+    prev = p->next_arrival(i, prev, engine_rng);
+    EXPECT_EQ(prev, t.arrivals[i]) << "op " << i;
+  }
+}
+
+TEST(TraceArrivalStats, SpeedScalesTheTimelineAndWrapPreservesGaps) {
+  TraceFalconConfig cfg;
+  cfg.ops = 2'000;
+  const Trace t = make_trace_falcon(cfg);
+  ArrivalContext ctx;
+  ctx.trace = &t;
+  ctx.clients = 1;
+
+  auto fast = make_arrival("trace:speed=2", ctx);
+  common::Xoshiro256 engine_rng(42);
+  sim::SimTime prev = fast->first_arrival();
+  EXPECT_EQ(prev, static_cast<sim::SimTime>(
+                      static_cast<double>(t.arrivals.front()) / 2.0));
+  for (std::uint64_t i = 1; i < t.ops.size(); ++i) {
+    prev = fast->next_arrival(i, prev, engine_rng);
+    EXPECT_EQ(prev, static_cast<sim::SimTime>(
+                        static_cast<double>(t.arrivals[i]) / 2.0))
+        << "op " << i;
+  }
+
+  // Looping past the end restarts the timeline one tick after the last
+  // arrival of the previous pass, preserving every relative gap.
+  auto looped = make_arrival("trace", ctx);
+  const std::uint64_t n = t.ops.size();
+  sim::SimTime cur = looped->first_arrival();
+  for (std::uint64_t i = 1; i < n; ++i) {
+    cur = looped->next_arrival(i, cur, engine_rng);
+  }
+  const sim::SimTime last_first_pass = cur;
+  const sim::SimTime second_pass_start =
+      looped->next_arrival(n, last_first_pass, engine_rng);
+  EXPECT_EQ(second_pass_start, last_first_pass + 1);
+  cur = second_pass_start;
+  for (std::uint64_t j = 1; j < n; ++j) {
+    cur = looped->next_arrival(n + j, cur, engine_rng);
+    EXPECT_EQ(cur - second_pass_start, t.arrivals[j] - t.arrivals[0])
+        << "wrapped op " << j;
+  }
 }
 
 }  // namespace

@@ -120,6 +120,30 @@ for p in ${POLICIES}; do
     { echo "policy ${p} run missing the I1-I8 verdict"; exit 1; }
 done
 
+# 3b'''. Timed workload-family sweep (same sanitized build): the falcon and
+#        midas generators replayed through their native arrival timestamps
+#        (--arrival=trace) with faults + async commit armed, I1-I8 audited.
+#        This is the sanitizer pass over the new generators and the arrival
+#        plane's trace-replay path.
+echo "=== [chaos] timed workload families (sanitized origami_sim) ==="
+for family in falcon midas; do
+  echo "--- ${family}: faulted async-commit run under native arrivals ---"
+  out="$("${BUILD_ROOT}/sanitize/tools/origami_sim" \
+    --trace "${family}" --ops 20000 --strategy origami --seed 11 \
+    --arrival trace --epoch-ms 50 --warmup-epochs 2 \
+    --fault-seed 911 --fault-crash-prob 0.05 --fault-recovery-ms 300 \
+    --commit-mode async --commit-window 2 --commit-batch 64)"
+  echo "${out}"
+  grep -q 'invariants: I1-I8 hold' <<<"${out}" ||
+    { echo "${family} run missing the I1-I8 verdict"; exit 1; }
+done
+echo "--- bursty + tenant arrivals: sanitized clean runs ---"
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --trace rw --ops 20000 \
+  --strategy c-hash --arrival bursty:rate=200000,seed=5 >/dev/null
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --trace rw --ops 20000 \
+  --strategy c-hash --arrival tenant:tenants=4,rate=100000,burst=8 >/dev/null
+echo "arrival-plane sanitizer sweep OK"
+
 # 3c. Flag vocabulary guard: a typoed --fault-*/--commit-* knob must fail
 #     fast with usage, not silently run a different experiment.
 echo "=== [chaos] unknown-flag rejection ==="
@@ -145,6 +169,35 @@ set -e
 [[ "${rc_param}" -eq 2 ]] ||
   { echo "--policy=origami:bogus=1 exited ${rc_param}, want 2"; exit 1; }
 echo "unknown policy name and parameter rejected with exit 2"
+
+# 3c-a. Arrival spec guard: an unknown --arrival name, an unknown or
+#       out-of-range parameter, and --arrival=trace on a workload without
+#       native timestamps must all exit 2 with usage — never silently fall
+#       back to the closed loop.
+echo "=== [chaos] --arrival rejection ==="
+set +e
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 --arrival bogus \
+  >/dev/null 2>&1
+rc_aname=$?
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
+  --arrival open:bogus=1 >/dev/null 2>&1
+rc_aparam=$?
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 \
+  --arrival open:rate=-5 >/dev/null 2>&1
+rc_arange=$?
+"${BUILD_ROOT}/sanitize/tools/origami_sim" --ops 1000 --trace rw \
+  --arrival trace >/dev/null 2>&1
+rc_auntimed=$?
+set -e
+[[ "${rc_aname}" -eq 2 ]] ||
+  { echo "--arrival=bogus exited ${rc_aname}, want 2"; exit 1; }
+[[ "${rc_aparam}" -eq 2 ]] ||
+  { echo "--arrival=open:bogus=1 exited ${rc_aparam}, want 2"; exit 1; }
+[[ "${rc_arange}" -eq 2 ]] ||
+  { echo "--arrival=open:rate=-5 exited ${rc_arange}, want 2"; exit 1; }
+[[ "${rc_auntimed}" -eq 2 ]] ||
+  { echo "--arrival=trace on untimed rw exited ${rc_auntimed}, want 2"; exit 1; }
+echo "malformed arrival specs rejected with exit 2"
 
 # 3c'. Config guard: async group commit over the real store fsyncs a real
 #      log, so --kv-backing --commit-mode=async without a writable
@@ -188,6 +241,18 @@ echo "=== [release] fig13_policy_faceoff smoke ==="
 echo "=== [release] fig14_saturation smoke (live determinism gate) ==="
 (cd "${BUILD_ROOT}/release" && \
   ./bench/fig14_saturation --smoke --out BENCH_saturation.json)
+
+# 3d''''. Workload-family bench smoke from the release build: every
+#         registered policy over the timed falcon/midas families under
+#         --arrival=trace, clean and faulted, keeping the
+#         BENCH_workload_families.json schema alive. The bench exits 1 on
+#         any I1-I8 violation; the grep double-checks the verdict printed.
+echo "=== [release] fig15_workload_families smoke ==="
+out15="$(cd "${BUILD_ROOT}/release" && \
+  ./bench/fig15_workload_families --smoke --out BENCH_workload_families.json)"
+echo "${out15}"
+grep -q 'invariants: I1-I8 hold' <<<"${out15}" ||
+  { echo "fig15 smoke missing the I1-I8 verdict"; exit 1; }
 
 # 3e. --shard-threads guard: a malformed thread count must exit 2 with
 #     usage, never silently run single-threaded under the wrong label.

@@ -21,6 +21,7 @@
 #include "origami/recovery/invariants.hpp"
 #include "origami/core/balancers.hpp"
 #include "origami/core/pipeline.hpp"
+#include "origami/wl/arrival.hpp"
 #include "origami/wl/generators.hpp"
 
 using namespace origami;
@@ -28,10 +29,20 @@ using namespace origami;
 namespace {
 
 constexpr const char* kUsage = R"(usage: origami_sim [options]
-  --trace rw|ro|wi|web     workload family (default rw)
+  --trace FAMILY           rw|ro|wi|web|falcon|midas (default rw; falcon and
+                           midas are timed — they carry native arrival
+                           timestamps for --arrival=trace)
   --trace-file PATH        load a saved trace instead of generating one
   --ops N                  operations to generate (default 300000)
   --seed N                 workload seed (default 1)
+  --arrival SPEC           arrival process "name[:key=value,...]" driving
+                           request issuance (default: closed loop, or the
+                           Poisson open loop when a rate is configured; see
+                           --list-arrivals for the catalogue)
+  --trace-speed F          shorthand for --arrival=trace:speed=F (replay the
+                           trace's native timestamps, time-scaled)
+  --list-arrivals          print every registered arrival process with its
+                           parameters, then exit
   --strategy NAME          single|c-hash|f-hash|ml-tree|origami|meta-opt|all
   --policy SPEC            any registered policy, with parameters:
                            "name[:key=value,...]" (overrides --strategy;
@@ -109,6 +120,18 @@ wl::Trace build_trace(const common::Flags& flags) {
     return wl::make_trace_wi(cfg);
   }
   if (family == "web") return wl::make_trace_web_motivation(seed, ops);
+  if (family == "falcon") {
+    wl::TraceFalconConfig cfg;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    return wl::make_trace_falcon(cfg);
+  }
+  if (family == "midas") {
+    wl::TraceMidasConfig cfg;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    return wl::make_trace_midas(cfg);
+  }
   std::fprintf(stderr, "error: unknown trace family '%s'\n%s", family.c_str(),
                kUsage);
   std::exit(1);
@@ -231,6 +254,10 @@ int main(int argc, char** argv) {
     std::fputs(policy::Registry::builtin().describe().c_str(), stdout);
     return 0;
   }
+  if (flags.has("list-arrivals")) {
+    std::fputs(wl::ArrivalRegistry::builtin().describe().c_str(), stdout);
+    return 0;
+  }
 
   // The decision plane (window analysis, Meta-OPT scoring, feature
   // extraction) shards onto this pool; the DES event loop itself stays
@@ -260,6 +287,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   const cluster::ReplayOptions opt = std::move(parsed).value();
+
+  // Arrival preconditions are checkable only once the trace exists
+  // (--arrival=trace needs native timestamps): fail with usage now rather
+  // than letting the engine throw mid-run.
+  if (!opt.arrival.empty()) {
+    auto probe = wl::ArrivalRegistry::builtin().make(
+        opt.arrival, {&trace, opt.clients});
+    if (!probe.is_ok()) {
+      std::fprintf(stderr, "error: %s\n%s",
+                   probe.status().to_string().c_str(), kUsage);
+      return 2;
+    }
+  }
 
   // Strategy names ARE policy specs now: both --strategy and --policy
   // resolve through the registry; --policy additionally carries parameters
@@ -313,6 +353,18 @@ int main(int argc, char** argv) {
         return wl::make_trace_wi(cfg);
       }
       if (family == "web") return wl::make_trace_web_motivation(seed + 98, ops);
+      if (family == "falcon") {
+        wl::TraceFalconConfig cfg;
+        cfg.ops = ops;
+        cfg.seed = seed + 98;
+        return wl::make_trace_falcon(cfg);
+      }
+      if (family == "midas") {
+        wl::TraceMidasConfig cfg;
+        cfg.ops = ops;
+        cfg.seed = seed + 98;
+        return wl::make_trace_midas(cfg);
+      }
       wl::TraceRwConfig cfg;
       cfg.ops = ops;
       cfg.seed = seed + 98;
